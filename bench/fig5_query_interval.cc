@@ -1,0 +1,35 @@
+// E5 -- Figure 5: total cost for SCOOP / LOCAL / BASE as the interval
+// between queries grows (query rate drops), REAL trace.
+//
+// Paper shape: only LOCAL is substantially affected -- its whole cost is
+// query flooding + replies, so it becomes competitive as queries become
+// rare. BASE is flat (no query cost); SCOOP's small query cost shrinks
+// further.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main() {
+  using namespace scoop;
+  harness::ExperimentConfig config;
+  config.source = workload::DataSourceKind::kReal;
+
+  std::printf("=== Figure 5: cost vs query interval (REAL, simulation) ===\n\n");
+
+  const int intervals_s[] = {5, 10, 15, 30, 50};
+
+  harness::TablePrinter table({"policy", "query-interval", "total-messages"});
+  for (harness::Policy policy :
+       {harness::Policy::kScoop, harness::Policy::kLocal, harness::Policy::kBase}) {
+    config.policy = policy;
+    for (int interval : intervals_s) {
+      config.query_interval = Seconds(interval);
+      harness::ExperimentResult r = harness::RunExperiment(config);
+      table.AddRow({harness::PolicyName(policy), std::to_string(interval) + "s",
+                    harness::FormatCount(r.total_excl_beacons)});
+    }
+  }
+  table.Print();
+  return 0;
+}

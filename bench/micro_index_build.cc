@@ -1,0 +1,128 @@
+// E11 -- google-benchmark microbenchmark of the Figure 2 indexing
+// algorithm: O(V * n^2) in the domain size V and node count n. The paper
+// argues this is "very practical" at V~150, n=62 and for a few hundred
+// nodes; this bench verifies the scaling and absolute cost.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/index_builder.h"
+#include "core/query_stats.h"
+#include "core/xmits_estimator.h"
+#include "storage/histogram.h"
+
+namespace scoop::core {
+namespace {
+
+/// Builds synthetic inputs: n nodes in a line (so xmits is meaningful),
+/// gaussian-ish per-node histograms over a V-value domain.
+BuildInputs MakeInputs(int n, int domain, XmitsEstimator* xmits, QueryStats* queries,
+                       std::vector<ProducerStats>* producers) {
+  Rng rng(42);
+  xmits->Clear();
+  for (int i = 0; i + 1 < n; ++i) {
+    xmits->AddLink(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 0.7);
+    xmits->AddLink(static_cast<NodeId>(i + 1), static_cast<NodeId>(i), 0.7);
+  }
+  xmits->Build();
+
+  producers->clear();
+  for (int i = 1; i < n; ++i) {
+    std::vector<Value> readings;
+    Value mean = static_cast<Value>(rng.UniformInt(0, domain - 1));
+    for (int s = 0; s < 30; ++s) {
+      Value v = static_cast<Value>(
+          std::clamp<int64_t>(mean + rng.UniformInt(-5, 5), 0, domain - 1));
+      readings.push_back(v);
+    }
+    ProducerStats p;
+    p.id = static_cast<NodeId>(i);
+    p.histogram = storage::ValueHistogram::Build(readings, 10);
+    p.rate = 1.0 / 15.0;
+    producers->push_back(std::move(p));
+  }
+
+  queries->RecordQuery({ValueRange{0, static_cast<Value>(domain / 20)}}, Seconds(1));
+
+  BuildInputs inputs;
+  inputs.domain_lo = 0;
+  inputs.domain_hi = static_cast<Value>(domain - 1);
+  inputs.producers = *producers;
+  inputs.xmits = xmits;
+  inputs.query_stats = queries;
+  inputs.base = 0;
+  inputs.now = Seconds(2);
+  for (int i = 0; i < n; ++i) inputs.candidates.push_back(static_cast<NodeId>(i));
+  return inputs;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int domain = static_cast<int>(state.range(1));
+  XmitsEstimator xmits(n);
+  QueryStats queries;
+  std::vector<ProducerStats> producers;
+  BuildInputs inputs = MakeInputs(n, domain, &xmits, &queries, &producers);
+  IndexBuilderOptions options;
+  IndexId id = 1;
+  for (auto _ : state) {
+    BuildResult result = IndexBuilder::Build(inputs, options, id++);
+    benchmark::DoNotOptimize(result.index);
+  }
+  state.SetLabel("V=" + std::to_string(domain) + " n=" + std::to_string(n));
+}
+
+// The paper's operating point and the scaling claim up to a few hundred
+// nodes.
+BENCHMARK(BM_IndexBuild)
+    ->Args({62, 150})    // Paper: n=62, V~150.
+    ->Args({16, 150})
+    ->Args({32, 150})
+    ->Args({128, 150})
+    ->Args({62, 50})
+    ->Args({62, 300})
+    ->Args({62, 600})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IndexBuildOwnerSets(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  XmitsEstimator xmits(62);
+  QueryStats queries;
+  std::vector<ProducerStats> producers;
+  BuildInputs inputs = MakeInputs(62, 150, &xmits, &queries, &producers);
+  IndexBuilderOptions options;
+  options.owner_set_size = k;
+  IndexId id = 1;
+  for (auto _ : state) {
+    BuildResult result = IndexBuilder::Build(inputs, options, id++);
+    benchmark::DoNotOptimize(result.index);
+  }
+  state.SetLabel("owner_set_size=" + std::to_string(k));
+}
+
+// The naive owner-set algorithm is exponential; the greedy one stays
+// polynomial -- this shows its actual cost growth.
+BENCHMARK(BM_IndexBuildOwnerSets)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_XmitsAllPairs(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  XmitsEstimator xmits(n);
+  for (int i = 0; i < n; ++i) {
+    for (int d = 1; d <= 6; ++d) {
+      int j = (i + d) % n;
+      xmits.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                    0.3 + 0.5 * rng.UniformDouble());
+    }
+  }
+  for (auto _ : state) {
+    xmits.Build();
+    benchmark::DoNotOptimize(xmits.Xmits(0, static_cast<NodeId>(n - 1)));
+  }
+}
+
+BENCHMARK(BM_XmitsAllPairs)->Arg(62)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scoop::core
+
+BENCHMARK_MAIN();

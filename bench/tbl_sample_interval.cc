@@ -1,0 +1,40 @@
+// E6 -- §6 "Other experiments": cost of Scoop on different data sources as
+// the sample interval increases (data rate decreases).
+//
+// Paper shape: with less data stored, the differences between data sources
+// become less pronounced because queries, mappings, and summaries dominate
+// the cost.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main() {
+  using namespace scoop;
+  harness::ExperimentConfig config;
+  config.policy = harness::Policy::kScoop;
+
+  std::printf("=== In-text (§6): Scoop cost vs sample interval, per data source ===\n\n");
+
+  const int intervals_s[] = {5, 15, 30, 60};
+  harness::TablePrinter table(
+      {"source", "sample-interval", "data", "overhead(sum+map+qr)", "total"});
+  for (workload::DataSourceKind source :
+       {workload::DataSourceKind::kUnique, workload::DataSourceKind::kReal,
+        workload::DataSourceKind::kGaussian, workload::DataSourceKind::kRandom}) {
+    config.source = source;
+    for (int interval : intervals_s) {
+      config.sample_interval = Seconds(interval);
+      harness::ExperimentResult r = harness::RunExperiment(config);
+      double overhead = r.summary() + r.mapping() + r.query_reply();
+      table.AddRow({workload::DataSourceKindName(source), std::to_string(interval) + "s",
+                    harness::FormatCount(r.data()), harness::FormatCount(overhead),
+                    harness::FormatCount(r.total_excl_beacons)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: at long sample intervals the fixed overhead dominates\n"
+      "and per-source differences wash out.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Demonstrates Scoop's adaptivity (§4 P1/P2): the same network is run
+// under three query regimes, and the final storage index shifts from
+// "store near producers" (quiet) to "ship to the basestation" (hot),
+// interpolating between the LOCAL and BASE extremes.
+//
+// Build & run: ./build/examples/adaptive_comparison
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main() {
+  using namespace scoop;
+  harness::ExperimentConfig config;
+  config.policy = harness::Policy::kScoop;
+  config.source = workload::DataSourceKind::kGaussian;
+  config.num_nodes = 40;
+  config.duration = Minutes(25);
+  config.stabilization = Minutes(5);
+  config.trials = 1;
+  config.seed = 33;
+
+  std::printf("Scoop adaptivity: same network, three query regimes.\n");
+  std::printf("'base-owned' = fraction of the value domain the final index maps\n");
+  std::printf("to the basestation (P2 pulls data toward the base as query\n");
+  std::printf("pressure grows; P1 keeps it at producers when data dominates).\n\n");
+
+  struct Regime {
+    const char* name;
+    bool queries;
+    SimTime interval;
+    double width_lo, width_hi;
+  };
+  const Regime regimes[] = {
+      {"no queries (data dominates)", false, Seconds(15), 0.01, 0.05},
+      {"default (1 query / 15s, 1-5% domain)", true, Seconds(15), 0.01, 0.05},
+      {"hot (1 query / 2s, 40-60% domain)", true, Seconds(2), 0.40, 0.60},
+  };
+
+  harness::TablePrinter table(
+      {"regime", "base-owned", "data msgs", "query+reply", "total"});
+  for (const Regime& regime : regimes) {
+    config.queries_enabled = regime.queries;
+    config.query_interval = regime.interval;
+    config.query_width_lo = regime.width_lo;
+    config.query_width_hi = regime.width_hi;
+    harness::ExperimentResult r = harness::RunExperiment(config);
+    table.AddRow({regime.name, harness::FormatPercent(r.base_owned_fraction),
+                  harness::FormatCount(r.data()), harness::FormatCount(r.query_reply()),
+                  harness::FormatCount(r.total_excl_beacons)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: with no queries the index keeps data at the\n"
+      "producers (low base ownership, low data cost). Under heavy wide\n"
+      "queries the index converges toward send-to-base: ownership moves to\n"
+      "the basestation, so answers are local to it and query traffic stays\n"
+      "modest even at 7x the query rate.\n");
+  return 0;
+}

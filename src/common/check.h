@@ -1,0 +1,43 @@
+// Invariant-checking macros. `SCOOP_CHECK*` always run; `SCOOP_DCHECK*`
+// compile out of NDEBUG builds. Failures abort with file/line context --
+// these are for programming errors, not runtime conditions (use Status for
+// the latter).
+#ifndef SCOOP_COMMON_CHECK_H_
+#define SCOOP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scoop::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "SCOOP_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace scoop::internal
+
+#define SCOOP_CHECK(cond)                                         \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::scoop::internal::CheckFail(__FILE__, __LINE__, #cond);    \
+    }                                                             \
+  } while (0)
+
+#define SCOOP_CHECK_EQ(a, b) SCOOP_CHECK((a) == (b))
+#define SCOOP_CHECK_NE(a, b) SCOOP_CHECK((a) != (b))
+#define SCOOP_CHECK_LT(a, b) SCOOP_CHECK((a) < (b))
+#define SCOOP_CHECK_LE(a, b) SCOOP_CHECK((a) <= (b))
+#define SCOOP_CHECK_GT(a, b) SCOOP_CHECK((a) > (b))
+#define SCOOP_CHECK_GE(a, b) SCOOP_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SCOOP_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define SCOOP_DCHECK(cond) SCOOP_CHECK(cond)
+#endif
+
+#endif  // SCOOP_COMMON_CHECK_H_

@@ -1,0 +1,51 @@
+// Minimal leveled logging. Disabled (kWarning threshold) by default so
+// simulations stay quiet; tests and examples can raise verbosity.
+#ifndef SCOOP_COMMON_LOGGING_H_
+#define SCOOP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace scoop {
+
+/// Log severity, ordered by verbosity.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace scoop
+
+#define SCOOP_LOG(level)                                                      \
+  if (::scoop::LogLevel::level < ::scoop::GetLogLevel()) {                    \
+  } else                                                                      \
+    ::scoop::internal::LogMessage(::scoop::LogLevel::level, __FILE__, __LINE__).stream()
+
+#endif  // SCOOP_COMMON_LOGGING_H_

@@ -1,0 +1,93 @@
+// Fixed-size bitmap over node ids, matching the query-packet header bitmap
+// of §5.5 (hence the 128-node network cap).
+#ifndef SCOOP_COMMON_NODE_BITMAP_H_
+#define SCOOP_COMMON_NODE_BITMAP_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace scoop {
+
+/// A set of node ids encoded as 128 bits, as carried in query packets.
+class NodeBitmap {
+ public:
+  NodeBitmap() : words_{} {}
+
+  /// Builds a bitmap containing exactly `ids`.
+  static NodeBitmap Of(const std::vector<NodeId>& ids) {
+    NodeBitmap bm;
+    for (NodeId id : ids) bm.Set(id);
+    return bm;
+  }
+
+  /// Marks `id` as a member. `id` must be < kMaxNodes.
+  void Set(NodeId id) {
+    SCOOP_CHECK_LT(id, kMaxNodes);
+    words_[id / 64] |= (uint64_t{1} << (id % 64));
+  }
+
+  /// Removes `id` from the set.
+  void Clear(NodeId id) {
+    SCOOP_CHECK_LT(id, kMaxNodes);
+    words_[id / 64] &= ~(uint64_t{1} << (id % 64));
+  }
+
+  /// True iff `id` is a member (ids >= kMaxNodes are never members).
+  bool Test(NodeId id) const {
+    if (id >= kMaxNodes) return false;
+    return (words_[id / 64] >> (id % 64)) & 1;
+  }
+
+  /// Number of member ids.
+  int Count() const {
+    return std::popcount(words_[0]) + std::popcount(words_[1]);
+  }
+
+  /// True iff no ids are members.
+  bool Empty() const { return words_[0] == 0 && words_[1] == 0; }
+
+  /// True iff this set shares at least one id with `other`.
+  bool Intersects(const NodeBitmap& other) const {
+    return (words_[0] & other.words_[0]) != 0 || (words_[1] & other.words_[1]) != 0;
+  }
+
+  /// Set union, in place.
+  void UnionWith(const NodeBitmap& other) {
+    words_[0] |= other.words_[0];
+    words_[1] |= other.words_[1];
+  }
+
+  /// Member ids in ascending order.
+  std::vector<NodeId> ToVector() const {
+    std::vector<NodeId> out;
+    out.reserve(static_cast<size_t>(Count()));
+    for (int w = 0; w < 2; ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        int b = std::countr_zero(bits);
+        out.push_back(static_cast<NodeId>(w * 64 + b));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const NodeBitmap& a, const NodeBitmap& b) {
+    return a.words_ == b.words_;
+  }
+
+  /// Serialized size in bytes when carried in a packet header.
+  static constexpr int kWireSize = 16;
+
+ private:
+  std::array<uint64_t, 2> words_;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_NODE_BITMAP_H_

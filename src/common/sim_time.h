@@ -1,0 +1,33 @@
+// Simulated-time representation used throughout the discrete-event engine.
+#ifndef SCOOP_COMMON_SIM_TIME_H_
+#define SCOOP_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace scoop {
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = int64_t;
+
+/// One microsecond.
+inline constexpr SimTime kMicrosecond = 1;
+/// One millisecond in SimTime units.
+inline constexpr SimTime kMillisecond = 1000;
+/// One second in SimTime units.
+inline constexpr SimTime kSecond = 1000 * 1000;
+/// One minute in SimTime units.
+inline constexpr SimTime kMinute = 60 * kSecond;
+
+/// Converts (possibly fractional) seconds to SimTime.
+constexpr SimTime Seconds(double s) { return static_cast<SimTime>(s * kSecond); }
+/// Converts milliseconds to SimTime.
+constexpr SimTime Millis(int64_t ms) { return ms * kMillisecond; }
+/// Converts minutes to SimTime.
+constexpr SimTime Minutes(int64_t m) { return m * kMinute; }
+
+/// Converts SimTime to (fractional) seconds, for reporting.
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_SIM_TIME_H_

@@ -1,0 +1,37 @@
+// Fundamental identifier and value types shared by every Scoop module.
+#ifndef SCOOP_COMMON_TYPES_H_
+#define SCOOP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace scoop {
+
+/// Identifier of a node in the network. The basestation is a regular node
+/// (conventionally id 0). The paper's query bitmap caps deployments at 128
+/// nodes; `kMaxNodes` mirrors that limit.
+using NodeId = uint16_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNodeId = std::numeric_limits<NodeId>::max();
+
+/// Upper bound on network size imposed by the query-packet bitmap (§5.5).
+inline constexpr int kMaxNodes = 128;
+
+/// A sensor reading value. The paper indexes integer attribute values
+/// (12-bit ADC readings, vibration classes, etc.).
+using Value = int32_t;
+
+/// Identifier of an indexed attribute (temperature, light, ...).
+using AttrId = uint8_t;
+
+/// Version number of a storage index. Monotonically increasing; nodes prefer
+/// the highest id they have fully assembled (§5.3).
+using IndexId = uint32_t;
+
+/// Sentinel meaning "no storage index received yet".
+inline constexpr IndexId kNoIndex = 0;
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_TYPES_H_

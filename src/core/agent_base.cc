@@ -1,0 +1,471 @@
+#include "core/agent_base.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scoop::core {
+
+AgentBase::AgentBase(const AgentConfig& config)
+    : cfg_(config),
+      neighbors_(config.neighbor),
+      tree_(config.self, config.is_base(), config.tree),
+      descendants_(config.descendants),
+      flash_(config.flash),
+      telemetry_(config.telemetry != nullptr ? config.telemetry : &own_telemetry_) {
+  SCOOP_CHECK_GT(cfg_.num_nodes, 0);
+  SCOOP_CHECK_LT(static_cast<int>(cfg_.self), cfg_.num_nodes);
+}
+
+AgentBase::~AgentBase() = default;
+
+void AgentBase::OnBoot(sim::Context& ctx) {
+  ctx_ = &ctx;
+  if (MappingGossipEnabled()) {
+    gossip_ = std::make_unique<trickle::TrickleDriver>(ctx_, cfg_.mapping_trickle,
+                                                       [this] { ShareGossipChunk(); });
+    gossip_->Start();
+  }
+  ScheduleBeaconLoop();
+  ScheduleMaintenanceLoop();
+  OnAgentBoot();
+}
+
+void AgentBase::OnReceive(sim::Context& ctx, const Packet& pkt, const sim::ReceiveInfo& info) {
+  (void)ctx;
+  neighbors_.OnPacketSeen(pkt.hdr.link_src, pkt.hdr.seq, ctx_->now());
+  if (info.duplicate && pkt.hdr.type != PacketType::kBeacon) {
+    return;  // Link-layer retransmission we already processed.
+  }
+  if (cfg_.is_base()) OnPacketAtBase(pkt);
+  switch (pkt.hdr.type) {
+    case PacketType::kBeacon:
+      HandleBeacon(pkt);
+      break;
+    case PacketType::kSummary:
+      MaybeLearnDescendant(pkt);
+      if (cfg_.is_base()) {
+        HandleSummaryAtBase(pkt);
+      } else {
+        SendUp(pkt);  // Relay toward the base.
+      }
+      break;
+    case PacketType::kMapping:
+      HandleMappingPacket(pkt);
+      break;
+    case PacketType::kData:
+      HandleData(pkt);
+      break;
+    case PacketType::kQuery:
+      HandleQueryPacket(pkt);
+      break;
+    case PacketType::kReply:
+      MaybeLearnDescendant(pkt);
+      HandleReplyPacket(pkt);
+      break;
+  }
+}
+
+void AgentBase::OnSnoop(sim::Context& ctx, const Packet& pkt) {
+  (void)ctx;
+  // Promiscuous listening feeds the link estimator (§5.2).
+  neighbors_.OnPacketSeen(pkt.hdr.link_src, pkt.hdr.seq, ctx_->now());
+}
+
+void AgentBase::OnSendDone(sim::Context& ctx, const Packet& pkt, bool success) {
+  (void)ctx;
+  if (success) return;
+  if (pkt.hdr.type == PacketType::kData) {
+    const DataPayload& d = pkt.As<DataPayload>();
+    // Last-ditch fallback (§5.4 discussion): if the failed hop was a
+    // shortcut or a downward branch, fall back to the parent path; data
+    // that cannot go anywhere is stored here rather than dropped when
+    // possible.
+    if (!cfg_.is_base() && tree_.parent() != kInvalidNodeId &&
+        pkt.hdr.link_dst != tree_.parent()) {
+      Packet retry = pkt;
+      retry.hdr.link_dst = tree_.parent();
+      ctx_->Unicast(tree_.parent(), std::move(retry));
+      return;
+    }
+    if (cfg_.is_base()) {
+      StoreReadings(d, StoreClass::kBaseFallback);
+      return;
+    }
+    telemetry_->readings_lost += d.readings.size();
+    return;
+  }
+  OnAgentSendFailed(pkt);
+}
+
+// ---------------------------------------------------------------------------
+// Tree maintenance
+// ---------------------------------------------------------------------------
+
+void AgentBase::ScheduleBeaconLoop() {
+  SimTime jitter = ctx_->rng().UniformInt(cfg_.beacon_interval / 2,
+                                          cfg_.beacon_interval * 3 / 2);
+  ctx_->Schedule(jitter, [this] {
+    SendBeacon();
+    ScheduleBeaconLoop();
+  });
+}
+
+void AgentBase::SendBeacon() {
+  tree_.MaybeTimeoutParent(ctx_->now());
+  BeaconPayload beacon = tree_.MakeBeacon();
+  // Tell neighbors how well we hear them (bidirectional link estimation).
+  beacon.link_report = neighbors_.BestNeighbors(cfg_.beacon_link_report_size);
+  ctx_->Broadcast(MakeFromSelf(std::move(beacon)));
+}
+
+void AgentBase::ScheduleMaintenanceLoop() {
+  ctx_->Schedule(cfg_.maintenance_interval, [this] {
+    neighbors_.EvictStale(ctx_->now());
+    descendants_.EvictStale(ctx_->now());
+    ScheduleMaintenanceLoop();
+  });
+}
+
+void AgentBase::HandleBeacon(const Packet& pkt) {
+  const BeaconPayload& beacon = pkt.As<BeaconPayload>();
+  for (const NeighborEntry& entry : beacon.link_report) {
+    if (entry.id == cfg_.self) {
+      neighbors_.OnReverseReport(pkt.hdr.link_src,
+                                 static_cast<double>(entry.quality_x255) / 255.0);
+    }
+  }
+  // Route cost uses the expected per-attempt success of unicasts *toward*
+  // the candidate (outbound data + inbound ACK), not raw inbound quality.
+  tree_.OnBeacon(pkt.hdr.link_src, beacon, neighbors_.UnicastQuality(pkt.hdr.link_src),
+                 ctx_->now());
+}
+
+void AgentBase::MaybeLearnDescendant(const Packet& pkt) {
+  // Summaries and replies only ever travel up the tree, so the origin of
+  // one we receive is a descendant reachable via the link sender (§5.1).
+  if (pkt.hdr.origin == cfg_.self) return;
+  descendants_.Learn(pkt.hdr.origin, pkt.hdr.link_src, ctx_->now());
+  // The origin's parent field additionally identifies direct children.
+  if (pkt.hdr.origin_parent == cfg_.self) {
+    descendants_.Learn(pkt.hdr.origin, pkt.hdr.origin, ctx_->now());
+  }
+}
+
+bool AgentBase::SendUp(Packet pkt) {
+  if (cfg_.is_base()) return false;
+  if (tree_.parent() == kInvalidNodeId) return false;
+  ctx_->Unicast(tree_.parent(), std::move(pkt));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Data path (routing rules 2-6 of §5.4)
+// ---------------------------------------------------------------------------
+
+void AgentBase::HandleData(const Packet& pkt) {
+  RouteData(pkt.As<DataPayload>(), pkt.hdr.origin, pkt.hdr.origin_parent);
+}
+
+void AgentBase::RouteData(DataPayload data, NodeId origin, NodeId origin_parent) {
+  // Telemetry: is this a fresh batch leaving its producer or a relay hop?
+  auto count_tx = [this, origin, &data] {
+    if (origin == cfg_.self) {
+      ++telemetry_->data_packets_originated;
+      telemetry_->readings_sent_remote += data.readings.size();
+    } else {
+      ++telemetry_->data_packets_forwarded;
+    }
+  };
+  // Rule 2 (and the store-local sentinel): this node is the destination.
+  if (data.owner == kStoreLocalOwner) {
+    StoreReadings(data, StoreClass::kOwner);
+    return;
+  }
+  if (data.owner == cfg_.self) {
+    StoreReadings(data, StoreClass::kOwner);
+    return;
+  }
+  // Rule 3: shortcut through the neighbor list, ignoring the tree -- but
+  // only over links good enough that the shortcut actually saves
+  // transmissions (P4).
+  if (cfg_.enable_neighbor_shortcut &&
+      neighbors_.UnicastQuality(data.owner) >= cfg_.shortcut_min_quality) {
+    count_tx();
+    Packet pkt = MakePacket(origin, origin_parent, std::move(data));
+    ctx_->Unicast(pkt.As<DataPayload>().owner, std::move(pkt));
+    return;
+  }
+  // Rule 4: the basestation never routes data back down.
+  if (cfg_.is_base()) {
+    StoreReadings(data, StoreClass::kBaseFallback);
+    return;
+  }
+  // Rule 5: route down a known child branch.
+  if (cfg_.enable_descendant_routing) {
+    std::optional<NodeId> hop = descendants_.NextHop(data.owner);
+    if (hop.has_value() && *hop != cfg_.self) {
+      count_tx();
+      Packet pkt = MakePacket(origin, origin_parent, std::move(data));
+      ctx_->Unicast(*hop, std::move(pkt));
+      return;
+    }
+  }
+  // Rule 6: toward the basestation.
+  if (tree_.parent() != kInvalidNodeId) {
+    count_tx();
+    Packet pkt = MakePacket(origin, origin_parent, std::move(data));
+    ctx_->Unicast(tree_.parent(), std::move(pkt));
+    return;
+  }
+  // No route at all: keep the data rather than dropping it.
+  StoreReadings(data, StoreClass::kLocalNoRoute);
+}
+
+void AgentBase::StoreReadings(const DataPayload& data, StoreClass cls) {
+  for (const Reading& r : data.readings) {
+    flash_.Store(storage::StoredTuple{data.producer, r.value, r.time});
+    ++telemetry_->readings_stored;
+    switch (cls) {
+      case StoreClass::kOwner:
+        ++telemetry_->stored_at_owner;
+        break;
+      case StoreClass::kBaseFallback:
+        ++telemetry_->stored_at_base_fallback;
+        break;
+      case StoreClass::kLocalNoIndex:
+        ++telemetry_->stored_local_no_index;
+        break;
+      case StoreClass::kLocalNoRoute:
+        break;  // Stored, but in no headline category.
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storage-index gossip (§5.3)
+// ---------------------------------------------------------------------------
+
+void AgentBase::KickGossip() {
+  if (gossip_ != nullptr) gossip_->NoteInconsistent();
+}
+
+void AgentBase::ShareGossipChunk() {
+  std::optional<MappingPayload> chunk = index_store_.NextShareChunk();
+  if (!chunk.has_value()) return;
+  chunk->sender_complete = index_store_.assembling_complete();
+  chunk->owned_mask = index_store_.owned_mask();
+  ctx_->Broadcast(MakeFromSelf(std::move(*chunk)));
+}
+
+void AgentBase::HandleMappingPacket(const Packet& pkt) {
+  if (!MappingGossipEnabled()) return;
+  const MappingPayload& chunk = pkt.As<MappingPayload>();
+  IndexStore::ChunkResult result = index_store_.AddChunk(chunk);
+  switch (result) {
+    case IndexStore::ChunkResult::kStale:
+      // The sender lags a version behind: reset Trickle so our newer
+      // chunks spread quickly.
+      gossip_->NoteInconsistent();
+      break;
+    case IndexStore::ChunkResult::kDuplicate:
+      // Suppress only in the healthy steady state: both sides complete.
+      // Hearing a still-assembling neighbor must not quiet us down, but
+      // resetting on every such chunk would storm; our interval is already
+      // short right after a dissemination began.
+      if (index_store_.assembling_complete() && chunk.sender_complete) {
+        gossip_->NoteConsistent();
+      }
+      break;
+    case IndexStore::ChunkResult::kNew:
+      gossip_->NoteInconsistent();
+      break;
+    case IndexStore::ChunkResult::kCompleted:
+      gossip_->NoteInconsistent();
+      OnIndexCompleted();
+      break;
+  }
+  // Nodes still missing chunks keep their Trickle hot so their (incomplete)
+  // broadcasts keep soliciting the missing pieces from neighbors.
+  gossip_->set_hold_at_min(!index_store_.assembling_complete() &&
+                           index_store_.newest_heard() != kNoIndex);
+
+  // Deluge-style repair: a complete node that hears an incomplete neighbor
+  // answers with precisely a chunk the neighbor lacks (rate-limited).
+  if (!chunk.sender_complete && index_store_.assembling_complete() &&
+      chunk.index_id == index_store_.newest_heard() &&
+      ctx_->now() - last_gossip_help_ >= Seconds(2)) {
+    last_gossip_help_ = ctx_->now();
+    for (uint8_t idx = 0; idx < 16; ++idx) {
+      if ((chunk.owned_mask >> idx) & 1u) continue;
+      std::optional<MappingPayload> missing = index_store_.ChunkAt(chunk.index_id, idx);
+      if (!missing.has_value()) continue;
+      missing->sender_complete = true;
+      missing->owned_mask = index_store_.owned_mask();
+      Packet help = MakeFromSelf(std::move(*missing));
+      SimTime jitter = ctx_->rng().UniformInt(Millis(20), Millis(300));
+      ctx_->Schedule(jitter, [this, help] { ctx_->Broadcast(help); });
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query dissemination, replies, and collection (§5.5)
+// ---------------------------------------------------------------------------
+
+bool AgentBase::ShouldRebroadcastQuery(const QueryPayload& query) const {
+  if (cfg_.is_base()) return false;  // The base originated it.
+  for (NodeId target : query.targets.ToVector()) {
+    if (target == cfg_.self) continue;
+    if (descendants_.Contains(target) || neighbors_.Contains(target)) return true;
+  }
+  return false;
+}
+
+void AgentBase::HandleQueryPacket(const Packet& pkt) {
+  const QueryPayload& query = pkt.As<QueryPayload>();
+  QuerySeenState& state = queries_seen_[query.query_id];
+  ++state.heard;
+  if (state.reacted) return;
+  state.reacted = true;
+  if (cfg_.is_base()) return;  // Echo of our own flood.
+
+  if (query.targets.Test(cfg_.self)) {
+    SimTime jitter = ctx_->rng().UniformInt(Millis(50), cfg_.reply_jitter);
+    QueryPayload copy = query;
+    ctx_->Schedule(jitter, [this, copy] { SendQueryReply(copy); });
+  }
+  if (ShouldRebroadcastQuery(query)) {
+    SimTime jitter = ctx_->rng().UniformInt(Millis(10), cfg_.query_rebroadcast_jitter);
+    Packet copy = pkt;  // Keep the base as origin.
+    uint32_t id = query.query_id;
+    ctx_->Schedule(jitter, [this, copy, id] {
+      auto it = queries_seen_.find(id);
+      // Polite gossip: suppress if we heard the query enough times while
+      // waiting (our neighborhood is covered).
+      if (it != queries_seen_.end() && it->second.heard > cfg_.query_redundancy_k) return;
+      ctx_->Broadcast(copy);
+    });
+  }
+}
+
+void AgentBase::SendQueryReply(const QueryPayload& query) {
+  std::vector<ReplyTuple> tuples = flash_.Scan(query);
+  uint16_t total = static_cast<uint16_t>(std::min<size_t>(tuples.size(), 0xFFFF));
+  if (static_cast<int>(tuples.size()) > cfg_.max_reply_tuples) {
+    tuples.resize(static_cast<size_t>(cfg_.max_reply_tuples));
+  }
+  // Chunk to the MTU; nodes reply even when nothing matched (§5.5).
+  const int per_chunk = 9;
+  int num_chunks =
+      std::max(1, (static_cast<int>(tuples.size()) + per_chunk - 1) / per_chunk);
+  for (int c = 0; c < num_chunks; ++c) {
+    ReplyPayload reply;
+    reply.query_id = query.query_id;
+    reply.responder = cfg_.self;
+    reply.chunk_idx = static_cast<uint8_t>(c);
+    reply.num_chunks = static_cast<uint8_t>(num_chunks);
+    reply.total_matches = total;
+    size_t begin = static_cast<size_t>(c) * per_chunk;
+    size_t end = std::min(tuples.size(), begin + per_chunk);
+    reply.tuples.assign(tuples.begin() + static_cast<long>(begin),
+                        tuples.begin() + static_cast<long>(end));
+    // Stagger chunks slightly so they do not collide with each other.
+    SimTime delay = Millis(30) * c;
+    Packet pkt = MakeFromSelf(std::move(reply));
+    ctx_->Schedule(delay, [this, pkt] { SendUp(pkt); });
+  }
+}
+
+void AgentBase::HandleReplyPacket(const Packet& pkt) {
+  if (!cfg_.is_base()) {
+    SendUp(pkt);
+    return;
+  }
+  const ReplyPayload& reply = pkt.As<ReplyPayload>();
+  auto it = pending_.find(reply.query_id);
+  if (it == pending_.end()) return;  // Late reply; query already closed.
+  PendingQuery& pending = it->second;
+  if (!pending.responded.Test(reply.responder)) {
+    pending.responded.Set(reply.responder);
+    ++pending.outcome.responders;
+  }
+  for (const ReplyTuple& t : reply.tuples) pending.outcome.tuples.push_back(t);
+  if (pending.outcome.responders >= pending.outcome.targets) {
+    CloseQuery(reply.query_id);
+  }
+}
+
+uint32_t AgentBase::IssueQueryToTargets(const Query& query,
+                                        const std::vector<NodeId>& targets) {
+  SCOOP_CHECK(cfg_.is_base());
+  SCOOP_CHECK(ctx_ != nullptr);
+  uint32_t id = next_query_id_++;
+
+  QueryPayload payload;
+  payload.query_id = id;
+  payload.attr = query.attr;
+  payload.time_lo = query.time_lo;
+  payload.time_hi = query.time_hi;
+  payload.ranges = query.ranges;
+  for (NodeId t : targets) {
+    if (t != cfg_.base) payload.targets.Set(t);
+  }
+
+  PendingQuery pending;
+  pending.outcome.query_id = id;
+  pending.outcome.query = query;
+  pending.outcome.targets = payload.targets.Count();
+  // The base's own store answers for free (fallback data + values the
+  // index mapped to the base).
+  pending.outcome.tuples = flash_.Scan(payload);
+
+  ++telemetry_->queries_issued;
+  telemetry_->query_targets_total += static_cast<uint64_t>(pending.outcome.targets);
+  queries_seen_[id].reacted = true;  // Ignore echoes of our own flood.
+
+  bool any_targets = !payload.targets.Empty();
+  pending_.emplace(id, std::move(pending));
+  if (!any_targets) {
+    CloseQuery(id);
+    return id;
+  }
+  ctx_->Broadcast(MakeFromSelf(std::move(payload)));
+  ctx_->Schedule(cfg_.query_timeout, [this, id] { CloseQuery(id); });
+  return id;
+}
+
+void AgentBase::CloseQuery(uint32_t query_id) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;  // Already closed.
+  QueryOutcome outcome = std::move(it->second.outcome);
+  pending_.erase(it);
+  outcome.closed = true;
+  outcome.complete = outcome.responders >= outcome.targets;
+  telemetry_->replies_received += static_cast<uint64_t>(outcome.responders);
+  telemetry_->tuples_returned += outcome.tuples.size();
+  auto [done_it, inserted] = done_.emplace(query_id, std::move(outcome));
+  SCOOP_CHECK(inserted);
+  if (on_query_complete) on_query_complete(done_it->second);
+}
+
+uint32_t AgentBase::RecordImmediateOutcome(QueryOutcome outcome) {
+  uint32_t id = next_query_id_++;
+  outcome.query_id = id;
+  outcome.closed = true;
+  outcome.complete = true;
+  ++telemetry_->queries_issued;
+  telemetry_->tuples_returned += outcome.tuples.size();
+  auto [it, inserted] = done_.emplace(id, std::move(outcome));
+  SCOOP_CHECK(inserted);
+  if (on_query_complete) on_query_complete(it->second);
+  return id;
+}
+
+const QueryOutcome* AgentBase::outcome(uint32_t query_id) const {
+  auto it = done_.find(query_id);
+  return it == done_.end() ? nullptr : &it->second;
+}
+
+}  // namespace scoop::core

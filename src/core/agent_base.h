@@ -1,0 +1,187 @@
+// Shared protocol machinery for every agent in a Scoop network: routing-
+// tree maintenance (§5.1), passive neighbor estimation (§5.2), descendants
+// learning (§5.1), query dissemination with the bitmap-filtered "modified
+// Trickle" (§5.5), reply generation and collection, the data routing rules
+// 2-6 of §5.4, and storage-index gossip (§5.3).
+//
+// Policy agents (Scoop, LOCAL, BASE, HASH) subclass this and plug into the
+// virtual hooks.
+#ifndef SCOOP_CORE_AGENT_BASE_H_
+#define SCOOP_CORE_AGENT_BASE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/agent_config.h"
+#include "core/index_store.h"
+#include "core/query.h"
+#include "net/descendants.h"
+#include "net/neighbor_table.h"
+#include "net/routing_tree.h"
+#include "sim/app.h"
+#include "storage/flash_store.h"
+#include "trickle/trickle_driver.h"
+
+namespace scoop::core {
+
+/// Base class for all protocol agents.
+class AgentBase : public sim::App {
+ public:
+  explicit AgentBase(const AgentConfig& config);
+  ~AgentBase() override;
+
+  // --- sim::App (final; subclasses use the protected hooks) ---
+  void OnBoot(sim::Context& ctx) final;
+  void OnReceive(sim::Context& ctx, const Packet& pkt, const sim::ReceiveInfo& info) final;
+  void OnSnoop(sim::Context& ctx, const Packet& pkt) final;
+  void OnSendDone(sim::Context& ctx, const Packet& pkt, bool success) final;
+
+  // --- Introspection (tests, harness, examples) ---
+  const AgentConfig& config() const { return cfg_; }
+  const net::RoutingTree& tree() const { return tree_; }
+  const net::NeighborTable& neighbors() const { return neighbors_; }
+  const net::DescendantsTable& descendants() const { return descendants_; }
+  const storage::FlashStore& flash() const { return flash_; }
+  const IndexStore& index_store() const { return index_store_; }
+
+  // --- Base-side query machinery (usable by any is_base() agent) ---
+
+  /// Sends a query to `targets` (the base's own store is always scanned
+  /// locally as well). Returns the query id. Must only be called on the
+  /// basestation agent.
+  uint32_t IssueQueryToTargets(const Query& query, const std::vector<NodeId>& targets);
+
+  /// Outcome of a closed query; nullptr while pending or unknown.
+  const QueryOutcome* outcome(uint32_t query_id) const;
+
+  /// All closed outcomes (issue order not guaranteed).
+  const std::unordered_map<uint32_t, QueryOutcome>& outcomes() const { return done_; }
+
+  /// Invoked whenever a query closes.
+  std::function<void(const QueryOutcome&)> on_query_complete;
+
+ protected:
+  /// How a batch of readings came to rest (telemetry classification).
+  enum class StoreClass {
+    kOwner,        ///< Stored at the owner the routing target designated.
+    kBaseFallback, ///< Stored at the base because the owner was unreachable.
+    kLocalNoIndex, ///< Stored at the producer: no complete index yet (§5.3).
+    kLocalNoRoute, ///< Stored wherever the packet stalled (no parent).
+  };
+
+  // --- Hooks for policy subclasses ---
+
+  /// Called once after the shared machinery booted.
+  virtual void OnAgentBoot() {}
+
+  /// Handles a data packet addressed to this node. Default: apply routing
+  /// rules 2-6 as-is (no index rewriting).
+  virtual void HandleData(const Packet& pkt);
+
+  /// Called on the basestation when a summary arrives.
+  virtual void HandleSummaryAtBase(const Packet& pkt) { (void)pkt; }
+
+  /// Called on the basestation for every received packet, before dispatch
+  /// (lets it harvest origin/origin_parent tree edges, §5.2).
+  virtual void OnPacketAtBase(const Packet& pkt) { (void)pkt; }
+
+  /// Called when mapping gossip completes assembly of a new index.
+  virtual void OnIndexCompleted() {}
+
+  /// Called when a non-data packet this agent queued failed all
+  /// retransmissions.
+  virtual void OnAgentSendFailed(const Packet& pkt) { (void)pkt; }
+
+  /// Subclasses using storage-index gossip (Scoop node and base) return
+  /// true; mapping packets are then assembled and re-shared via Trickle.
+  virtual bool MappingGossipEnabled() const { return false; }
+
+  // --- Services for subclasses ---
+
+  sim::Context& ctx() { return *ctx_; }
+  metrics::Telemetry& telemetry() { return *telemetry_; }
+  IndexStore& mutable_index_store() { return index_store_; }
+  storage::FlashStore& mutable_flash() { return flash_; }
+
+  /// Unicasts `pkt` to the current parent. Returns false (and drops) when
+  /// there is no route.
+  bool SendUp(Packet pkt);
+
+  /// Applies routing rules 2-6 (§5.4) to a data payload whose owner/sid
+  /// fields are already up to date. `origin`/`origin_parent` identify the
+  /// producer (preserved across forwarding hops).
+  void RouteData(DataPayload data, NodeId origin, NodeId origin_parent);
+
+  /// Stores all readings of `data` in local Flash with telemetry.
+  void StoreReadings(const DataPayload& data, StoreClass cls);
+
+  /// Records a query that was answered without any network traffic (e.g.
+  /// from summaries); assigns an id, closes it, and fires the completion
+  /// callback. Returns the id.
+  uint32_t RecordImmediateOutcome(QueryOutcome outcome);
+
+  /// Resets the mapping-gossip Trickle timer to its fastest interval (used
+  /// by the base after seeding a fresh index).
+  void KickGossip();
+
+  /// Round-trip helper: stamps this node as origin.
+  template <typename P>
+  Packet MakeFromSelf(P payload) {
+    return MakePacket(cfg_.self, tree_.parent(), std::move(payload));
+  }
+
+ private:
+  void HandleBeacon(const Packet& pkt);
+  void HandleQueryPacket(const Packet& pkt);
+  void HandleReplyPacket(const Packet& pkt);
+  void HandleMappingPacket(const Packet& pkt);
+  void MaybeLearnDescendant(const Packet& pkt);
+
+  /// Modified-Trickle forwarding filter (§5.5): worth re-broadcasting only
+  /// if the bitmap intersects the nodes we can plausibly help reach.
+  bool ShouldRebroadcastQuery(const QueryPayload& query) const;
+
+  /// Scans local Flash and sends (possibly chunked) replies up the tree.
+  void SendQueryReply(const QueryPayload& query);
+
+  void CloseQuery(uint32_t query_id);
+
+  void ScheduleBeaconLoop();
+  void ScheduleMaintenanceLoop();
+  void SendBeacon();
+  void ShareGossipChunk();
+
+ protected:
+  AgentConfig cfg_;
+  net::NeighborTable neighbors_;
+  net::RoutingTree tree_;
+  net::DescendantsTable descendants_;
+  storage::FlashStore flash_;
+  IndexStore index_store_;
+  sim::Context* ctx_ = nullptr;
+
+ private:
+  struct QuerySeenState {
+    int heard = 0;
+    bool reacted = false;
+  };
+
+  struct PendingQuery {
+    QueryOutcome outcome;
+    NodeBitmap responded;
+  };
+
+  std::unique_ptr<trickle::TrickleDriver> gossip_;
+  SimTime last_gossip_help_ = -Minutes(1);
+  std::unordered_map<uint32_t, QuerySeenState> queries_seen_;
+  std::unordered_map<uint32_t, PendingQuery> pending_;
+  std::unordered_map<uint32_t, QueryOutcome> done_;
+  uint32_t next_query_id_ = 1;
+  metrics::Telemetry* telemetry_;
+  metrics::Telemetry own_telemetry_;  // Used when config.telemetry is null.
+};
+
+}  // namespace scoop::core
+
+#endif  // SCOOP_CORE_AGENT_BASE_H_

@@ -1,0 +1,52 @@
+#include "core/hash_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scoop::core {
+
+HashModelResult EvaluateHashModel(const HashModelInputs& inputs) {
+  SCOOP_CHECK(inputs.xmits != nullptr);
+  SCOOP_CHECK_GT(inputs.num_nodes, 1);
+  int n = inputs.num_nodes;
+
+  // Mean transmissions from a random producer to a random owner.
+  double sum_pairs = 0;
+  int64_t pairs = 0;
+  for (int p = 0; p < n; ++p) {
+    for (int o = 0; o < n; ++o) {
+      if (p == o) continue;
+      sum_pairs += inputs.xmits->Xmits(static_cast<NodeId>(p), static_cast<NodeId>(o));
+      ++pairs;
+    }
+  }
+  double mean_any_to_any = pairs > 0 ? sum_pairs / static_cast<double>(pairs) : 0.0;
+
+  // Mean transmissions base -> node and node -> base.
+  double sum_to = 0, sum_from = 0;
+  for (int o = 0; o < n; ++o) {
+    if (o == inputs.base) continue;
+    sum_to += inputs.xmits->Xmits(inputs.base, static_cast<NodeId>(o));
+    sum_from += inputs.xmits->Xmits(static_cast<NodeId>(o), inputs.base);
+  }
+  double mean_base_to = sum_to / (n - 1);
+  double mean_to_base = sum_from / (n - 1);
+
+  double seconds = ToSeconds(inputs.active_duration);
+  double total_readings = inputs.readings_per_sec * seconds;
+  double total_queries = inputs.queries_per_sec * seconds;
+
+  // Distinct owners a query of width w touches under uniform hashing.
+  double w = inputs.mean_query_width_values;
+  double distinct_owners = n * (1.0 - std::pow(1.0 - 1.0 / n, w));
+
+  HashModelResult result;
+  result.data_messages = total_readings * mean_any_to_any;
+  result.query_messages = total_queries * distinct_owners * mean_base_to;
+  result.reply_messages = total_queries * distinct_owners * mean_to_base;
+  result.total = result.data_messages + result.query_messages + result.reply_messages;
+  return result;
+}
+
+}  // namespace scoop::core

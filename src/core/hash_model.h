@@ -1,0 +1,55 @@
+// Analytical cost model for the HASH (GHT-style) baseline (§6). The paper
+// had no any-to-any routing layer and evaluated HASH analytically; we do
+// the same: a static uniform hash maps each value to a node, so on average
+// each reading crosses the mean pairwise path, and each query must contact
+// the owners of its value range.
+#ifndef SCOOP_CORE_HASH_MODEL_H_
+#define SCOOP_CORE_HASH_MODEL_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "core/xmits_estimator.h"
+
+namespace scoop::core {
+
+/// Workload parameters the model consumes.
+struct HashModelInputs {
+  /// Pairwise transmission-cost oracle over the *true* topology.
+  const XmitsEstimator* xmits = nullptr;
+  NodeId base = 0;
+  /// Nodes excluding the basestation still count as hash targets; the
+  /// model hashes over all `num_nodes` ids.
+  int num_nodes = 0;
+  /// Total readings produced network-wide per second.
+  double readings_per_sec = 0;
+  /// Queries per second.
+  double queries_per_sec = 0;
+  /// Mean number of distinct values per query (width of the value range).
+  double mean_query_width_values = 0;
+  /// Active experiment duration (after stabilization).
+  SimTime active_duration = 0;
+};
+
+/// Expected message counts for a HASH run.
+struct HashModelResult {
+  double data_messages = 0;
+  double query_messages = 0;
+  double reply_messages = 0;
+  double total = 0;
+};
+
+/// Evaluates the closed-form HASH cost model.
+///
+/// data:    readings * E_{p,o}[xmits(p,o)] -- each reading goes from its
+///          producer to a uniformly random owner (no batching: consecutive
+///          readings hash to unrelated owners).
+/// query:   per query, the queried range hits k = n*(1-(1-1/n)^w) distinct
+///          owners; the base routes one query message to each.
+/// replies: each contacted owner sends one reply back to the base.
+HashModelResult EvaluateHashModel(const HashModelInputs& inputs);
+
+}  // namespace scoop::core
+
+#endif  // SCOOP_CORE_HASH_MODEL_H_

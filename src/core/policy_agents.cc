@@ -1,0 +1,190 @@
+#include "core/policy_agents.h"
+
+#include <set>
+
+#include "common/check.h"
+
+namespace scoop::core {
+
+// ---------------------------------------------------------------------------
+// LOCAL
+// ---------------------------------------------------------------------------
+
+LocalNodeAgent::LocalNodeAgent(const AgentConfig& config) : AgentBase(config) {
+  SCOOP_CHECK(!config.is_base());
+  SCOOP_CHECK(config.sample_fn != nullptr);
+}
+
+void LocalNodeAgent::OnAgentBoot() {
+  SimTime start = cfg_.sampling_start > ctx().now() ? cfg_.sampling_start - ctx().now() : 0;
+  SimTime phase = ctx().rng().UniformInt(0, cfg_.sample_interval - 1);
+  ctx().Schedule(start + phase, [this] { LoopSample(); });
+}
+
+void LocalNodeAgent::LoopSample() {
+  Value v = cfg_.sample_fn(cfg_.self, ctx().now());
+  ++telemetry().readings_produced;
+  DataPayload d;
+  d.attr = cfg_.attr;
+  d.producer = cfg_.self;
+  d.owner = cfg_.self;
+  d.readings.push_back(Reading{v, ctx().now()});
+  StoreReadings(d, StoreClass::kOwner);
+  ctx().Schedule(cfg_.sample_interval, [this] { LoopSample(); });
+}
+
+LocalBaseAgent::LocalBaseAgent(const AgentConfig& config) : AgentBase(config) {
+  SCOOP_CHECK(config.is_base());
+}
+
+uint32_t LocalBaseAgent::IssueQuery(const Query& query) {
+  std::vector<NodeId> all;
+  for (int i = 0; i < cfg_.num_nodes; ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    if (id != cfg_.self) all.push_back(id);
+  }
+  return IssueQueryToTargets(query, all);
+}
+
+// ---------------------------------------------------------------------------
+// BASE (send-to-base)
+// ---------------------------------------------------------------------------
+
+BasePolicyNodeAgent::BasePolicyNodeAgent(const AgentConfig& config) : AgentBase(config) {
+  SCOOP_CHECK(!config.is_base());
+  SCOOP_CHECK(config.sample_fn != nullptr);
+}
+
+void BasePolicyNodeAgent::OnAgentBoot() {
+  SimTime start = cfg_.sampling_start > ctx().now() ? cfg_.sampling_start - ctx().now() : 0;
+  SimTime phase = ctx().rng().UniformInt(0, cfg_.sample_interval - 1);
+  ctx().Schedule(start + phase, [this] { LoopSample(); });
+}
+
+void BasePolicyNodeAgent::LoopSample() {
+  Value v = cfg_.sample_fn(cfg_.self, ctx().now());
+  ++telemetry().readings_produced;
+  DataPayload d;
+  d.attr = cfg_.attr;
+  d.producer = cfg_.self;
+  d.owner = cfg_.base;
+  d.readings.push_back(Reading{v, ctx().now()});
+  // Routing rules degenerate to "up the tree" (with the neighbor shortcut
+  // firing for nodes adjacent to the base).
+  RouteData(std::move(d), cfg_.self, tree_.parent());
+  ctx().Schedule(cfg_.sample_interval, [this] { LoopSample(); });
+}
+
+BasePolicyBaseAgent::BasePolicyBaseAgent(const AgentConfig& config) : AgentBase(config) {
+  SCOOP_CHECK(config.is_base());
+}
+
+uint32_t BasePolicyBaseAgent::IssueQuery(const Query& query) {
+  // All data lives here: answer from local Flash, no messages (§4).
+  QueryPayload probe;
+  probe.attr = query.attr;
+  probe.time_lo = query.time_lo;
+  probe.time_hi = query.time_hi;
+  probe.ranges = query.ranges;
+  QueryOutcome outcome;
+  outcome.query = query;
+  outcome.tuples = mutable_flash().Scan(probe);
+  if (!query.explicit_nodes.empty()) {
+    std::set<NodeId> wanted(query.explicit_nodes.begin(), query.explicit_nodes.end());
+    std::erase_if(outcome.tuples,
+                  [&wanted](const ReplyTuple& t) { return wanted.count(t.producer) == 0; });
+  }
+  if (query.kind != Query::Kind::kTuples && !outcome.tuples.empty()) {
+    Value best = outcome.tuples.front().value;
+    for (const ReplyTuple& t : outcome.tuples) {
+      best = query.kind == Query::Kind::kMax ? std::max(best, t.value)
+                                             : std::min(best, t.value);
+    }
+    outcome.aggregate = best;
+  }
+  return RecordImmediateOutcome(std::move(outcome));
+}
+
+// ---------------------------------------------------------------------------
+// HASH (GHT-style static hashing; simulated variant)
+// ---------------------------------------------------------------------------
+
+NodeId HashOwner(Value v, int num_nodes) {
+  SCOOP_CHECK_GT(num_nodes, 0);
+  // Knuth multiplicative hash over the value.
+  uint32_t h = static_cast<uint32_t>(v) * 2654435761u;
+  return static_cast<NodeId>(h % static_cast<uint32_t>(num_nodes));
+}
+
+HashNodeAgent::HashNodeAgent(const AgentConfig& config) : AgentBase(config) {
+  SCOOP_CHECK(!config.is_base());
+  SCOOP_CHECK(config.sample_fn != nullptr);
+}
+
+void HashNodeAgent::OnAgentBoot() {
+  SimTime start = cfg_.sampling_start > ctx().now() ? cfg_.sampling_start - ctx().now() : 0;
+  SimTime phase = ctx().rng().UniformInt(0, cfg_.sample_interval - 1);
+  ctx().Schedule(start + phase, [this] { LoopSample(); });
+}
+
+void HashNodeAgent::LoopSample() {
+  Value v = cfg_.sample_fn(cfg_.self, ctx().now());
+  ++telemetry().readings_produced;
+  Reading reading{v, ctx().now()};
+  NodeId owner = HashOwner(v, cfg_.num_nodes);
+  if (owner == cfg_.self) {
+    DataPayload d;
+    d.attr = cfg_.attr;
+    d.producer = cfg_.self;
+    d.owner = cfg_.self;
+    d.readings.push_back(reading);
+    StoreReadings(d, StoreClass::kOwner);
+  } else {
+    // Same batching rule as Scoop: consecutive same-owner readings share a
+    // packet (only helps when consecutive values hash alike, e.g. EQUAL).
+    if (batch_.active && batch_.owner != owner) FlushBatch();
+    if (!batch_.active) {
+      batch_.active = true;
+      batch_.owner = owner;
+      batch_.readings.clear();
+    }
+    batch_.readings.push_back(reading);
+    if (static_cast<int>(batch_.readings.size()) >= cfg_.max_batch) FlushBatch();
+  }
+  ctx().Schedule(cfg_.sample_interval, [this] { LoopSample(); });
+}
+
+void HashNodeAgent::FlushBatch() {
+  if (!batch_.active) return;
+  batch_.active = false;
+  DataPayload d;
+  d.attr = cfg_.attr;
+  d.producer = cfg_.self;
+  d.owner = batch_.owner;
+  d.sid = 1;  // The hash "index" is static and version-less.
+  d.readings = std::move(batch_.readings);
+  batch_.readings.clear();
+  RouteData(std::move(d), cfg_.self, tree_.parent());
+}
+
+HashBaseAgent::HashBaseAgent(const AgentConfig& config) : AgentBase(config) {
+  SCOOP_CHECK(config.is_base());
+}
+
+uint32_t HashBaseAgent::IssueQuery(const Query& query) {
+  if (!query.explicit_nodes.empty()) {
+    return IssueQueryToTargets(query, query.explicit_nodes);
+  }
+  std::set<NodeId> owners;
+  std::vector<ValueRange> ranges = query.ranges;
+  if (ranges.empty()) ranges.push_back(cfg_.hash_domain);
+  for (const ValueRange& r : ranges) {
+    for (Value v = r.lo; v <= r.hi; ++v) {
+      NodeId owner = HashOwner(v, cfg_.num_nodes);
+      if (owner != cfg_.self) owners.insert(owner);
+    }
+  }
+  return IssueQueryToTargets(query, {owners.begin(), owners.end()});
+}
+
+}  // namespace scoop::core

@@ -1,0 +1,59 @@
+// User-facing query interface (§3, §5.5): snapshot queries over stored
+// data, by value range and time range, or over an explicit node list.
+#ifndef SCOOP_CORE_QUERY_H_
+#define SCOOP_CORE_QUERY_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "net/wire.h"
+
+namespace scoop::core {
+
+/// A snapshot query issued at the basestation.
+struct Query {
+  /// Aggregates can often be answered from stored summaries without any
+  /// network traffic (§5.5).
+  enum class Kind {
+    kTuples,  ///< Return matching (producer, value, time) tuples.
+    kMax,     ///< Maximum value in the time range.
+    kMin,     ///< Minimum value in the time range.
+  };
+
+  AttrId attr = 0;
+  Kind kind = Kind::kTuples;
+  /// Inclusive time range of interest.
+  SimTime time_lo = 0;
+  SimTime time_hi = 0;
+  /// Value ranges of interest; empty = all values.
+  std::vector<ValueRange> ranges;
+  /// Non-empty: query exactly these nodes instead of consulting the index
+  /// ("a user can query values from one or more specific nodes", §5.5).
+  std::vector<NodeId> explicit_nodes;
+};
+
+/// What became of an issued query.
+struct QueryOutcome {
+  uint32_t query_id = 0;
+  Query query;
+  /// Nodes the basestation asked over the network (excludes its own store).
+  int targets = 0;
+  /// Distinct nodes whose replies arrived before the timeout.
+  int responders = 0;
+  /// Matching tuples collected (network replies + the base's local scan).
+  std::vector<ReplyTuple> tuples;
+  /// True if the answer came entirely from stored summaries (no traffic).
+  bool answered_from_summaries = false;
+  /// Aggregate answer for kMax/kMin queries.
+  std::optional<Value> aggregate;
+  /// True once the query closed (all replies in, or timeout).
+  bool closed = false;
+  /// True if every asked node replied.
+  bool complete = false;
+};
+
+}  // namespace scoop::core
+
+#endif  // SCOOP_CORE_QUERY_H_

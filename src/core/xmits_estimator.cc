@@ -1,0 +1,77 @@
+#include "core/xmits_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace scoop::core {
+
+XmitsEstimator::XmitsEstimator(int num_nodes, const XmitsOptions& options)
+    : num_nodes_(num_nodes), options_(options), edges_(static_cast<size_t>(num_nodes)) {
+  SCOOP_CHECK_GT(num_nodes, 0);
+}
+
+void XmitsEstimator::Clear() {
+  for (auto& e : edges_) e.clear();
+  built_ = false;
+}
+
+void XmitsEstimator::AddLink(NodeId from, NodeId to, double quality) {
+  SCOOP_CHECK_LT(static_cast<int>(from), num_nodes_);
+  SCOOP_CHECK_LT(static_cast<int>(to), num_nodes_);
+  if (from == to) return;
+  if (quality < options_.min_quality) return;
+  double etx = std::min(1.0 / quality, options_.max_link_etx);
+  auto [it, inserted] = edges_[from].try_emplace(to, etx);
+  if (!inserted) it->second = std::min(it->second, etx);  // Keep the best report.
+  built_ = false;
+}
+
+void XmitsEstimator::AddTreeEdge(NodeId node, NodeId parent, double assumed_quality) {
+  if (node == parent) return;
+  if (static_cast<int>(node) >= num_nodes_ || static_cast<int>(parent) >= num_nodes_) return;
+  double etx = std::min(1.0 / assumed_quality, options_.max_link_etx);
+  edges_[node].try_emplace(parent, etx);   // Do not overwrite measured links.
+  edges_[parent].try_emplace(node, etx);
+  built_ = false;
+}
+
+void XmitsEstimator::Build() {
+  dist_.assign(static_cast<size_t>(num_nodes_),
+               std::vector<double>(static_cast<size_t>(num_nodes_),
+                                   std::numeric_limits<double>::infinity()));
+  using Item = std::pair<double, NodeId>;  // (cost, node)
+  for (int s = 0; s < num_nodes_; ++s) {
+    auto& dist = dist_[static_cast<size_t>(s)];
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    dist[static_cast<size_t>(s)] = 0;
+    heap.emplace(0.0, static_cast<NodeId>(s));
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (const auto& [v, w] : edges_[u]) {
+        double nd = d + w;
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          heap.emplace(nd, v);
+        }
+      }
+    }
+  }
+  built_ = true;
+}
+
+double XmitsEstimator::Xmits(NodeId x, NodeId y) const {
+  SCOOP_CHECK(built_);
+  SCOOP_CHECK_LT(static_cast<int>(x), num_nodes_);
+  SCOOP_CHECK_LT(static_cast<int>(y), num_nodes_);
+  if (x == y) return 0.0;
+  double d = dist_[x][y];
+  return std::isinf(d) ? options_.unknown_cost : d;
+}
+
+}  // namespace scoop::core

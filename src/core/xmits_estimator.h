@@ -1,0 +1,71 @@
+// Estimates xmits(x→y) -- the expected number of transmissions to move a
+// packet from x to y (§4 P4, §5.2) -- from the link qualities reported in
+// summary messages and the parent pointers carried in every packet header.
+// All-pairs expected-transmission-count shortest paths via Dijkstra.
+#ifndef SCOOP_CORE_XMITS_ESTIMATOR_H_
+#define SCOOP_CORE_XMITS_ESTIMATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scoop::core {
+
+/// Tunables for XmitsEstimator.
+struct XmitsOptions {
+  /// Links with quality below this are unusable for routing estimates.
+  double min_quality = 0.10;
+  /// Per-hop expected transmissions are capped here (1/q explodes as q→0).
+  double max_link_etx = 8.0;
+  /// Cost charged for pairs with no known path (keeps the optimizer from
+  /// treating unknown nodes as free).
+  double unknown_cost = 12.0;
+};
+
+/// Directed expected-transmissions graph + all-pairs shortest paths.
+class XmitsEstimator {
+ public:
+  explicit XmitsEstimator(int num_nodes, const XmitsOptions& options = {});
+
+  /// Clears all edges (e.g., before re-ingesting fresh statistics).
+  void Clear();
+
+  /// Records that packets sent by `from` reach `to` with probability
+  /// `quality` (as reported in summaries: each node lists the inbound
+  /// quality of its best neighbors).
+  void AddLink(NodeId from, NodeId to, double quality);
+
+  /// Records a routing-tree edge learned from packet headers. Tree links
+  /// are known-usable, so absent better information both directions get a
+  /// conservative default quality.
+  void AddTreeEdge(NodeId node, NodeId parent, double assumed_quality = 0.5);
+
+  /// Computes all-pairs costs. Must be called after mutations and before
+  /// Xmits() queries.
+  void Build();
+
+  /// Expected transmissions x→y along the cheapest known path.
+  double Xmits(NodeId x, NodeId y) const;
+
+  /// Round-trip cost base→o→base used by the query term of Figure 2.
+  double RoundTrip(NodeId base, NodeId o) const {
+    return Xmits(base, o) + Xmits(o, base);
+  }
+
+  int num_nodes() const { return num_nodes_; }
+
+  const XmitsOptions& options() const { return options_; }
+
+ private:
+  int num_nodes_;
+  XmitsOptions options_;
+  // edge_cost_[from] = {(to, etx), ...}
+  std::vector<std::unordered_map<NodeId, double>> edges_;
+  std::vector<std::vector<double>> dist_;
+  bool built_ = false;
+};
+
+}  // namespace scoop::core
+
+#endif  // SCOOP_CORE_XMITS_ESTIMATOR_H_

@@ -1,0 +1,455 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/agent_base.h"
+#include "core/policy_agents.h"
+#include "core/query.h"
+#include "core/scoop_base_agent.h"
+#include "core/scoop_node_agent.h"
+#include "metrics/message_stats.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace scoop::harness {
+
+namespace {
+
+using core::AgentBase;
+using core::AgentConfig;
+using core::Query;
+
+sim::Topology MakeTopology(const ExperimentConfig& config, uint64_t seed) {
+  if (config.preset == TopologyPreset::kTestbed) {
+    sim::TestbedTopologyOptions opts;
+    opts.num_nodes = config.num_nodes;
+    opts.seed = seed;
+    return sim::Topology::MakeTestbed(opts);
+  }
+  sim::RandomTopologyOptions opts;
+  opts.num_nodes = config.num_nodes;
+  opts.seed = seed;
+  return sim::Topology::MakeRandom(opts);
+}
+
+AgentConfig MakeAgentConfig(const ExperimentConfig& config, NodeId self,
+                            metrics::Telemetry* telemetry, workload::DataSource* source) {
+  AgentConfig agent;
+  agent.self = self;
+  agent.base = 0;
+  agent.num_nodes = config.num_nodes;
+  agent.sample_interval = config.sample_interval;
+  agent.summary_interval = config.summary_interval;
+  agent.remap_interval = config.remap_interval;
+  agent.sampling_start = config.stabilization;
+  agent.max_batch = config.max_batch;
+  agent.enable_neighbor_shortcut = config.enable_neighbor_shortcut;
+  agent.enable_descendant_routing = config.enable_descendant_routing;
+  agent.suppression_similarity = config.suppression_similarity;
+  agent.builder = config.builder;
+  agent.hash_domain = source->domain();
+  agent.telemetry = telemetry;
+  agent.sample_fn = [source](NodeId node, SimTime now) { return source->Next(node, now); };
+  return agent;
+}
+
+/// Everything needed to issue queries against whichever base agent the
+/// policy uses.
+struct BaseHandle {
+  AgentBase* agent = nullptr;
+  std::function<uint32_t(const Query&)> issue;
+};
+
+BaseHandle InstallAgents(sim::Network* network, const ExperimentConfig& config,
+                         metrics::Telemetry* telemetry, workload::DataSource* source) {
+  BaseHandle handle;
+  int n = config.num_nodes;
+  switch (config.policy) {
+    case Policy::kScoop: {
+      auto base =
+          std::make_unique<core::ScoopBaseAgent>(MakeAgentConfig(config, 0, telemetry, source));
+      auto* base_ptr = base.get();
+      handle.agent = base_ptr;
+      handle.issue = [base_ptr](const Query& q) { return base_ptr->IssueQuery(q); };
+      network->SetApp(0, std::move(base));
+      for (int i = 1; i < n; ++i) {
+        network->SetApp(static_cast<NodeId>(i),
+                        std::make_unique<core::ScoopNodeAgent>(MakeAgentConfig(
+                            config, static_cast<NodeId>(i), telemetry, source)));
+      }
+      break;
+    }
+    case Policy::kLocal: {
+      auto base =
+          std::make_unique<core::LocalBaseAgent>(MakeAgentConfig(config, 0, telemetry, source));
+      auto* base_ptr = base.get();
+      handle.agent = base_ptr;
+      handle.issue = [base_ptr](const Query& q) { return base_ptr->IssueQuery(q); };
+      network->SetApp(0, std::move(base));
+      for (int i = 1; i < n; ++i) {
+        network->SetApp(static_cast<NodeId>(i),
+                        std::make_unique<core::LocalNodeAgent>(MakeAgentConfig(
+                            config, static_cast<NodeId>(i), telemetry, source)));
+      }
+      break;
+    }
+    case Policy::kBase: {
+      auto base = std::make_unique<core::BasePolicyBaseAgent>(
+          MakeAgentConfig(config, 0, telemetry, source));
+      auto* base_ptr = base.get();
+      handle.agent = base_ptr;
+      handle.issue = [base_ptr](const Query& q) { return base_ptr->IssueQuery(q); };
+      network->SetApp(0, std::move(base));
+      for (int i = 1; i < n; ++i) {
+        network->SetApp(static_cast<NodeId>(i),
+                        std::make_unique<core::BasePolicyNodeAgent>(MakeAgentConfig(
+                            config, static_cast<NodeId>(i), telemetry, source)));
+      }
+      break;
+    }
+    case Policy::kHashSim: {
+      auto base =
+          std::make_unique<core::HashBaseAgent>(MakeAgentConfig(config, 0, telemetry, source));
+      auto* base_ptr = base.get();
+      handle.agent = base_ptr;
+      handle.issue = [base_ptr](const Query& q) { return base_ptr->IssueQuery(q); };
+      network->SetApp(0, std::move(base));
+      for (int i = 1; i < n; ++i) {
+        network->SetApp(static_cast<NodeId>(i),
+                        std::make_unique<core::HashNodeAgent>(MakeAgentConfig(
+                            config, static_cast<NodeId>(i), telemetry, source)));
+      }
+      break;
+    }
+    case Policy::kHashAnalytical:
+      SCOOP_CHECK(false);  // Handled by HashAnalysisAsResult, not simulation.
+  }
+  return handle;
+}
+
+/// Generates the §6 query workload: every query_interval, a value-range
+/// query over 1-5% of the domain, about the recent past.
+class QueryDriver {
+ public:
+  QueryDriver(sim::Network* network, const ExperimentConfig& config, BaseHandle handle,
+              ValueRange domain, uint64_t seed)
+      : network_(network),
+        config_(config),
+        handle_(std::move(handle)),
+        domain_(domain),
+        rng_(MixSeed(seed, 0x9E44)) {}
+
+  void Start() {
+    if (!config_.queries_enabled) return;
+    ScheduleNext(config_.stabilization + config_.query_interval);
+  }
+
+  double AvgPctNodesQueried() const {
+    return issued_ == 0 ? 0.0 : pct_sum_ / static_cast<double>(issued_);
+  }
+
+ private:
+  void ScheduleNext(SimTime at) {
+    if (at > config_.duration - Seconds(2)) return;
+    network_->queue().ScheduleAt(at, [this, at] {
+      IssueOne();
+      ScheduleNext(at + config_.query_interval);
+    });
+  }
+
+  void IssueOne() {
+    SimTime now = network_->now();
+    Query query;
+    query.time_lo = std::max<SimTime>(0, now - config_.query_history_window);
+    query.time_hi = now;
+    if (config_.query_mode == ExperimentConfig::QueryMode::kNodeList) {
+      // §5.5: "a user can query values from one or more specific nodes".
+      int pool = config_.num_nodes - 1;
+      int count = std::clamp(
+          static_cast<int>(std::lround(config_.node_list_fraction * pool)), 1, pool);
+      std::vector<NodeId> all;
+      for (int i = 1; i < config_.num_nodes; ++i) all.push_back(static_cast<NodeId>(i));
+      rng_.Shuffle(all.begin(), all.end());
+      query.explicit_nodes.assign(all.begin(), all.begin() + count);
+    } else {
+      int64_t domain_size = static_cast<int64_t>(domain_.hi) - domain_.lo + 1;
+      double frac =
+          config_.query_width_lo +
+          rng_.UniformDouble() * (config_.query_width_hi - config_.query_width_lo);
+      int64_t width = std::max<int64_t>(1, static_cast<int64_t>(frac * domain_size));
+      int64_t start_max = domain_size - width;
+      Value lo = domain_.lo + static_cast<Value>(rng_.UniformInt(0, start_max));
+      query.ranges.push_back(ValueRange{lo, lo + static_cast<Value>(width) - 1});
+    }
+    uint32_t id = handle_.issue(query);
+    (void)id;
+    ++issued_;
+    // Figure 4's x-axis: how many nodes the planner decided to ask, read
+    // off the telemetry delta this query caused.
+    const metrics::Telemetry* t = handle_.agent->config().telemetry;
+    if (t != nullptr) {
+      double delta = static_cast<double>(t->query_targets_total - last_targets_total_);
+      last_targets_total_ = t->query_targets_total;
+      pct_sum_ += delta / static_cast<double>(config_.num_nodes - 1);
+    }
+  }
+
+  sim::Network* network_;
+  ExperimentConfig config_;
+  BaseHandle handle_;
+  ValueRange domain_;
+  Rng rng_;
+  uint64_t issued_ = 0;
+  double pct_sum_ = 0;
+  uint64_t last_targets_total_ = 0;
+};
+
+}  // namespace
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kScoop:
+      return "scoop";
+    case Policy::kLocal:
+      return "local";
+    case Policy::kBase:
+      return "base";
+    case Policy::kHashAnalytical:
+      return "hash";
+    case Policy::kHashSim:
+      return "hash-sim";
+  }
+  return "?";
+}
+
+ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
+  SCOOP_CHECK(config.policy != Policy::kHashAnalytical);
+  SCOOP_CHECK_GE(config.num_nodes, 2);
+  SCOOP_CHECK_LE(config.num_nodes, kMaxNodes);
+
+  sim::Topology topology = MakeTopology(config, seed);
+  sim::NetworkOptions net_opts;
+  net_opts.seed = seed;
+  sim::Network network(topology, net_opts);
+
+  metrics::MessageStats stats(config.num_nodes);
+  network.set_transmit_observer(
+      [&stats](NodeId src, const Packet& pkt, bool retx) { stats.OnTransmit(src, pkt, retx); });
+  network.set_deliver_observer(
+      [&stats](NodeId dst, const Packet& pkt, bool addressed) {
+        stats.OnDeliver(dst, pkt, addressed);
+      });
+  network.set_drop_observer(
+      [&stats](NodeId src, const Packet& pkt, sim::DropReason) { stats.OnDrop(src, pkt); });
+
+  metrics::Telemetry telemetry;
+  std::unique_ptr<workload::DataSource> source = workload::MakeDataSource(
+      config.source, config.source_options, topology.positions(), seed);
+  BaseHandle handle = InstallAgents(&network, config, &telemetry, source.get());
+
+  QueryDriver queries(&network, config, handle, source->domain(), seed);
+  network.Start();
+  queries.Start();
+
+  // Failure injection: kill a random subset of sensor nodes mid-run.
+  if (config.node_failure_fraction > 0) {
+    Rng failure_rng(MixSeed(seed, 0xDEAD));
+    std::vector<NodeId> victims;
+    for (int i = 1; i < config.num_nodes; ++i) victims.push_back(static_cast<NodeId>(i));
+    failure_rng.Shuffle(victims.begin(), victims.end());
+    int kills = static_cast<int>(config.node_failure_fraction * (config.num_nodes - 1));
+    victims.resize(static_cast<size_t>(std::clamp(kills, 0, config.num_nodes - 1)));
+    network.queue().ScheduleAt(config.failure_time, [&network, victims] {
+      for (NodeId v : victims) network.SetNodeAlive(v, false);
+    });
+  }
+
+  network.RunUntil(config.duration);
+
+  // --- Collect ---
+  ExperimentResult r;
+  for (int t = 0; t < kNumPacketTypes; ++t) {
+    const metrics::TypeCounters& c = stats.ByType(static_cast<PacketType>(t));
+    r.sent_by_type[static_cast<size_t>(t)] = static_cast<double>(c.sent);
+    r.retransmissions += static_cast<double>(c.retransmissions);
+    r.mac_drops += static_cast<double>(c.dropped);
+  }
+  r.total = static_cast<double>(stats.TotalSent());
+  r.total_excl_beacons = static_cast<double>(stats.TotalSentExclBeacons());
+
+  r.storage_success = telemetry.StorageSuccessRate();
+  r.owner_hit_rate = telemetry.OwnerHitRate();
+  r.query_success = telemetry.QuerySuccessRate();
+  r.summary_delivery = telemetry.SummaryDeliveryRate();
+  r.readings_produced = static_cast<double>(telemetry.readings_produced);
+  r.queries_issued = static_cast<double>(telemetry.queries_issued);
+  r.tuples_returned = static_cast<double>(telemetry.tuples_returned);
+  r.indices_built = static_cast<double>(telemetry.indices_built);
+  r.indices_disseminated = static_cast<double>(telemetry.indices_disseminated);
+  r.indices_suppressed = static_cast<double>(telemetry.indices_suppressed);
+  r.avg_pct_nodes_queried = queries.AvgPctNodesQueried();
+
+  if (config.policy == Policy::kScoop) {
+    auto* scoop_base = dynamic_cast<core::ScoopBaseAgent*>(handle.agent);
+    if (scoop_base != nullptr && !scoop_base->index_history().empty()) {
+      const core::StorageIndex& index = scoop_base->index_history().back().index;
+      int64_t base_owned = 0;
+      int64_t domain =
+          static_cast<int64_t>(index.domain_hi()) - index.domain_lo() + 1;
+      for (Value v = index.domain_lo(); v <= index.domain_hi(); ++v) {
+        if (index.Lookup(v) == std::optional<NodeId>(0)) ++base_owned;
+      }
+      r.base_owned_fraction =
+          static_cast<double>(base_owned) / static_cast<double>(domain);
+    }
+  }
+
+  r.root_sent = static_cast<double>(stats.SentBy(0));
+  r.root_received = static_cast<double>(stats.ReceivedBy(0));
+  double sum_sent = 0;
+  uint64_t max_sent = 0;
+  for (int i = 1; i < config.num_nodes; ++i) {
+    uint64_t s = stats.SentBy(static_cast<NodeId>(i));
+    sum_sent += static_cast<double>(s);
+    max_sent = std::max(max_sent, s);
+  }
+  r.avg_node_sent = sum_sent / std::max(1, config.num_nodes - 1);
+  r.max_node_sent = static_cast<double>(max_sent);
+
+  // Energy: radio traffic dominates (§2.1). The lifetime comparison uses
+  // workload bytes (tx + addressed rx, beacons excluded): the always-on
+  // listening cost is identical across policies and would only dilute the
+  // per-policy differences the paper reports.
+  metrics::EnergyModel energy(config.energy);
+  double sum_lifetime = 0;
+  for (int i = 1; i < config.num_nodes; ++i) {
+    double joules = energy.RadioEnergyJ(stats.WorkloadBytesBy(static_cast<NodeId>(i)), 0);
+    sum_lifetime += energy.LifetimeDays(joules, config.duration);
+  }
+  r.avg_node_lifetime_days = sum_lifetime / std::max(1, config.num_nodes - 1);
+  double root_joules = energy.RadioEnergyJ(stats.WorkloadBytesBy(0), 0);
+  r.root_lifetime_days = energy.LifetimeDays(root_joules, config.duration);
+  return r;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  if (config.policy == Policy::kHashAnalytical) return HashAnalysisAsResult(config);
+  SCOOP_CHECK_GE(config.trials, 1);
+  ExperimentResult sum;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    ExperimentResult r = RunTrial(config, MixSeed(config.seed, static_cast<uint64_t>(trial)));
+    for (int t = 0; t < kNumPacketTypes; ++t) {
+      sum.sent_by_type[static_cast<size_t>(t)] += r.sent_by_type[static_cast<size_t>(t)];
+    }
+    sum.total += r.total;
+    sum.total_excl_beacons += r.total_excl_beacons;
+    sum.retransmissions += r.retransmissions;
+    sum.mac_drops += r.mac_drops;
+    sum.storage_success += r.storage_success;
+    sum.owner_hit_rate += r.owner_hit_rate;
+    sum.query_success += r.query_success;
+    sum.summary_delivery += r.summary_delivery;
+    sum.readings_produced += r.readings_produced;
+    sum.queries_issued += r.queries_issued;
+    sum.tuples_returned += r.tuples_returned;
+    sum.indices_built += r.indices_built;
+    sum.indices_disseminated += r.indices_disseminated;
+    sum.indices_suppressed += r.indices_suppressed;
+    sum.base_owned_fraction += r.base_owned_fraction;
+    sum.avg_pct_nodes_queried += r.avg_pct_nodes_queried;
+    sum.root_sent += r.root_sent;
+    sum.root_received += r.root_received;
+    sum.avg_node_sent += r.avg_node_sent;
+    sum.max_node_sent += r.max_node_sent;
+    sum.avg_node_lifetime_days += r.avg_node_lifetime_days;
+    sum.root_lifetime_days += r.root_lifetime_days;
+  }
+  double k = static_cast<double>(config.trials);
+  for (int t = 0; t < kNumPacketTypes; ++t) sum.sent_by_type[static_cast<size_t>(t)] /= k;
+  sum.total /= k;
+  sum.total_excl_beacons /= k;
+  sum.retransmissions /= k;
+  sum.mac_drops /= k;
+  sum.storage_success /= k;
+  sum.owner_hit_rate /= k;
+  sum.query_success /= k;
+  sum.summary_delivery /= k;
+  sum.readings_produced /= k;
+  sum.queries_issued /= k;
+  sum.tuples_returned /= k;
+  sum.indices_built /= k;
+  sum.indices_disseminated /= k;
+  sum.indices_suppressed /= k;
+  sum.base_owned_fraction /= k;
+  sum.avg_pct_nodes_queried /= k;
+  sum.root_sent /= k;
+  sum.root_received /= k;
+  sum.avg_node_sent /= k;
+  sum.max_node_sent /= k;
+  sum.avg_node_lifetime_days /= k;
+  sum.root_lifetime_days /= k;
+  return sum;
+}
+
+core::HashModelResult RunHashAnalysis(const ExperimentConfig& config, uint64_t seed) {
+  sim::Topology topology = MakeTopology(config, seed);
+  core::XmitsEstimator xmits(config.num_nodes);
+  sim::RadioOptions radio;  // For the ACK model, to match the simulated MAC.
+  for (int i = 0; i < config.num_nodes; ++i) {
+    for (int j = 0; j < config.num_nodes; ++j) {
+      if (i == j) continue;
+      // Effective per-attempt success = delivery * ack delivery, matching
+      // what the simulated link layer experiences.
+      double p_fwd = topology.delivery_prob(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      double p_ack = std::pow(topology.delivery_prob(static_cast<NodeId>(j),
+                                                     static_cast<NodeId>(i)),
+                              radio.ack_shortness_exponent);
+      xmits.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(j), p_fwd * p_ack);
+    }
+  }
+  xmits.Build();
+
+  std::unique_ptr<workload::DataSource> source = workload::MakeDataSource(
+      config.source, config.source_options, topology.positions(), seed);
+  ValueRange domain = source->domain();
+  int64_t domain_size = static_cast<int64_t>(domain.hi) - domain.lo + 1;
+
+  core::HashModelInputs inputs;
+  inputs.xmits = &xmits;
+  inputs.base = 0;
+  inputs.num_nodes = config.num_nodes;
+  inputs.readings_per_sec =
+      static_cast<double>(config.num_nodes - 1) / ToSeconds(config.sample_interval);
+  inputs.queries_per_sec =
+      config.queries_enabled ? 1.0 / ToSeconds(config.query_interval) : 0.0;
+  inputs.mean_query_width_values =
+      (config.query_width_lo + config.query_width_hi) / 2.0 *
+      static_cast<double>(domain_size);
+  inputs.active_duration = config.duration - config.stabilization;
+  return core::EvaluateHashModel(inputs);
+}
+
+ExperimentResult HashAnalysisAsResult(const ExperimentConfig& config) {
+  core::HashModelResult sum;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    core::HashModelResult r =
+        RunHashAnalysis(config, MixSeed(config.seed, static_cast<uint64_t>(trial)));
+    sum.data_messages += r.data_messages;
+    sum.query_messages += r.query_messages;
+    sum.reply_messages += r.reply_messages;
+    sum.total += r.total;
+  }
+  double k = static_cast<double>(std::max(1, config.trials));
+  ExperimentResult result;
+  result.sent_by_type[static_cast<size_t>(PacketType::kData)] = sum.data_messages / k;
+  result.sent_by_type[static_cast<size_t>(PacketType::kQuery)] = sum.query_messages / k;
+  result.sent_by_type[static_cast<size_t>(PacketType::kReply)] = sum.reply_messages / k;
+  result.total = sum.total / k;
+  result.total_excl_beacons = sum.total / k;
+  return result;
+}
+
+}  // namespace scoop::harness

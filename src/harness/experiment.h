@@ -1,0 +1,158 @@
+// Experiment harness: assembles a full simulated Scoop/LOCAL/BASE/HASH
+// deployment from an ExperimentConfig, runs it (optionally over several
+// trials), and aggregates the paper's metrics -- message counts by type,
+// success rates, per-node skew, and energy/lifetime estimates. All figure
+// and table benches, the integration tests, and the examples drive this.
+#ifndef SCOOP_HARNESS_EXPERIMENT_H_
+#define SCOOP_HARNESS_EXPERIMENT_H_
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "core/hash_model.h"
+#include "core/index_builder.h"
+#include "metrics/energy_model.h"
+#include "metrics/telemetry.h"
+#include "net/wire.h"
+#include "workload/data_source.h"
+
+namespace scoop::harness {
+
+/// Storage policy under test (§6 systems table).
+enum class Policy {
+  kScoop,           ///< Full Scoop (adaptive index).
+  kLocal,           ///< Store locally, flood queries.
+  kBase,            ///< Send everything to the basestation.
+  kHashAnalytical,  ///< GHT-style hashing, closed-form model (like paper).
+  kHashSim,         ///< GHT-style hashing, fully simulated (extension).
+};
+
+const char* PolicyName(Policy policy);
+
+/// Topology families (§6: 62-node office testbed and TOSSIM topologies).
+enum class TopologyPreset {
+  kTestbed,  ///< Elongated office floor, base near one end.
+  kRandom,   ///< Uniform square area, base in a corner.
+};
+
+/// One experiment specification. Defaults mirror the paper's §6 table.
+struct ExperimentConfig {
+  Policy policy = Policy::kScoop;
+  workload::DataSourceKind source = workload::DataSourceKind::kReal;
+  workload::DataSourceOptions source_options;
+
+  TopologyPreset preset = TopologyPreset::kRandom;
+  int num_nodes = 63;  ///< 62 sensors + 1 basestation.
+
+  SimTime duration = Minutes(40);
+  SimTime stabilization = Minutes(10);
+
+  SimTime sample_interval = Seconds(15);
+  SimTime summary_interval = Seconds(110);
+  SimTime remap_interval = Seconds(240);
+
+  bool queries_enabled = true;
+  SimTime query_interval = Seconds(15);
+  /// Value-range queries (§3 default) or explicit node-list queries (§5.5,
+  /// used by Figure 4's selectivity sweep).
+  enum class QueryMode { kValueRange, kNodeList };
+  QueryMode query_mode = QueryMode::kValueRange;
+  /// Query width as a fraction of the value domain (paper: 1-5%).
+  double query_width_lo = 0.01;
+  double query_width_hi = 0.05;
+  /// kNodeList: fraction of the (non-base) nodes each query names.
+  double node_list_fraction = 0.10;
+  /// Queries ask about this much recent history (§3: snapshot queries over
+  /// recent readings).
+  SimTime query_history_window = Seconds(60);
+
+  int trials = 3;
+  uint64_t seed = 42;
+
+  /// Failure injection: this fraction of non-base nodes loses its radio at
+  /// `failure_time` (0 = no failures). Models the §2.1 observation that
+  /// nodes fail or move out of range mid-deployment.
+  double node_failure_fraction = 0.0;
+  SimTime failure_time = Minutes(20);
+
+  // --- Scoop feature knobs (ablations) ---
+  int max_batch = 5;
+  bool enable_neighbor_shortcut = true;
+  bool enable_descendant_routing = true;
+  double suppression_similarity = 0.90;
+  core::IndexBuilderOptions builder;
+
+  metrics::EnergyOptions energy;
+};
+
+/// Aggregated (trial-averaged) results.
+struct ExperimentResult {
+  /// Transmissions by packet type, including retransmissions.
+  std::array<double, kNumPacketTypes> sent_by_type{};
+  double total = 0;               ///< All transmissions.
+  double total_excl_beacons = 0;  ///< The paper's Figure 3 cost metric.
+  double retransmissions = 0;
+  double mac_drops = 0;
+
+  // Figure 3 breakdown convenience accessors.
+  double data() const { return sent_by_type[static_cast<size_t>(PacketType::kData)]; }
+  double summary() const {
+    return sent_by_type[static_cast<size_t>(PacketType::kSummary)];
+  }
+  double mapping() const {
+    return sent_by_type[static_cast<size_t>(PacketType::kMapping)];
+  }
+  double query_reply() const {
+    return sent_by_type[static_cast<size_t>(PacketType::kQuery)] +
+           sent_by_type[static_cast<size_t>(PacketType::kReply)];
+  }
+
+  // Success metrics (§6 "other experiments").
+  double storage_success = 0;   ///< Stored / produced (paper ~93%).
+  double owner_hit_rate = 0;    ///< Stored at mapped owner (paper ~85%).
+  double query_success = 0;     ///< Replies received / asked (paper ~78%).
+  double summary_delivery = 0;  ///< Summaries reaching base (paper ~60%).
+
+  // Workload volume.
+  double readings_produced = 0;
+  double queries_issued = 0;
+  double tuples_returned = 0;
+  double avg_pct_nodes_queried = 0;  ///< Figure 4 x-axis.
+
+  // Index lifecycle.
+  double indices_built = 0;
+  double indices_disseminated = 0;
+  double indices_suppressed = 0;
+  /// Fraction of the value domain the final index maps to the basestation
+  /// (P2: grows with query pressure). Scoop policy only.
+  double base_owned_fraction = 0;
+
+  // Root skew (§6).
+  double root_sent = 0;
+  double root_received = 0;
+  double avg_node_sent = 0;  ///< Mean over non-root nodes.
+  double max_node_sent = 0;
+
+  // Energy/lifetime (§2.1 model).
+  double avg_node_lifetime_days = 0;
+  double root_lifetime_days = 0;
+};
+
+/// Runs `config.trials` trials (seeds derived from config.seed) and averages.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// Runs a single trial with an explicit seed.
+ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed);
+
+/// Evaluates the paper's analytical HASH model for this workload over the
+/// same topology the simulation would use.
+core::HashModelResult RunHashAnalysis(const ExperimentConfig& config, uint64_t seed);
+
+/// Converts the analytical HASH numbers into an ExperimentResult row so
+/// benches can print all policies uniformly.
+ExperimentResult HashAnalysisAsResult(const ExperimentConfig& config);
+
+}  // namespace scoop::harness
+
+#endif  // SCOOP_HARNESS_EXPERIMENT_H_

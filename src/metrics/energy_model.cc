@@ -1,0 +1,15 @@
+#include "metrics/energy_model.h"
+
+#include <limits>
+
+namespace scoop::metrics {
+
+double EnergyModel::LifetimeDays(double energy_j, SimTime duration) const {
+  if (duration <= 0) return 0.0;
+  double power_w = energy_j / ToSeconds(duration);
+  if (power_w <= 0) return std::numeric_limits<double>::infinity();
+  double lifetime_s = options_.battery_joules / power_w;
+  return lifetime_s / 86400.0;
+}
+
+}  // namespace scoop::metrics

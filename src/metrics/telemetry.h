@@ -1,0 +1,89 @@
+// Application-level success counters, shared by agents and read by the
+// experiment harness: data-path storage outcomes (§5.4: "about 85% of the
+// time the appropriate destination node is found") and query success
+// (§6: ~78% of query results retrieved).
+#ifndef SCOOP_METRICS_TELEMETRY_H_
+#define SCOOP_METRICS_TELEMETRY_H_
+
+#include <cstdint>
+
+namespace scoop::metrics {
+
+/// Shared mutable counters for one simulation run.
+struct Telemetry {
+  // --- Data path ---
+  /// Readings sampled by all nodes.
+  uint64_t readings_produced = 0;
+  /// Readings durably stored anywhere.
+  uint64_t readings_stored = 0;
+  /// ... at the owner the (newest applicable) index designated.
+  uint64_t stored_at_owner = 0;
+  /// ... at the basestation because routing could not find the owner
+  /// (routing rule 4 fallback).
+  uint64_t stored_at_base_fallback = 0;
+  /// ... locally because the node had no complete index yet (§5.3).
+  uint64_t stored_local_no_index = 0;
+  /// Readings lost in transit (MAC drop with no further fallback).
+  uint64_t readings_lost = 0;
+  /// Data packets queued by their producer (batches count once).
+  uint64_t data_packets_originated = 0;
+  /// Data packets relayed by intermediate nodes (per forwarding decision).
+  uint64_t data_packets_forwarded = 0;
+  /// Readings that left their producer over the radio.
+  uint64_t readings_sent_remote = 0;
+
+  // --- Queries ---
+  uint64_t queries_issued = 0;
+  /// Sum over queries of the number of nodes asked.
+  uint64_t query_targets_total = 0;
+  /// Responder answers received at the base (first reply per responder).
+  uint64_t replies_received = 0;
+  /// Tuples returned to the user.
+  uint64_t tuples_returned = 0;
+  /// Queries answered without network traffic, from stored summaries (§5.5).
+  uint64_t queries_answered_from_summaries = 0;
+
+  // --- Index lifecycle (basestation) ---
+  uint64_t indices_built = 0;
+  uint64_t indices_disseminated = 0;
+  /// Rebuilds suppressed because the new index was too similar (§5.3).
+  uint64_t indices_suppressed = 0;
+  uint64_t store_local_decisions = 0;
+
+  // --- Statistics collection ---
+  uint64_t summaries_sent = 0;
+  uint64_t summaries_received_at_base = 0;
+
+  /// Fraction of produced readings that were durably stored.
+  double StorageSuccessRate() const {
+    return readings_produced == 0
+               ? 0.0
+               : static_cast<double>(readings_stored) / readings_produced;
+  }
+
+  /// Fraction of *routed* readings that reached their designated owner
+  /// (§5.4's ~85%). Readings stored locally before the first index existed
+  /// are excluded: they were never routed.
+  double OwnerHitRate() const {
+    uint64_t routed = readings_stored - stored_local_no_index;
+    return routed == 0 ? 0.0 : static_cast<double>(stored_at_owner) / routed;
+  }
+
+  /// Fraction of asked nodes whose replies reached the base.
+  double QuerySuccessRate() const {
+    return query_targets_total == 0
+               ? 0.0
+               : static_cast<double>(replies_received) / query_targets_total;
+  }
+
+  /// Fraction of summaries that survived the trip to the base.
+  double SummaryDeliveryRate() const {
+    return summaries_sent == 0
+               ? 0.0
+               : static_cast<double>(summaries_received_at_base) / summaries_sent;
+  }
+};
+
+}  // namespace scoop::metrics
+
+#endif  // SCOOP_METRICS_TELEMETRY_H_

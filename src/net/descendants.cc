@@ -1,0 +1,66 @@
+#include "net/descendants.h"
+
+#include "common/check.h"
+
+namespace scoop::net {
+
+DescendantsTable::DescendantsTable(const DescendantsOptions& options) : options_(options) {
+  SCOOP_CHECK_GT(options_.capacity, 0);
+}
+
+void DescendantsTable::Learn(NodeId descendant, NodeId via_child, SimTime now) {
+  auto it = entries_.find(descendant);
+  if (it != entries_.end()) {
+    it->second.via_child = via_child;
+    it->second.last_update = now;
+    return;
+  }
+  if (static_cast<int>(entries_.size()) >= options_.capacity) EvictOldest();
+  entries_.emplace(descendant, Entry{via_child, now});
+}
+
+std::optional<NodeId> DescendantsTable::NextHop(NodeId dst) const {
+  auto it = entries_.find(dst);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.via_child;
+}
+
+void DescendantsTable::ForgetChild(NodeId child) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.via_child == child) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DescendantsTable::EvictStale(SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_update > options_.eviction_timeout) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<NodeId> DescendantsTable::Ids() const {
+  std::vector<NodeId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  return out;
+}
+
+void DescendantsTable::EvictOldest() {
+  auto oldest = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (oldest == entries_.end() || it->second.last_update < oldest->second.last_update ||
+        (it->second.last_update == oldest->second.last_update && it->first < oldest->first)) {
+      oldest = it;
+    }
+  }
+  if (oldest != entries_.end()) entries_.erase(oldest);
+}
+
+}  // namespace scoop::net

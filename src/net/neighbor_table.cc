@@ -1,0 +1,142 @@
+#include "net/neighbor_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace scoop::net {
+
+NeighborTable::NeighborTable(const NeighborTableOptions& options) : options_(options) {
+  SCOOP_CHECK_GT(options_.capacity, 0);
+  SCOOP_CHECK_GT(options_.estimation_window, 0);
+}
+
+void NeighborTable::OnPacketSeen(NodeId src, uint16_t seq, SimTime now) {
+  auto it = entries_.find(src);
+  if (it == entries_.end()) {
+    if (static_cast<int>(entries_.size()) >= options_.capacity) EvictWorst();
+    Entry entry;
+    entry.last_seq = seq;
+    entry.window_received = 1;
+    entry.quality = options_.initial_quality;
+    entry.has_estimate = false;
+    entry.last_heard = now;
+    entries_.emplace(src, entry);
+    return;
+  }
+
+  Entry& entry = it->second;
+  entry.last_heard = now;
+  uint16_t gap = static_cast<uint16_t>(seq - entry.last_seq);
+  if (gap == 0) return;  // Link-layer retransmission; not a new packet.
+  entry.last_seq = seq;
+  entry.window_received += 1;
+  // A gap of g means g-1 packets from this sender were missed. Huge gaps
+  // (sender rebooted or we were deaf a long time) are clamped to the window.
+  int missed = std::min<int>(gap - 1, options_.estimation_window);
+  entry.window_missed += missed;
+
+  if (entry.window_received + entry.window_missed >= options_.estimation_window) {
+    double observed = static_cast<double>(entry.window_received) /
+                      (entry.window_received + entry.window_missed);
+    if (entry.has_estimate) {
+      entry.quality =
+          options_.ewma_alpha * observed + (1 - options_.ewma_alpha) * entry.quality;
+    } else {
+      entry.quality = observed;
+      entry.has_estimate = true;
+    }
+    entry.window_received = 0;
+    entry.window_missed = 0;
+  }
+}
+
+void NeighborTable::OnReverseReport(NodeId neighbor, double quality_they_hear_us) {
+  auto it = entries_.find(neighbor);
+  if (it == entries_.end()) return;  // Only track reports from known neighbors.
+  Entry& entry = it->second;
+  if (entry.has_reverse) {
+    entry.reverse_quality = options_.ewma_alpha * quality_they_hear_us +
+                            (1 - options_.ewma_alpha) * entry.reverse_quality;
+  } else {
+    entry.reverse_quality = quality_they_hear_us;
+    entry.has_reverse = true;
+  }
+}
+
+double NeighborTable::Quality(NodeId src) const {
+  auto it = entries_.find(src);
+  return it == entries_.end() ? 0.0 : it->second.quality;
+}
+
+double NeighborTable::OutboundQuality(NodeId dst) const {
+  auto it = entries_.find(dst);
+  if (it == entries_.end()) return 0.0;
+  return it->second.has_reverse ? it->second.reverse_quality : it->second.quality;
+}
+
+double NeighborTable::UnicastQuality(NodeId dst) const {
+  auto it = entries_.find(dst);
+  if (it == entries_.end()) return 0.0;
+  const Entry& e = it->second;
+  double out = e.has_reverse ? e.reverse_quality : e.quality;
+  // The ACK returns on the inbound link; ACK frames are short, so their
+  // loss is sub-linear in the link's packet loss.
+  return out * std::sqrt(std::max(e.quality, 0.0));
+}
+
+std::vector<NeighborEntry> NeighborTable::BestNeighbors(int k) const {
+  std::vector<std::pair<double, NodeId>> ranked;
+  ranked.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    ranked.emplace_back(entry.quality, id);
+  }
+  // Sort by quality descending; break ties by id for determinism.
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (static_cast<int>(ranked.size()) > k) ranked.resize(static_cast<size_t>(k));
+  std::vector<NeighborEntry> out;
+  out.reserve(ranked.size());
+  for (const auto& [quality, id] : ranked) {
+    NeighborEntry e;
+    e.id = id;
+    e.quality_x255 = static_cast<uint8_t>(std::lround(std::clamp(quality, 0.0, 1.0) * 255));
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<NodeId> NeighborTable::Ids() const {
+  std::vector<NodeId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  return out;
+}
+
+void NeighborTable::EvictStale(SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_heard > options_.eviction_timeout) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NeighborTable::EvictWorst() {
+  auto worst = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (worst == entries_.end() || it->second.last_heard < worst->second.last_heard ||
+        (it->second.last_heard == worst->second.last_heard &&
+         it->second.quality < worst->second.quality)) {
+      worst = it;
+    }
+  }
+  if (worst != entries_.end()) entries_.erase(worst);
+}
+
+}  // namespace scoop::net

@@ -1,0 +1,116 @@
+#include "net/routing_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scoop::net {
+
+RoutingTree::RoutingTree(NodeId self, bool is_base, const RoutingTreeOptions& options)
+    : self_(self), is_base_(is_base), options_(options) {
+  if (is_base_) {
+    path_etx_ = 0;
+    depth_ = 0;
+  } else {
+    path_etx_ = std::numeric_limits<double>::infinity();
+    depth_ = 255;
+  }
+}
+
+void RoutingTree::OnBeacon(NodeId from, const BeaconPayload& beacon, double link_quality_in,
+                           SimTime now) {
+  if (is_base_) return;  // The root never selects a parent.
+  if (from == self_) return;
+  // Loop guard: never consider a node that routes through us.
+  if (beacon.parent == self_) {
+    candidates_.erase(from);
+    if (parent_ == from) {
+      parent_ = kInvalidNodeId;
+      ReselectParent(now);
+    }
+    return;
+  }
+  if (beacon.depth >= options_.max_depth) return;
+
+  double quality = std::max(link_quality_in, 0.0);
+  if (quality < options_.min_usable_quality) {
+    // Link too weak to route over; forget the candidate.
+    candidates_.erase(from);
+    if (parent_ == from) {
+      parent_ = kInvalidNodeId;
+      ReselectParent(now);
+    }
+    return;
+  }
+
+  Candidate c;
+  c.advertised_etx = static_cast<double>(beacon.path_etx_x16) / 16.0;
+  c.link_etx = std::min(1.0 / quality, options_.max_link_etx);
+  c.depth = beacon.depth;
+  c.last_heard = now;
+  candidates_[from] = c;
+  ReselectParent(now);
+}
+
+void RoutingTree::MaybeTimeoutParent(SimTime now) {
+  if (is_base_) return;
+  for (auto it = candidates_.begin(); it != candidates_.end();) {
+    if (now - it->second.last_heard > options_.parent_timeout) {
+      if (it->first == parent_) parent_ = kInvalidNodeId;
+      it = candidates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ReselectParent(now);
+}
+
+void RoutingTree::ReselectParent(SimTime now) {
+  (void)now;
+  if (is_base_) return;
+
+  auto best = candidates_.end();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (auto it = candidates_.begin(); it != candidates_.end(); ++it) {
+    double cost = CostThrough(it->second);
+    // Deterministic tie-break on id.
+    if (cost < best_cost || (cost == best_cost && best != candidates_.end() &&
+                             it->first < best->first)) {
+      best_cost = cost;
+      best = it;
+    }
+  }
+
+  if (best == candidates_.end()) {
+    parent_ = kInvalidNodeId;
+    path_etx_ = std::numeric_limits<double>::infinity();
+    depth_ = 255;
+    return;
+  }
+
+  auto current = candidates_.find(parent_);
+  if (current != candidates_.end()) {
+    double current_cost = CostThrough(current->second);
+    // Keep the incumbent unless the challenger is clearly better.
+    if (best->first != parent_ && best_cost >= options_.hysteresis * current_cost) {
+      best = current;
+      best_cost = current_cost;
+    }
+  }
+
+  parent_ = best->first;
+  path_etx_ = best_cost;
+  depth_ = static_cast<uint8_t>(std::min<int>(best->second.depth + 1, 255));
+}
+
+BeaconPayload RoutingTree::MakeBeacon() const {
+  BeaconPayload b;
+  b.parent = parent_;
+  b.depth = depth_;
+  double etx = std::isinf(path_etx_) ? 4095.0 : path_etx_;
+  b.path_etx_x16 = static_cast<uint16_t>(std::min(etx * 16.0, 65535.0));
+  return b;
+}
+
+}  // namespace scoop::net

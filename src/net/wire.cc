@@ -1,0 +1,61 @@
+#include "net/wire.h"
+
+namespace scoop {
+
+const char* PacketTypeName(PacketType type) {
+  switch (type) {
+    case PacketType::kBeacon:
+      return "beacon";
+    case PacketType::kSummary:
+      return "summary";
+    case PacketType::kMapping:
+      return "mapping";
+    case PacketType::kData:
+      return "data";
+    case PacketType::kQuery:
+      return "query";
+    case PacketType::kReply:
+      return "reply";
+  }
+  return "?";
+}
+
+int Packet::WireSize() const {
+  int payload_size = std::visit([](const auto& p) { return p.WireSize(); }, payload);
+  return PacketHeader::kWireSize + payload_size;
+}
+
+namespace {
+
+template <typename P>
+Packet Make(NodeId origin, NodeId origin_parent, PacketType type, P payload) {
+  Packet pkt;
+  pkt.hdr.origin = origin;
+  pkt.hdr.origin_parent = origin_parent;
+  pkt.hdr.type = type;
+  pkt.payload = std::move(payload);
+  return pkt;
+}
+
+}  // namespace
+
+Packet MakePacket(NodeId origin, NodeId origin_parent, BeaconPayload payload) {
+  return Make(origin, origin_parent, PacketType::kBeacon, std::move(payload));
+}
+Packet MakePacket(NodeId origin, NodeId origin_parent, SummaryPayload payload) {
+  return Make(origin, origin_parent, PacketType::kSummary, std::move(payload));
+}
+Packet MakePacket(NodeId origin, NodeId origin_parent, MappingPayload payload) {
+  return Make(origin, origin_parent, PacketType::kMapping, std::move(payload));
+}
+Packet MakePacket(NodeId origin, NodeId origin_parent, DataPayload payload) {
+  return Make(origin, origin_parent, PacketType::kData, std::move(payload));
+}
+Packet MakePacket(NodeId origin, NodeId origin_parent, QueryPayload payload) {
+  return Make(origin, origin_parent, PacketType::kQuery, std::move(payload));
+}
+Packet MakePacket(NodeId origin, NodeId origin_parent, ReplyPayload payload) {
+  return Make(origin, origin_parent, PacketType::kReply, std::move(payload));
+}
+
+}  // namespace scoop

@@ -1,0 +1,285 @@
+// Wire-format definitions: every packet type exchanged in a Scoop network,
+// with byte-accurate size accounting. The radio enforces an MTU, so these
+// sizes are what force storage-index chunking (§5.3) and reply chunking
+// (§5.5), exactly as on real motes.
+//
+// Header layout follows §5.2: every packet carries its origin, the origin's
+// parent (so the basestation can learn the routing tree), and a per-sender
+// monotonically increasing sequence number (so neighbors can estimate link
+// quality by counting gaps while snooping).
+#ifndef SCOOP_NET_WIRE_H_
+#define SCOOP_NET_WIRE_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/node_bitmap.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace scoop {
+
+/// Link-layer destination meaning "all nodes in range".
+inline constexpr NodeId kBroadcastId = 0xFFFE;
+
+/// Discriminates packet payloads; also the unit of message accounting.
+enum class PacketType : uint8_t {
+  kBeacon = 0,   ///< Routing-tree heartbeat (§5.1).
+  kSummary = 1,  ///< Statistics report to the basestation (§5.2).
+  kMapping = 2,  ///< Storage-index chunk disseminated via Trickle (§5.3).
+  kData = 3,     ///< Sensor readings routed to their owner (§5.4).
+  kQuery = 4,    ///< Query disseminated via modified Trickle (§5.5).
+  kReply = 5,    ///< Query answer routed up the tree (§5.5).
+};
+
+/// Number of distinct PacketType values.
+inline constexpr int kNumPacketTypes = 6;
+
+/// Short human-readable name for reports ("data", "summary", ...).
+const char* PacketTypeName(PacketType type);
+
+/// Scoop's custom packet header (§5.2). Link-layer src/dst sit conceptually
+/// below this header; the radio accounts for them separately.
+struct PacketHeader {
+  /// Transmitting node of this link-layer hop (set by the radio).
+  NodeId link_src = kInvalidNodeId;
+  /// Link-layer destination; kBroadcastId for local broadcast.
+  NodeId link_dst = kBroadcastId;
+  /// Node that created the packet.
+  NodeId origin = kInvalidNodeId;
+  /// `origin`'s routing-tree parent at creation time (lets the basestation
+  /// reconstruct tree edges, §5.2).
+  NodeId origin_parent = kInvalidNodeId;
+  /// Per-link-sender monotonically increasing counter; assigned by the radio
+  /// at first transmission and reused verbatim on retransmissions so that
+  /// receivers can both estimate loss and suppress duplicates.
+  uint16_t seq = 0;
+  /// Payload discriminator.
+  PacketType type = PacketType::kBeacon;
+
+  /// Bytes this header occupies on air: origin(2) + origin_parent(2) +
+  /// seq(2) + type(1).
+  static constexpr int kWireSize = 7;
+};
+
+// ---------------------------------------------------------------------------
+// Payloads
+// ---------------------------------------------------------------------------
+
+/// One neighbor observation carried in summaries and beacons (§5.2).
+struct NeighborEntry {
+  NodeId id = kInvalidNodeId;
+  /// Estimated delivery probability of the link neighbor→me, quantized to
+  /// [0,255].
+  uint8_t quality_x255 = 0;
+};
+
+/// Routing-tree heartbeat, broadcast periodically (§5.1). Besides the
+/// route advertisement it carries the sender's inbound link estimates so
+/// neighbors learn how well *their* packets reach the sender (bidirectional
+/// ETX, Woo et al. §2.2 -- with asymmetric links, inbound quality alone
+/// badly mispredicts the cost of transmitting toward a parent).
+struct BeaconPayload {
+  /// Sender's current parent (kInvalidNodeId if none yet).
+  NodeId parent = kInvalidNodeId;
+  /// Sender's path cost to the base in expected transmissions, fixed-point
+  /// x16 (0 for the basestation itself).
+  uint16_t path_etx_x16 = 0;
+  /// Hop count to the base (0 for the basestation).
+  uint8_t depth = 0;
+  /// The sender's inbound quality estimates for its best neighbors.
+  std::vector<NeighborEntry> link_report;
+
+  /// parent(2) + etx(2) + depth(1) + count(1) + entries(3 each).
+  int WireSize() const { return 6 + 3 * static_cast<int>(link_report.size()); }
+};
+
+/// Periodic statistics report from a node to the basestation (§5.2).
+struct SummaryPayload {
+  AttrId attr = 0;
+  /// Readings produced since the previous summary (lets the base estimate
+  /// this node's data rate).
+  uint16_t sample_count = 0;
+  /// Smallest / largest / sum of values in the recent-readings buffer.
+  Value vmin = 0;
+  Value vmax = 0;
+  int64_t sum = 0;
+  /// Equal-width histogram over [vmin, vmax]; kNumBins entries.
+  std::vector<uint16_t> bins;
+  /// The sender's best-connected neighbors, sorted by link quality.
+  std::vector<NeighborEntry> neighbors;
+  /// ID of the last *complete* storage index this node holds (§5.3).
+  IndexId last_index_id = kNoIndex;
+
+  /// attr(1) + count(2) + min(2) + max(2) + sum(4) + sid(4) + nbins(1) +
+  /// bins(2 each) + nnbrs(1) + neighbors(3 each).
+  int WireSize() const {
+    return 17 + 2 * static_cast<int>(bins.size()) + 3 * static_cast<int>(neighbors.size());
+  }
+};
+
+/// One contiguous value range owned by a single node (Figure 1).
+struct RangeEntry {
+  Value lo = 0;  ///< Inclusive lower bound.
+  Value hi = 0;  ///< Inclusive upper bound.
+  NodeId owner = kInvalidNodeId;
+
+  /// lo(2) + hi(2) + owner(2).
+  static constexpr int kWireSize = 6;
+
+  friend bool operator==(const RangeEntry& a, const RangeEntry& b) {
+    return a.lo == b.lo && a.hi == b.hi && a.owner == b.owner;
+  }
+};
+
+/// A chunk of a storage index, disseminated via Trickle (§5.3).
+struct MappingPayload {
+  IndexId index_id = kNoIndex;
+  AttrId attr = 0;
+  /// This chunk's position and the total number of chunks in the index.
+  uint8_t chunk_idx = 0;
+  uint8_t num_chunks = 1;
+  /// Domain bounds of the full index (so nodes can detect coverage).
+  Value domain_lo = 0;
+  Value domain_hi = 0;
+  /// True iff the sender holds every chunk of this index. Broadcasts from
+  /// incomplete senders solicit help from complete neighbors.
+  bool sender_complete = true;
+  /// Bitmap of chunk indices the sender holds (Deluge-style NACK; valid
+  /// for indices of up to 16 chunks, which the MTU guarantees in practice).
+  uint16_t owned_mask = 0;
+  std::vector<RangeEntry> entries;
+
+  /// sid(4) + attr(1) + idx(1) + n(1) + dom(4) + flags(1) + mask(2) +
+  /// entries.
+  int WireSize() const {
+    return 14 + RangeEntry::kWireSize * static_cast<int>(entries.size());
+  }
+};
+
+/// A single timestamped sensor reading.
+struct Reading {
+  Value value = 0;
+  SimTime time = 0;
+
+  /// value(2) + time(4, seconds resolution on the wire).
+  static constexpr int kWireSize = 6;
+
+  friend bool operator==(const Reading& a, const Reading& b) {
+    return a.value == b.value && a.time == b.time;
+  }
+};
+
+/// Batched sensor readings en route from a producer to the owner designated
+/// by the storage index (§5.4). `owner` and `sid` may be rewritten in flight
+/// by nodes holding a newer index (routing rule 1).
+struct DataPayload {
+  AttrId attr = 0;
+  /// Node that produced these readings.
+  NodeId producer = kInvalidNodeId;
+  /// Current believed owner for `readings` (routing destination).
+  NodeId owner = kInvalidNodeId;
+  /// The storage-index version `owner` was looked up in.
+  IndexId sid = kNoIndex;
+  /// Up to the configured batch size (default 5, §5.4).
+  std::vector<Reading> readings;
+
+  /// attr(1) + producer(2) + owner(2) + sid(4) + count(1) + readings.
+  int WireSize() const {
+    return 10 + Reading::kWireSize * static_cast<int>(readings.size());
+  }
+};
+
+/// Inclusive range of attribute values.
+struct ValueRange {
+  Value lo = 0;
+  Value hi = 0;
+
+  /// True iff `v` falls inside the range.
+  bool Contains(Value v) const { return v >= lo && v <= hi; }
+
+  friend bool operator==(const ValueRange& a, const ValueRange& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// A snapshot query (§3, §5.5), disseminated with the modified Trickle.
+struct QueryPayload {
+  uint32_t query_id = 0;
+  AttrId attr = 0;
+  /// Nodes that must answer (the §5.5 header bitmap; caps networks at 128).
+  NodeBitmap targets;
+  /// Time range of interest, inclusive.
+  SimTime time_lo = 0;
+  SimTime time_hi = 0;
+  /// Value ranges of interest; empty means "all values" (pure node query).
+  std::vector<ValueRange> ranges;
+
+  /// id(4) + attr(1) + bitmap(16) + time(8) + nranges(1) + ranges(4 each).
+  int WireSize() const {
+    return 30 + 4 * static_cast<int>(ranges.size());
+  }
+};
+
+/// One matching tuple returned by a queried node.
+struct ReplyTuple {
+  NodeId producer = kInvalidNodeId;
+  Value value = 0;
+  SimTime time = 0;
+
+  /// producer(2) + value(2) + time(4).
+  static constexpr int kWireSize = 8;
+};
+
+/// Answer from one queried node, routed up the tree (§5.5). Nodes reply even
+/// when nothing matched; large answers are split into several reply packets.
+struct ReplyPayload {
+  uint32_t query_id = 0;
+  /// Answering node.
+  NodeId responder = kInvalidNodeId;
+  uint8_t chunk_idx = 0;
+  uint8_t num_chunks = 1;
+  /// Total matches at the responder (across all chunks).
+  uint16_t total_matches = 0;
+  std::vector<ReplyTuple> tuples;
+
+  /// id(4) + responder(2) + idx(1) + n(1) + total(2) + count(1) + tuples.
+  int WireSize() const {
+    return 11 + ReplyTuple::kWireSize * static_cast<int>(tuples.size());
+  }
+};
+
+/// A packet: Scoop header + one typed payload.
+struct Packet {
+  PacketHeader hdr;
+  std::variant<BeaconPayload, SummaryPayload, MappingPayload, DataPayload, QueryPayload,
+               ReplyPayload>
+      payload;
+
+  /// Total bytes above the link layer.
+  int WireSize() const;
+
+  /// Convenience accessors; caller must know the type (checked).
+  template <typename T>
+  const T& As() const {
+    return std::get<T>(payload);
+  }
+  template <typename T>
+  T& As() {
+    return std::get<T>(payload);
+  }
+};
+
+/// Builds a packet of the right PacketType for `payload`, stamping origin
+/// and origin_parent.
+Packet MakePacket(NodeId origin, NodeId origin_parent, BeaconPayload payload);
+Packet MakePacket(NodeId origin, NodeId origin_parent, SummaryPayload payload);
+Packet MakePacket(NodeId origin, NodeId origin_parent, MappingPayload payload);
+Packet MakePacket(NodeId origin, NodeId origin_parent, DataPayload payload);
+Packet MakePacket(NodeId origin, NodeId origin_parent, QueryPayload payload);
+Packet MakePacket(NodeId origin, NodeId origin_parent, ReplyPayload payload);
+
+}  // namespace scoop
+
+#endif  // SCOOP_NET_WIRE_H_

@@ -1,0 +1,89 @@
+// The interface between protocol code and the simulated node it runs on.
+// Protocol agents implement `App`; the simulator hands them a `Context`
+// giving access to the radio, timers, and per-node randomness.
+#ifndef SCOOP_SIM_APP_H_
+#define SCOOP_SIM_APP_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "net/wire.h"
+#include "sim/event_queue.h"
+#include "sim/radio_options.h"
+
+namespace scoop::sim {
+
+/// Metadata accompanying a received packet.
+struct ReceiveInfo {
+  /// True if the packet was unicast to this node or broadcast; false never
+  /// reaches OnReceive (overheard unicasts go to OnSnoop).
+  bool addressed_to_me = true;
+  /// True if this (link_src, seq) was already delivered -- a link-layer
+  /// retransmission whose ACK was lost. Data paths should ignore duplicates;
+  /// link estimators may still count them.
+  bool duplicate = false;
+};
+
+/// Services a node's protocol code can use. Implemented by the simulator;
+/// unit tests can provide fakes.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// This node's id.
+  virtual NodeId self() const = 0;
+
+  /// Current simulated time.
+  virtual SimTime now() const = 0;
+
+  /// This node's deterministic random stream.
+  virtual Rng& rng() = 0;
+
+  /// Queues `pkt` for local broadcast (no link-layer ACK).
+  virtual void Broadcast(Packet pkt) = 0;
+
+  /// Queues `pkt` for unicast to `dst` with link-layer ACK + retransmit.
+  virtual void Unicast(NodeId dst, Packet pkt) = 0;
+
+  /// Runs `fn` after `delay`; returns a handle for Cancel().
+  virtual EventId Schedule(SimTime delay, std::function<void()> fn) = 0;
+
+  /// Cancels a pending Schedule() callback.
+  virtual void Cancel(EventId id) = 0;
+
+  /// Radio configuration (MTU, bitrate) -- needed for chunk sizing.
+  virtual const RadioOptions& radio_options() const = 0;
+};
+
+/// A protocol stack running on one node.
+class App {
+ public:
+  virtual ~App() = default;
+
+  /// Called once when the node powers up (at a jittered time near t=0).
+  virtual void OnBoot(Context& ctx) = 0;
+
+  /// Called for packets addressed to this node (unicast to it, or broadcast).
+  virtual void OnReceive(Context& ctx, const Packet& pkt, const ReceiveInfo& info) = 0;
+
+  /// Called for overheard unicasts addressed to someone else (promiscuous
+  /// listening; used for link estimation, §5.2).
+  virtual void OnSnoop(Context& ctx, const Packet& pkt) {
+    (void)ctx;
+    (void)pkt;
+  }
+
+  /// Called when a queued packet leaves the MAC: `success` is true for
+  /// broadcasts that made it onto the air and for ACKed unicasts.
+  virtual void OnSendDone(Context& ctx, const Packet& pkt, bool success) {
+    (void)ctx;
+    (void)pkt;
+    (void)success;
+  }
+};
+
+}  // namespace scoop::sim
+
+#endif  // SCOOP_SIM_APP_H_

@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace scoop::sim {
+
+EventId EventQueue::ScheduleAt(SimTime at, Callback fn) {
+  SCOOP_CHECK_GE(at, now_);
+  SCOOP_CHECK(fn != nullptr);
+  EventId id = next_id_++;
+  heap_.push(HeapEntry{at, id});
+  pending_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  pending_.erase(id);  // Heap entry is skipped lazily in RunOne().
+}
+
+bool EventQueue::RunOne() {
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = pending_.find(top.id);
+    if (it == pending_.end()) continue;  // Cancelled.
+    Callback fn = std::move(it->second);
+    pending_.erase(it);
+    SCOOP_CHECK_GE(top.at, now_);
+    now_ = top.at;
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::RunUntil(SimTime end) {
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    if (top.at > end) break;
+    auto it = pending_.find(top.id);
+    if (it == pending_.end()) {
+      heap_.pop();
+      continue;
+    }
+    RunOne();
+  }
+  SCOOP_CHECK_GE(end, now_);
+  now_ = end;
+}
+
+}  // namespace scoop::sim

@@ -1,0 +1,77 @@
+// Deterministic discrete-event scheduler: the heart of the simulator.
+#ifndef SCOOP_SIM_EVENT_QUEUE_H_
+#define SCOOP_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace scoop::sim {
+
+/// Handle for a scheduled event, usable with Cancel().
+using EventId = uint64_t;
+
+/// Sentinel for "no event".
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Min-heap of timed callbacks. Ties in time are broken by scheduling order,
+/// making runs bit-reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` to run at absolute time `at` (>= now). Returns a handle.
+  EventId ScheduleAt(SimTime at, Callback fn);
+
+  /// Schedules `fn` to run `delay` from now.
+  EventId ScheduleAfter(SimTime delay, Callback fn) { return ScheduleAt(now_ + delay, fn); }
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void Cancel(EventId id);
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// True iff no events are pending.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of pending events.
+  size_t size() const { return pending_.size(); }
+
+  /// Runs the earliest pending event. Returns false when the queue is empty.
+  bool RunOne();
+
+  /// Runs every event with time <= `end`, then advances the clock to `end`.
+  void RunUntil(SimTime end);
+
+  /// Total number of events executed so far (for tests and benchmarks).
+  size_t processed() const { return processed_; }
+
+ private:
+  struct HeapEntry {
+    SimTime at;
+    EventId id;
+    bool operator>(const HeapEntry& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
+  std::unordered_map<EventId, Callback> pending_;
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  size_t processed_ = 0;
+};
+
+}  // namespace scoop::sim
+
+#endif  // SCOOP_SIM_EVENT_QUEUE_H_

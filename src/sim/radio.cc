@@ -1,0 +1,201 @@
+#include "sim/radio.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scoop::sim {
+
+Radio::Radio(const Topology* topology, const RadioOptions& options, EventQueue* queue,
+             uint64_t seed)
+    : topology_(topology),
+      options_(options),
+      queue_(queue),
+      rng_(MixSeed(seed, /*entity_id=*/0xAD10), /*stream=*/0xAD10),
+      mac_(static_cast<size_t>(topology->num_nodes())),
+      alive_(static_cast<size_t>(topology->num_nodes()), true) {
+  SCOOP_CHECK(topology != nullptr);
+  SCOOP_CHECK(queue != nullptr);
+}
+
+void Radio::SetNodeAlive(NodeId id, bool alive) {
+  SCOOP_CHECK_LT(static_cast<size_t>(id), alive_.size());
+  alive_[id] = alive;
+  if (!alive) mac_[id].queue.clear();
+}
+
+bool Radio::IsAlive(NodeId id) const {
+  SCOOP_CHECK_LT(static_cast<size_t>(id), alive_.size());
+  return alive_[id];
+}
+
+SimTime Radio::Airtime(int wire_size) const {
+  double bits = static_cast<double>(options_.link_header_bytes + wire_size) * 8.0;
+  return static_cast<SimTime>(bits / options_.bitrate_bps * kSecond);
+}
+
+void Radio::Send(NodeId src, Packet pkt) {
+  SCOOP_CHECK_LT(src, mac_.size());
+  SCOOP_CHECK_LE(pkt.WireSize(), options_.max_packet_bytes);
+  if (!alive_[src]) return;  // Dead radios transmit nothing.
+  pkt.hdr.link_src = src;
+  OutFrame frame;
+  frame.pkt = std::move(pkt);
+  frame.retries_left =
+      (frame.pkt.hdr.link_dst == kBroadcastId) ? 0 : options_.unicast_retries;
+  mac_[src].queue.push_back(std::move(frame));
+  TryStart(src);
+}
+
+bool Radio::IsIdle(NodeId src) const {
+  SCOOP_CHECK_LT(src, mac_.size());
+  return mac_[src].queue.empty() && !mac_[src].transmitting;
+}
+
+size_t Radio::PendingCount(NodeId src) const {
+  SCOOP_CHECK_LT(src, mac_.size());
+  return mac_[src].queue.size();
+}
+
+bool Radio::ChannelBusy(NodeId node) const {
+  SimTime now = queue_->now();
+  for (const Transmission& tx : history_) {
+    if (tx.end <= now) continue;
+    if (tx.src == node) return true;  // We are mid-transmission ourselves.
+    if (topology_->delivery_prob(tx.src, node) >= options_.interference_threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Radio::Collided(NodeId receiver, NodeId sender, SimTime start, SimTime end) const {
+  if (!options_.model_collisions) return false;
+  double signal = topology_->delivery_prob(sender, receiver);
+  for (const Transmission& tx : history_) {
+    if (tx.src == sender || tx.src == receiver) continue;
+    if (tx.end <= start || tx.start >= end) continue;  // No time overlap.
+    double interference = topology_->delivery_prob(tx.src, receiver);
+    if (interference < options_.interference_threshold) continue;
+    // Capture: a clearly stronger signal survives a weak interferer.
+    if (interference >= options_.capture_ratio * signal) return true;
+  }
+  return false;
+}
+
+bool Radio::WasTransmitting(NodeId node, SimTime start, SimTime end) const {
+  for (const Transmission& tx : history_) {
+    if (tx.src != node) continue;
+    if (tx.end <= start || tx.start >= end) continue;
+    return true;
+  }
+  return false;
+}
+
+void Radio::PruneTransmissions() {
+  // Anything that ended more than one max-length frame ago cannot overlap a
+  // transmission still in flight.
+  SimTime horizon = queue_->now() - 4 * Airtime(options_.max_packet_bytes);
+  std::erase_if(history_, [horizon](const Transmission& tx) { return tx.end < horizon; });
+}
+
+void Radio::TryStart(NodeId src) {
+  MacState& mac = mac_[src];
+  if (mac.transmitting || mac.backoff_scheduled || mac.queue.empty()) return;
+
+  OutFrame& frame = mac.queue.front();
+  if (ChannelBusy(src)) {
+    ++frame.channel_attempts;
+    if (frame.channel_attempts >= options_.max_channel_attempts) {
+      OutFrame dropped = std::move(mac.queue.front());
+      mac.queue.pop_front();
+      if (drop_hook_) drop_hook_(src, dropped.pkt, DropReason::kChannelBusy);
+      if (send_done_hook_) send_done_hook_(src, dropped.pkt, false);
+      TryStart(src);
+      return;
+    }
+    // Exponential backoff: window doubles with each failed attempt.
+    int doublings = std::min(frame.channel_attempts - 1, options_.max_backoff_doublings);
+    SimTime window = options_.backoff_max << doublings;
+    SimTime delay = options_.backoff_min + rng_.UniformInt(0, window - options_.backoff_min);
+    mac.backoff_scheduled = true;
+    queue_->ScheduleAfter(delay, [this, src] {
+      mac_[src].backoff_scheduled = false;
+      TryStart(src);
+    });
+    return;
+  }
+
+  // Channel clear: transmit.
+  if (!frame.seq_assigned) {
+    frame.pkt.hdr.seq = mac.next_seq++;
+    frame.seq_assigned = true;
+  }
+  bool is_retx = frame.retries_left < options_.unicast_retries &&
+                 frame.pkt.hdr.link_dst != kBroadcastId;
+  if (transmit_hook_) transmit_hook_(src, frame.pkt, is_retx);
+
+  SimTime start = queue_->now();
+  SimTime end = start + Airtime(frame.pkt.WireSize());
+  history_.push_back(Transmission{src, start, end});
+  mac.transmitting = true;
+  queue_->ScheduleAt(end, [this, src, start, end] { FinishTx(src, start, end); });
+}
+
+void Radio::FinishTx(NodeId src, SimTime start, SimTime end) {
+  MacState& mac = mac_[src];
+  SCOOP_CHECK(mac.transmitting);
+  mac.transmitting = false;
+  if (mac.queue.empty()) return;  // Node was powered down mid-transmission.
+
+  OutFrame& frame = mac.queue.front();
+  const Packet& pkt = frame.pkt;
+  NodeId dst = pkt.hdr.link_dst;
+  bool dst_received = false;
+
+  int n = topology_->num_nodes();
+  for (NodeId r = 0; r < n; ++r) {
+    if (r == src) continue;
+    if (!alive_[r]) continue;  // Dead radios hear nothing.
+    double p = topology_->delivery_prob(src, r);
+    if (p <= 0.0) continue;
+    if (!rng_.Bernoulli(p)) continue;                   // Link loss.
+    if (WasTransmitting(r, start, end)) continue;       // Half duplex.
+    if (Collided(r, src, start, end)) continue;         // Corrupted.
+    bool addressed = (dst == kBroadcastId) || (dst == r);
+    if (dst == r) dst_received = true;
+    if (deliver_hook_) deliver_hook_(r, pkt, addressed);
+  }
+
+  if (dst == kBroadcastId) {
+    Packet sent = std::move(mac.queue.front().pkt);
+    mac.queue.pop_front();
+    if (send_done_hook_) send_done_hook_(src, sent, true);
+  } else {
+    // Link-layer ACK: modeled as a Bernoulli trial over the reverse link,
+    // boosted because ACK frames are tiny (fewer bits at risk). We neither
+    // charge airtime nor count ACKs as messages, matching mote link ACKs.
+    double p_ack = std::pow(topology_->delivery_prob(dst, src),
+                            options_.ack_shortness_exponent);
+    bool acked = dst_received && rng_.Bernoulli(p_ack);
+    if (acked) {
+      Packet sent = std::move(mac.queue.front().pkt);
+      mac.queue.pop_front();
+      if (send_done_hook_) send_done_hook_(src, sent, true);
+    } else if (frame.retries_left > 0) {
+      --frame.retries_left;
+      frame.channel_attempts = 0;  // Fresh CSMA round for the retransmission.
+    } else {
+      Packet sent = std::move(mac.queue.front().pkt);
+      mac.queue.pop_front();
+      if (drop_hook_) drop_hook_(src, sent, DropReason::kNoAck);
+      if (send_done_hook_) send_done_hook_(src, sent, false);
+    }
+  }
+
+  PruneTransmissions();
+  TryStart(src);
+}
+
+}  // namespace scoop::sim

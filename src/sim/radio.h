@@ -1,0 +1,126 @@
+// Packet-level radio channel: CSMA carrier sense with exponential backoff,
+// airtime-accurate transmissions, Bernoulli per-directed-link loss,
+// collision corruption between overlapping audible transmissions,
+// half-duplex receivers, promiscuous snooping, and link-layer ACK +
+// retransmission for unicasts. This is the TOSSIM-substitute substrate
+// (DESIGN.md S2).
+#ifndef SCOOP_SIM_RADIO_H_
+#define SCOOP_SIM_RADIO_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/wire.h"
+#include "sim/event_queue.h"
+#include "sim/radio_options.h"
+#include "sim/topology.h"
+
+namespace scoop::sim {
+
+/// Why a frame was dropped by the MAC without being delivered.
+enum class DropReason {
+  kChannelBusy,  ///< Exceeded max channel-acquisition attempts.
+  kNoAck,        ///< Unicast exhausted all retransmissions.
+};
+
+/// The shared wireless channel. One instance per simulated network.
+class Radio {
+ public:
+  /// Observer invoked at each transmission start (the paper's cost unit).
+  using TransmitHook = std::function<void(NodeId src, const Packet&, bool retransmission)>;
+  /// Observer for successful packet arrival at a node.
+  using DeliverHook = std::function<void(NodeId receiver, const Packet&, bool addressed)>;
+  /// Observer for frames abandoned by the MAC.
+  using DropHook = std::function<void(NodeId src, const Packet&, DropReason)>;
+  /// Completion callback toward the sending node's app.
+  using SendDoneHook = std::function<void(NodeId src, const Packet&, bool success)>;
+
+  Radio(const Topology* topology, const RadioOptions& options, EventQueue* queue,
+        uint64_t seed);
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  /// Queues `pkt` for transmission by `src`. `pkt.hdr.link_dst` selects
+  /// broadcast (kBroadcastId) vs ACKed unicast. The radio stamps link_src
+  /// and assigns the per-sender sequence number at first transmission.
+  void Send(NodeId src, Packet pkt);
+
+  /// Powers a node's radio down (failure injection, §2.1) or back up. A
+  /// dead node transmits nothing (its queue is dropped) and receives
+  /// nothing; everything else routes around it.
+  void SetNodeAlive(NodeId id, bool alive);
+
+  /// True unless the node was powered down.
+  bool IsAlive(NodeId id) const;
+
+  /// True iff `src` has nothing queued or in flight.
+  bool IsIdle(NodeId src) const;
+
+  /// Frames queued (incl. in flight) at `src`.
+  size_t PendingCount(NodeId src) const;
+
+  void set_transmit_hook(TransmitHook hook) { transmit_hook_ = std::move(hook); }
+  void set_deliver_hook(DeliverHook hook) { deliver_hook_ = std::move(hook); }
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+  void set_send_done_hook(SendDoneHook hook) { send_done_hook_ = std::move(hook); }
+
+  const RadioOptions& options() const { return options_; }
+
+  /// Airtime of a packet of `wire_size` bytes (plus link framing).
+  SimTime Airtime(int wire_size) const;
+
+ private:
+  struct OutFrame {
+    Packet pkt;
+    int retries_left = 0;       // Unicast retransmissions remaining.
+    int channel_attempts = 0;   // CSMA attempts used so far.
+    bool seq_assigned = false;
+  };
+
+  struct MacState {
+    std::deque<OutFrame> queue;
+    bool transmitting = false;
+    bool backoff_scheduled = false;
+    uint16_t next_seq = 1;
+  };
+
+  struct Transmission {
+    NodeId src = kInvalidNodeId;
+    SimTime start = 0;
+    SimTime end = 0;
+  };
+
+  /// Attempts to start transmitting the head frame at `src`.
+  void TryStart(NodeId src);
+  /// Completes a transmission: computes receptions, collisions, ACK.
+  void FinishTx(NodeId src, SimTime start, SimTime end);
+  /// True iff `node` senses an audible transmission in progress.
+  bool ChannelBusy(NodeId node) const;
+  /// True iff reception at `receiver` during [start,end] was corrupted by a
+  /// concurrent audible transmission (other than `sender`'s own).
+  bool Collided(NodeId receiver, NodeId sender, SimTime start, SimTime end) const;
+  /// True iff `node` was itself transmitting at any point in [start,end].
+  bool WasTransmitting(NodeId node, SimTime start, SimTime end) const;
+  /// Removes transmissions that can no longer affect anything.
+  void PruneTransmissions();
+
+  const Topology* topology_;
+  RadioOptions options_;
+  EventQueue* queue_;
+  Rng rng_;
+  std::vector<MacState> mac_;
+  std::vector<bool> alive_;
+  std::vector<Transmission> history_;  // Recent + active transmissions.
+
+  TransmitHook transmit_hook_;
+  DeliverHook deliver_hook_;
+  DropHook drop_hook_;
+  SendDoneHook send_done_hook_;
+};
+
+}  // namespace scoop::sim
+
+#endif  // SCOOP_SIM_RADIO_H_

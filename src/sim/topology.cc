@@ -1,0 +1,210 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+
+namespace scoop::sim {
+
+namespace {
+
+double Distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> Topology::ComputeDelivery(const std::vector<Point>& positions,
+                                                           const PropagationOptions& prop,
+                                                           double range, Rng& rng) {
+  int n = static_cast<int>(positions.size());
+  std::vector<std::vector<double>> delivery(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double d = Distance(positions[i], positions[j]);
+      if (d >= range) continue;
+      double base = prop.max_delivery * (1.0 - std::pow(d / range, prop.falloff_exp));
+      // Directed lognormal shadowing makes links lossy and asymmetric.
+      double noisy = base * std::exp(rng.Gaussian(0.0, prop.shadowing_sigma));
+      noisy = std::min(noisy, prop.max_delivery);
+      delivery[i][j] = (noisy < prop.min_delivery) ? 0.0 : noisy;
+    }
+  }
+  return delivery;
+}
+
+Topology Topology::MakeRandom(const RandomTopologyOptions& options) {
+  SCOOP_CHECK_GE(options.num_nodes, 2);
+  SCOOP_CHECK_LE(options.num_nodes, kMaxNodes);
+  Rng rng(options.seed, /*stream=*/0x70F0);
+  std::vector<Point> positions(static_cast<size_t>(options.num_nodes));
+  // Basestation near a corner of the area, like a sink at the edge of a
+  // deployment.
+  positions[0] = Point{options.area_width * 0.05, options.area_height * 0.05};
+  for (int i = 1; i < options.num_nodes; ++i) {
+    positions[static_cast<size_t>(i)] =
+        Point{rng.UniformDouble() * options.area_width,
+              rng.UniformDouble() * options.area_height};
+  }
+
+  double range = options.radio_range;
+  // Tune range to the requested mean neighbor fraction, then grow it until
+  // the network is connected.
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    Rng link_rng(options.seed, /*stream=*/7 + static_cast<uint64_t>(attempt));
+    auto delivery = ComputeDelivery(positions, options.propagation, range, link_rng);
+    Topology topo(positions, std::move(delivery));
+    bool connected = topo.IsConnected(0.1);
+    if (connected && options.target_neighbor_fraction > 0) {
+      double frac = topo.AvgNeighborFraction(0.1);
+      if (frac > options.target_neighbor_fraction * 1.25) {
+        range *= 0.93;
+        continue;
+      }
+      if (frac < options.target_neighbor_fraction * 0.75) {
+        range *= 1.08;
+        continue;
+      }
+    }
+    if (connected) return topo;
+    range *= 1.12;
+  }
+  // Last resort: huge range; always connected.
+  Rng link_rng(options.seed, /*stream=*/999);
+  auto delivery = ComputeDelivery(positions, options.propagation, range * 4, link_rng);
+  return Topology(positions, std::move(delivery));
+}
+
+Topology Topology::MakeTestbed(const TestbedTopologyOptions& options) {
+  SCOOP_CHECK_GE(options.num_nodes, 2);
+  SCOOP_CHECK_LE(options.num_nodes, kMaxNodes);
+  Rng rng(options.seed, /*stream=*/0xBED);
+  int n = options.num_nodes;
+  std::vector<Point> positions(static_cast<size_t>(n));
+  // Base near the left end of the floor (the paper's PC-attached mote).
+  positions[0] = Point{1.5, options.floor_width / 2};
+  // Motes laid out roughly in a grid down the floor (offices along a
+  // corridor), with placement jitter.
+  int rows = std::max(2, static_cast<int>(std::floor(options.floor_width / 4.5)));
+  int cols = (n - 2 + rows) / rows;
+  double dx = options.floor_length / (cols + 1);
+  double dy = options.floor_width / (rows + 1);
+  for (int i = 1; i < n; ++i) {
+    int k = i - 1;
+    int c = k / rows;
+    int r = k % rows;
+    double jx = rng.Gaussian(0, dx * 0.18);
+    double jy = rng.Gaussian(0, dy * 0.18);
+    positions[static_cast<size_t>(i)] =
+        Point{std::clamp((c + 1) * dx + jx, 0.0, options.floor_length),
+              std::clamp((r + 1) * dy + jy, 0.0, options.floor_width)};
+  }
+
+  double range = options.radio_range;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    Rng link_rng(options.seed, /*stream=*/1000 + static_cast<uint64_t>(attempt));
+    auto delivery = ComputeDelivery(positions, options.propagation, range, link_rng);
+    Topology topo(positions, std::move(delivery));
+    if (topo.IsConnected(0.1)) return topo;
+    range *= 1.12;
+  }
+  Rng link_rng(options.seed, /*stream=*/2999);
+  auto delivery = ComputeDelivery(positions, options.propagation, range * 4, link_rng);
+  return Topology(positions, std::move(delivery));
+}
+
+Topology Topology::FromMatrix(std::vector<Point> positions,
+                              std::vector<std::vector<double>> delivery) {
+  SCOOP_CHECK_EQ(positions.size(), delivery.size());
+  for (const auto& row : delivery) SCOOP_CHECK_EQ(row.size(), positions.size());
+  return Topology(std::move(positions), std::move(delivery));
+}
+
+double Topology::AvgNeighborFraction(double threshold) const {
+  int n = num_nodes();
+  if (n <= 1) return 0;
+  long total = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && delivery_[i][j] >= threshold) ++total;
+    }
+  }
+  return static_cast<double>(total) / (static_cast<double>(n) * (n - 1));
+}
+
+double Topology::MeanAudibleDelivery() const {
+  int n = num_nodes();
+  double sum = 0;
+  long count = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && delivery_[i][j] > 0) {
+        sum += delivery_[i][j];
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+bool Topology::IsConnected(double threshold) const {
+  int n = num_nodes();
+  // `forward` follows edges u->v (base pushes data out); `reverse` follows
+  // v->u (data flows toward the base). Both must span the network.
+  for (bool forward : {true, false}) {
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    std::queue<int> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    int reached = 1;
+    while (!frontier.empty()) {
+      int u = frontier.front();
+      frontier.pop();
+      for (int v = 0; v < n; ++v) {
+        if (seen[static_cast<size_t>(v)]) continue;
+        double p = forward ? delivery_[static_cast<size_t>(u)][static_cast<size_t>(v)]
+                           : delivery_[static_cast<size_t>(v)][static_cast<size_t>(u)];
+        if (p >= threshold) {
+          seen[static_cast<size_t>(v)] = true;
+          ++reached;
+          frontier.push(v);
+        }
+      }
+    }
+    if (reached != n) return false;
+  }
+  return true;
+}
+
+double Topology::MeanHopsFrom(NodeId from, double threshold) const {
+  int n = num_nodes();
+  std::vector<int> dist(static_cast<size_t>(n), -1);
+  std::queue<int> frontier;
+  dist[from] = 0;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    int u = frontier.front();
+    frontier.pop();
+    for (int v = 0; v < n; ++v) {
+      if (dist[static_cast<size_t>(v)] >= 0) continue;
+      if (delivery_[static_cast<size_t>(u)][static_cast<size_t>(v)] >= threshold) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  double sum = 0;
+  int count = 0;
+  for (int v = 0; v < n; ++v) {
+    if (v != from && dist[static_cast<size_t>(v)] > 0) {
+      sum += dist[static_cast<size_t>(v)];
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+}  // namespace scoop::sim

@@ -1,0 +1,121 @@
+// Network topologies: node placement plus a directed per-pair delivery
+// probability matrix. Generators reproduce the radio regime the paper
+// reports for its 62-node testbed and TOSSIM runs (§6): each node hears
+// ~20% of the network, audible pairs lose 25-90% of packets, and links are
+// slightly asymmetric.
+#ifndef SCOOP_SIM_TOPOLOGY_H_
+#define SCOOP_SIM_TOPOLOGY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace scoop::sim {
+
+/// Planar position of a node, in meters.
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+/// Parameters for the synthetic radio propagation model.
+struct PropagationOptions {
+  /// Delivery probability at distance 0 before noise (<1: even adjacent
+  /// motes drop packets, per §6: best pairs still lose ~25%).
+  double max_delivery = 0.78;
+  /// Delivery falls off as (1 - (d/range)^falloff_exp) * max_delivery.
+  double falloff_exp = 2.2;
+  /// Lognormal shadowing: per-directed-link multiplicative noise stddev.
+  double shadowing_sigma = 0.22;
+  /// Links weaker than this are inaudible (prob clamped to 0).
+  double min_delivery = 0.08;
+};
+
+/// Options for the random square-area generator.
+struct RandomTopologyOptions {
+  int num_nodes = 63;  ///< Including the basestation (node 0).
+  double area_width = 55.0;
+  double area_height = 55.0;
+  double radio_range = 18.0;
+  /// If >0, radio_range is auto-tuned so the mean node hears approximately
+  /// this fraction of the network (paper: ~0.2).
+  double target_neighbor_fraction = 0.20;
+  PropagationOptions propagation;
+  uint64_t seed = 1;
+};
+
+/// Options for the "testbed" preset: one elongated office floor with the
+/// basestation near one end (the paper's 62-node indoor deployment).
+struct TestbedTopologyOptions {
+  int num_nodes = 63;  ///< 62 motes + basestation.
+  double floor_length = 90.0;
+  double floor_width = 18.0;
+  double radio_range = 22.0;
+  PropagationOptions propagation;
+  uint64_t seed = 1;
+};
+
+/// Immutable topology: positions and directed delivery probabilities.
+class Topology {
+ public:
+  /// Generates nodes uniformly in a rectangle. Guarantees the audible-link
+  /// graph is connected (re-rolls shadowing with growing range if needed).
+  static Topology MakeRandom(const RandomTopologyOptions& options);
+
+  /// Generates the office-floor testbed preset.
+  static Topology MakeTestbed(const TestbedTopologyOptions& options);
+
+  /// Builds a topology directly from a delivery matrix (tests).
+  static Topology FromMatrix(std::vector<Point> positions,
+                             std::vector<std::vector<double>> delivery);
+
+  /// Number of nodes, including the basestation.
+  int num_nodes() const { return static_cast<int>(positions_.size()); }
+
+  /// The basestation id (always 0 by convention).
+  NodeId base_id() const { return 0; }
+
+  /// Delivery probability of a packet sent by `from` arriving at `to`.
+  double delivery_prob(NodeId from, NodeId to) const {
+    return delivery_[from][to];
+  }
+
+  /// Position of `id` in meters.
+  const Point& position(NodeId id) const { return positions_[id]; }
+
+  /// All node positions.
+  const std::vector<Point>& positions() const { return positions_; }
+
+  /// Average fraction of the network a node can hear (links with delivery
+  /// probability >= threshold).
+  double AvgNeighborFraction(double threshold) const;
+
+  /// Mean delivery probability over audible links (prob > 0).
+  double MeanAudibleDelivery() const;
+
+  /// True iff every node is reachable *from* the base and can reach the
+  /// base over directed links with delivery >= threshold. (Asymmetric
+  /// shadowing can leave clusters with outbound-only links; those are not
+  /// usable networks.)
+  bool IsConnected(double threshold) const;
+
+  /// Mean hop distance from `from` to all other nodes over audible links
+  /// (used by the analytical HASH model).
+  double MeanHopsFrom(NodeId from, double threshold) const;
+
+ private:
+  Topology(std::vector<Point> positions, std::vector<std::vector<double>> delivery)
+      : positions_(std::move(positions)), delivery_(std::move(delivery)) {}
+
+  static std::vector<std::vector<double>> ComputeDelivery(const std::vector<Point>& positions,
+                                                          const PropagationOptions& prop,
+                                                          double range, Rng& rng);
+
+  std::vector<Point> positions_;
+  std::vector<std::vector<double>> delivery_;
+};
+
+}  // namespace scoop::sim
+
+#endif  // SCOOP_SIM_TOPOLOGY_H_

@@ -1,0 +1,70 @@
+#include "storage/histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scoop::storage {
+
+ValueHistogram ValueHistogram::Build(const std::vector<Value>& readings, int num_bins) {
+  SCOOP_CHECK_GT(num_bins, 0);
+  ValueHistogram h;
+  if (readings.empty()) return h;
+  auto [mn, mx] = std::minmax_element(readings.begin(), readings.end());
+  h.vmin_ = *mn;
+  h.vmax_ = *mx;
+  h.bins_.assign(static_cast<size_t>(num_bins), 0);
+  for (Value v : readings) {
+    int bin = h.BinOf(v);
+    SCOOP_CHECK_GE(bin, 0);
+    ++h.bins_[static_cast<size_t>(bin)];
+    ++h.total_;
+  }
+  return h;
+}
+
+ValueHistogram ValueHistogram::FromSummary(Value vmin, Value vmax,
+                                           const std::vector<uint16_t>& bins) {
+  ValueHistogram h;
+  h.vmin_ = vmin;
+  h.vmax_ = vmax;
+  h.bins_.assign(bins.begin(), bins.end());
+  for (uint16_t b : bins) h.total_ += b;
+  return h;
+}
+
+double ValueHistogram::BinWidth() const {
+  if (bins_.empty()) return 1.0;
+  double w = static_cast<double>(vmax_ - vmin_ + 1) / static_cast<double>(bins_.size());
+  // Width below 1 would make the in-bin uniform density exceed 1 per
+  // integer value; the paper's formula implicitly assumes w >= 1.
+  return std::max(w, 1.0);
+}
+
+int ValueHistogram::BinOf(Value v) const {
+  if (bins_.empty() || v < vmin_ || v > vmax_) return -1;
+  double w = BinWidth();
+  int bin = static_cast<int>((v - vmin_) / w);
+  return std::min(bin, static_cast<int>(bins_.size()) - 1);
+}
+
+double ValueHistogram::ProbabilityOf(Value v) const {
+  if (total_ == 0) return 0.0;
+  int bin = BinOf(v);
+  if (bin < 0) return 0.0;
+  double p_bin = static_cast<double>(bins_[static_cast<size_t>(bin)]) /
+                 static_cast<double>(total_);
+  double p_value_given_bin = 1.0 / BinWidth();
+  return p_value_given_bin * p_bin;
+}
+
+std::vector<uint16_t> ValueHistogram::WireBins() const {
+  std::vector<uint16_t> out;
+  out.reserve(bins_.size());
+  for (uint32_t b : bins_) {
+    out.push_back(static_cast<uint16_t>(std::min<uint32_t>(b, 0xFFFF)));
+  }
+  return out;
+}
+
+}  // namespace scoop::storage

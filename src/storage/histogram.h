@@ -1,0 +1,62 @@
+// Equal-width histograms over recent readings, and the paper's estimator
+// P(p produces v) derived from them (§5.2).
+#ifndef SCOOP_STORAGE_HISTOGRAM_H_
+#define SCOOP_STORAGE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scoop::storage {
+
+/// Number of fixed-width bins in a summary histogram (paper: 10).
+inline constexpr int kDefaultNumBins = 10;
+
+/// An equal-width histogram over an inclusive value range [vmin, vmax].
+///
+/// Bin n covers [vmin + n*w, vmin + (n+1)*w) with w = (vmax - vmin + 1) /
+/// nBins (clamped to >= 1 so per-value probabilities stay <= 1).
+class ValueHistogram {
+ public:
+  /// Empty histogram (no observations; every probability is 0).
+  ValueHistogram() = default;
+
+  /// Builds a histogram over `readings` with `num_bins` bins.
+  static ValueHistogram Build(const std::vector<Value>& readings, int num_bins);
+
+  /// Reconstructs a histogram from summary-message fields.
+  static ValueHistogram FromSummary(Value vmin, Value vmax,
+                                    const std::vector<uint16_t>& bins);
+
+  /// The paper's P(p→v): probability that the node this histogram summarizes
+  /// produces value `v`, assuming values within a bin are uniform:
+  ///   P(v) = P(v | bin) * P(bin) = (1/binWidth) * height(bin)/total.
+  /// Returns 0 for v outside [vmin, vmax] or when the histogram is empty.
+  double ProbabilityOf(Value v) const;
+
+  /// Bin index for `v` (clamped to the last bin); -1 when empty/out of range.
+  int BinOf(Value v) const;
+
+  /// Effective bin width w (>= 1).
+  double BinWidth() const;
+
+  bool empty() const { return total_ == 0; }
+  Value vmin() const { return vmin_; }
+  Value vmax() const { return vmax_; }
+  uint64_t total() const { return total_; }
+  const std::vector<uint32_t>& bins() const { return bins_; }
+
+  /// Bin counts quantized for the wire (uint16, saturating).
+  std::vector<uint16_t> WireBins() const;
+
+ private:
+  Value vmin_ = 0;
+  Value vmax_ = 0;
+  std::vector<uint32_t> bins_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace scoop::storage
+
+#endif  // SCOOP_STORAGE_HISTOGRAM_H_

@@ -1,0 +1,31 @@
+// Constructs the periodic summary message of §5.2 from a node's recent
+// readings and neighbor table.
+#ifndef SCOOP_STORAGE_SUMMARY_BUILDER_H_
+#define SCOOP_STORAGE_SUMMARY_BUILDER_H_
+
+#include "net/neighbor_table.h"
+#include "net/wire.h"
+#include "storage/ring_buffer.h"
+
+namespace scoop::storage {
+
+/// Tunables for summary construction.
+struct SummaryBuilderOptions {
+  /// Histogram bins (paper: 10).
+  int num_bins = 10;
+  /// Best-connected neighbors reported (paper: 12).
+  int max_neighbors = 12;
+};
+
+/// Builds a SummaryPayload over the node's recent readings (§5.2). The
+/// histogram, min, max, and sum cover exactly the recent-readings buffer;
+/// `sample_count` is the number of readings produced since the previous
+/// summary (lets the basestation estimate the node's data rate).
+SummaryPayload BuildSummary(AttrId attr, const RingBuffer<Reading>& recent_readings,
+                            uint16_t sample_count, const net::NeighborTable& neighbors,
+                            IndexId last_complete_index,
+                            const SummaryBuilderOptions& options = {});
+
+}  // namespace scoop::storage
+
+#endif  // SCOOP_STORAGE_SUMMARY_BUILDER_H_

@@ -1,0 +1,53 @@
+#include "trickle/trickle_timer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scoop::trickle {
+
+TrickleTimer::TrickleTimer(const TrickleOptions& options, Rng* rng)
+    : options_(options), rng_(rng), tau_(options.tau_min) {
+  SCOOP_CHECK(rng != nullptr);
+  SCOOP_CHECK_GT(options_.tau_min, 0);
+  SCOOP_CHECK_GE(options_.tau_max, options_.tau_min);
+}
+
+SimTime TrickleTimer::BeginInterval(SimTime now) {
+  interval_end_ = now + tau_;
+  heard_consistent_ = 0;
+  phase_ = Phase::kBeforeFire;
+  // Fire point uniformly in [tau/2, tau).
+  SimTime offset = tau_ / 2 + rng_->UniformInt(0, tau_ / 2 - 1);
+  return now + offset;
+}
+
+SimTime TrickleTimer::Start(SimTime now) {
+  tau_ = options_.tau_min;
+  return BeginInterval(now);
+}
+
+TrickleTimer::Action TrickleTimer::OnEvent(SimTime now) {
+  Action action;
+  if (phase_ == Phase::kBeforeFire) {
+    action.should_broadcast = heard_consistent_ < options_.redundancy_k;
+    phase_ = Phase::kAfterFire;
+    action.next_event = interval_end_;
+    return action;
+  }
+  // Interval ended: double tau and open the next interval.
+  tau_ = hold_at_min_ ? options_.tau_min : std::min(tau_ * 2, options_.tau_max);
+  action.should_broadcast = false;
+  action.next_event = BeginInterval(now);
+  return action;
+}
+
+std::optional<SimTime> TrickleTimer::OnInconsistent(SimTime now) {
+  if (tau_ == options_.tau_min && interval_end_ > now) {
+    return std::nullopt;  // Already listening at the fastest rate.
+  }
+  tau_ = options_.tau_min;
+  return BeginInterval(now);
+}
+
+}  // namespace scoop::trickle

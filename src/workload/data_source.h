@@ -1,0 +1,82 @@
+// Sensor-data generators for the five workloads of §6: REAL, UNIQUE,
+// EQUAL, RANDOM, GAUSSIAN.
+//
+// REAL substitutes the Intel Lab light trace (which we cannot ship) with a
+// synthetic trace that reproduces the two properties Scoop exploits in it:
+// per-node temporal stationarity and cross-node spatial correlation of
+// light in one building (see DESIGN.md §2).
+#ifndef SCOOP_WORKLOAD_DATA_SOURCE_H_
+#define SCOOP_WORKLOAD_DATA_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "net/wire.h"
+#include "sim/topology.h"
+
+namespace scoop::workload {
+
+/// The data distributions evaluated in §6.
+enum class DataSourceKind {
+  kReal,      ///< Correlated synthetic light trace (Intel-Lab substitute).
+  kUnique,    ///< Each node always produces its own id.
+  kEqual,     ///< Every node always produces the same constant.
+  kRandom,    ///< Uniform random in [0, 100].
+  kGaussian,  ///< Per-node mean in [0, 100], variance 10.
+};
+
+/// Parses/prints workload names ("real", "unique", ...).
+const char* DataSourceKindName(DataSourceKind kind);
+
+/// Tunables shared by the generators.
+struct DataSourceOptions {
+  /// Domain for RANDOM/EQUAL/GAUSSIAN (paper: [0, 100]).
+  Value domain_lo = 0;
+  Value domain_hi = 100;
+  /// EQUAL's constant.
+  Value equal_value = 42;
+  /// GAUSSIAN per-node variance (paper: 10).
+  double gaussian_variance = 10.0;
+  /// REAL: domain size (paper: V was about 150).
+  Value real_domain_hi = 149;
+  /// REAL: weight of the building-wide shared signal vs node-local offsets.
+  double real_shared_weight = 0.55;
+  /// REAL: spatial correlation length in meters (nearby nodes see similar
+  /// light).
+  double real_correlation_meters = 15.0;
+  /// REAL: stddev of per-reading sensor noise. Light sensors under steady
+  /// illumination report nearly constant quantized values, so this is
+  /// small; Scoop's batching (§5.4) depends on that stability.
+  double real_noise = 0.8;
+};
+
+/// A deterministic per-run generator of sensor readings.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// The next reading produced by `node` at time `now`. Deterministic given
+  /// (seed, node, call sequence).
+  virtual Value Next(NodeId node, SimTime now) = 0;
+
+  /// The attribute's value domain (what the basestation would configure).
+  virtual ValueRange domain() const = 0;
+
+  /// Workload name for reports.
+  virtual const char* name() const = 0;
+};
+
+/// Creates the generator for `kind`. `positions` (from the topology) feed
+/// the REAL trace's spatial correlation; other kinds ignore them.
+std::unique_ptr<DataSource> MakeDataSource(DataSourceKind kind,
+                                           const DataSourceOptions& options,
+                                           const std::vector<sim::Point>& positions,
+                                           uint64_t seed);
+
+}  // namespace scoop::workload
+
+#endif  // SCOOP_WORKLOAD_DATA_SOURCE_H_

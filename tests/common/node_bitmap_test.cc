@@ -1,0 +1,68 @@
+#include "common/node_bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace scoop {
+namespace {
+
+TEST(NodeBitmapTest, StartsEmpty) {
+  NodeBitmap bm;
+  EXPECT_TRUE(bm.Empty());
+  EXPECT_EQ(bm.Count(), 0);
+  for (NodeId id = 0; id < kMaxNodes; ++id) EXPECT_FALSE(bm.Test(id));
+}
+
+TEST(NodeBitmapTest, SetTestClear) {
+  NodeBitmap bm;
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(127);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(127));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_EQ(bm.Count(), 4);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.Count(), 3);
+}
+
+TEST(NodeBitmapTest, TestOutOfRangeIsFalse) {
+  NodeBitmap bm;
+  bm.Set(5);
+  EXPECT_FALSE(bm.Test(kMaxNodes));
+  EXPECT_FALSE(bm.Test(kInvalidNodeId));
+}
+
+TEST(NodeBitmapTest, OfVectorRoundTrip) {
+  std::vector<NodeId> ids = {3, 7, 64, 100};
+  NodeBitmap bm = NodeBitmap::Of(ids);
+  EXPECT_EQ(bm.ToVector(), ids);
+}
+
+TEST(NodeBitmapTest, Intersects) {
+  NodeBitmap a = NodeBitmap::Of({1, 2, 3});
+  NodeBitmap b = NodeBitmap::Of({3, 4});
+  NodeBitmap c = NodeBitmap::Of({70, 80});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(c.Intersects(a));
+  EXPECT_TRUE(c.Intersects(c));
+}
+
+TEST(NodeBitmapTest, UnionWith) {
+  NodeBitmap a = NodeBitmap::Of({1, 2});
+  NodeBitmap b = NodeBitmap::Of({2, 90});
+  a.UnionWith(b);
+  EXPECT_EQ(a.ToVector(), (std::vector<NodeId>{1, 2, 90}));
+}
+
+TEST(NodeBitmapTest, Equality) {
+  EXPECT_EQ(NodeBitmap::Of({5, 6}), NodeBitmap::Of({6, 5}));
+  EXPECT_FALSE(NodeBitmap::Of({5}) == NodeBitmap::Of({6}));
+}
+
+}  // namespace
+}  // namespace scoop

@@ -1,0 +1,137 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scoop {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42, 7);
+  Rng b(42, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(42);
+  Rng b(43);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(42, 1);
+  Rng b(42, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(2);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    int64_t v = rng.UniformInt(10, 15);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 15);
+    ++counts[static_cast<size_t>(v - 10)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(7, 7), 7);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  const int n = 100000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.12);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(v.begin(), v.end());
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), original.begin()));  // Overwhelmingly likely.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(MixSeedTest, DistinctEntities) {
+  EXPECT_NE(MixSeed(1, 1), MixSeed(1, 2));
+  EXPECT_NE(MixSeed(1, 1), MixSeed(2, 1));
+  // Avalanche: flipping one bit of the entity should change many bits.
+  uint64_t a = MixSeed(99, 4);
+  uint64_t b = MixSeed(99, 5);
+  int diff_bits = std::popcount(a ^ b);
+  EXPECT_GT(diff_bits, 16);
+}
+
+}  // namespace
+}  // namespace scoop

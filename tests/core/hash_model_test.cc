@@ -1,0 +1,100 @@
+#include "core/hash_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_agents.h"
+
+namespace scoop::core {
+namespace {
+
+XmitsEstimator Ring(int n, double q) {
+  XmitsEstimator x(n);
+  for (int i = 0; i < n; ++i) {
+    int j = (i + 1) % n;
+    x.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(j), q);
+    x.AddLink(static_cast<NodeId>(j), static_cast<NodeId>(i), q);
+  }
+  x.Build();
+  return x;
+}
+
+HashModelInputs BaseInputs(const XmitsEstimator* x, int n) {
+  HashModelInputs inputs;
+  inputs.xmits = x;
+  inputs.base = 0;
+  inputs.num_nodes = n;
+  inputs.readings_per_sec = 4.0;
+  inputs.queries_per_sec = 1.0 / 15.0;
+  inputs.mean_query_width_values = 4.0;
+  inputs.active_duration = Minutes(30);
+  return inputs;
+}
+
+TEST(HashModelTest, DataScalesWithReadingRate) {
+  XmitsEstimator x = Ring(10, 0.8);
+  HashModelInputs inputs = BaseInputs(&x, 10);
+  HashModelResult slow = EvaluateHashModel(inputs);
+  inputs.readings_per_sec *= 2;
+  HashModelResult fast = EvaluateHashModel(inputs);
+  EXPECT_NEAR(fast.data_messages, 2 * slow.data_messages, 1e-6);
+  EXPECT_NEAR(fast.query_messages, slow.query_messages, 1e-6);
+}
+
+TEST(HashModelTest, QueryCostScalesWithQueryRate) {
+  XmitsEstimator x = Ring(10, 0.8);
+  HashModelInputs inputs = BaseInputs(&x, 10);
+  HashModelResult few = EvaluateHashModel(inputs);
+  inputs.queries_per_sec *= 3;
+  HashModelResult many = EvaluateHashModel(inputs);
+  EXPECT_NEAR(many.query_messages, 3 * few.query_messages, 1e-6);
+  EXPECT_NEAR(many.reply_messages, 3 * few.reply_messages, 1e-6);
+}
+
+TEST(HashModelTest, WiderQueriesTouchMoreOwnersSublinearly) {
+  XmitsEstimator x = Ring(10, 0.8);
+  HashModelInputs inputs = BaseInputs(&x, 10);
+  inputs.mean_query_width_values = 1;
+  double narrow = EvaluateHashModel(inputs).query_messages;
+  inputs.mean_query_width_values = 10;
+  double wide = EvaluateHashModel(inputs).query_messages;
+  EXPECT_GT(wide, narrow);
+  // Collisions in the hash make owner growth sublinear in width.
+  EXPECT_LT(wide, 10 * narrow);
+}
+
+TEST(HashModelTest, ZeroQueriesMeansPureDataCost) {
+  XmitsEstimator x = Ring(10, 0.8);
+  HashModelInputs inputs = BaseInputs(&x, 10);
+  inputs.queries_per_sec = 0;
+  HashModelResult r = EvaluateHashModel(inputs);
+  EXPECT_DOUBLE_EQ(r.query_messages, 0);
+  EXPECT_DOUBLE_EQ(r.reply_messages, 0);
+  EXPECT_DOUBLE_EQ(r.total, r.data_messages);
+}
+
+TEST(HashModelTest, LossierNetworkCostsMore) {
+  XmitsEstimator good = Ring(10, 0.9);
+  XmitsEstimator bad = Ring(10, 0.4);
+  HashModelInputs gi = BaseInputs(&good, 10);
+  HashModelInputs bi = BaseInputs(&bad, 10);
+  EXPECT_GT(EvaluateHashModel(bi).total, EvaluateHashModel(gi).total);
+}
+
+TEST(HashOwnerTest, DeterministicAndInRange) {
+  for (Value v = -50; v < 200; ++v) {
+    NodeId a = HashOwner(v, 63);
+    NodeId b = HashOwner(v, 63);
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a, 63);
+  }
+}
+
+TEST(HashOwnerTest, SpreadsValuesAcrossNodes) {
+  std::set<NodeId> owners;
+  for (Value v = 0; v < 150; ++v) owners.insert(HashOwner(v, 63));
+  // A uniform hash over 150 values should hit a large fraction of 63 nodes.
+  EXPECT_GT(owners.size(), 40u);
+}
+
+}  // namespace
+}  // namespace scoop::core

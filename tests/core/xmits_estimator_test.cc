@@ -1,0 +1,114 @@
+#include "core/xmits_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace scoop::core {
+namespace {
+
+TEST(XmitsEstimatorTest, SelfCostIsZero) {
+  XmitsEstimator x(3);
+  x.Build();
+  EXPECT_DOUBLE_EQ(x.Xmits(1, 1), 0.0);
+}
+
+TEST(XmitsEstimatorTest, DirectLinkCostIsInverseQuality) {
+  XmitsEstimator x(2);
+  x.AddLink(0, 1, 0.5);
+  x.Build();
+  EXPECT_DOUBLE_EQ(x.Xmits(0, 1), 2.0);
+}
+
+TEST(XmitsEstimatorTest, UnknownPairsChargedDefault) {
+  XmitsOptions opts;
+  opts.unknown_cost = 12.0;
+  XmitsEstimator x(3, opts);
+  x.AddLink(0, 1, 1.0);
+  x.Build();
+  EXPECT_DOUBLE_EQ(x.Xmits(0, 2), 12.0);
+  EXPECT_DOUBLE_EQ(x.Xmits(1, 0), 12.0);  // Directional: reverse unknown.
+}
+
+TEST(XmitsEstimatorTest, PrefersMultiHopOverLossyDirect) {
+  // P4: 0->2 direct at quality 0.15 costs ~6.7; 0->1->2 at 0.8 each costs
+  // 2.5. Dijkstra must take the relay.
+  XmitsEstimator x(3);
+  x.AddLink(0, 2, 0.15);
+  x.AddLink(0, 1, 0.8);
+  x.AddLink(1, 2, 0.8);
+  x.Build();
+  EXPECT_NEAR(x.Xmits(0, 2), 2.5, 0.01);
+}
+
+TEST(XmitsEstimatorTest, WeakLinksUnusable) {
+  XmitsOptions opts;
+  opts.min_quality = 0.10;
+  XmitsEstimator x(2, opts);
+  x.AddLink(0, 1, 0.05);
+  x.Build();
+  EXPECT_DOUBLE_EQ(x.Xmits(0, 1), opts.unknown_cost);
+}
+
+TEST(XmitsEstimatorTest, PerLinkEtxCapped) {
+  XmitsOptions opts;
+  opts.max_link_etx = 8.0;
+  XmitsEstimator x(2, opts);
+  x.AddLink(0, 1, 0.11);  // 1/0.11 = 9.1 > cap.
+  x.Build();
+  EXPECT_DOUBLE_EQ(x.Xmits(0, 1), 8.0);
+}
+
+TEST(XmitsEstimatorTest, BestReportWins) {
+  XmitsEstimator x(2);
+  x.AddLink(0, 1, 0.25);
+  x.AddLink(0, 1, 0.5);  // Better report replaces the worse.
+  x.AddLink(0, 1, 0.4);  // Worse report does not.
+  x.Build();
+  EXPECT_DOUBLE_EQ(x.Xmits(0, 1), 2.0);
+}
+
+TEST(XmitsEstimatorTest, TreeEdgesAreBidirectionalDefaults) {
+  XmitsEstimator x(3);
+  x.AddTreeEdge(2, 1);
+  x.Build();
+  EXPECT_LT(x.Xmits(2, 1), x.options().unknown_cost);
+  EXPECT_LT(x.Xmits(1, 2), x.options().unknown_cost);
+}
+
+TEST(XmitsEstimatorTest, TreeEdgeDoesNotOverrideMeasuredLink) {
+  XmitsEstimator x(2);
+  x.AddLink(0, 1, 0.8);
+  x.AddTreeEdge(0, 1, 0.5);
+  x.Build();
+  EXPECT_DOUBLE_EQ(x.Xmits(0, 1), 1.25);  // Measured 0.8 kept.
+}
+
+TEST(XmitsEstimatorTest, RoundTripSumsBothDirections) {
+  XmitsEstimator x(2);
+  x.AddLink(0, 1, 0.5);
+  x.AddLink(1, 0, 0.25);
+  x.Build();
+  EXPECT_DOUBLE_EQ(x.RoundTrip(0, 1), 2.0 + 4.0);
+}
+
+TEST(XmitsEstimatorTest, ClearForgetsLinks) {
+  XmitsEstimator x(2);
+  x.AddLink(0, 1, 1.0);
+  x.Build();
+  ASSERT_DOUBLE_EQ(x.Xmits(0, 1), 1.0);
+  x.Clear();
+  x.Build();
+  EXPECT_DOUBLE_EQ(x.Xmits(0, 1), x.options().unknown_cost);
+}
+
+TEST(XmitsEstimatorTest, LongChainAccumulates) {
+  const int n = 10;
+  XmitsEstimator x(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    x.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 0.5);
+  }
+  x.Build();
+  EXPECT_NEAR(x.Xmits(0, 9), 18.0, 0.01);  // 9 hops * ETX 2.
+}
+
+}  // namespace
+}  // namespace scoop::core

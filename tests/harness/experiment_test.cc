@@ -1,0 +1,83 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/report.h"
+
+namespace scoop::harness {
+namespace {
+
+TEST(HarnessTest, PolicyNames) {
+  EXPECT_STREQ(PolicyName(Policy::kScoop), "scoop");
+  EXPECT_STREQ(PolicyName(Policy::kLocal), "local");
+  EXPECT_STREQ(PolicyName(Policy::kBase), "base");
+  EXPECT_STREQ(PolicyName(Policy::kHashAnalytical), "hash");
+  EXPECT_STREQ(PolicyName(Policy::kHashSim), "hash-sim");
+}
+
+TEST(HarnessTest, HashAnalysisScalesWithWorkload) {
+  ExperimentConfig config;
+  config.num_nodes = 24;
+  core::HashModelResult base = RunHashAnalysis(config, 1);
+  EXPECT_GT(base.data_messages, 0);
+  EXPECT_GT(base.query_messages, 0);
+
+  ExperimentConfig faster = config;
+  faster.sample_interval = config.sample_interval / 2;
+  core::HashModelResult fast = RunHashAnalysis(faster, 1);
+  EXPECT_NEAR(fast.data_messages, 2 * base.data_messages, base.data_messages * 0.01);
+
+  ExperimentConfig no_queries = config;
+  no_queries.queries_enabled = false;
+  core::HashModelResult quiet = RunHashAnalysis(no_queries, 1);
+  EXPECT_DOUBLE_EQ(quiet.query_messages, 0);
+}
+
+TEST(HarnessTest, HashAnalysisAsResultFillsBreakdown) {
+  ExperimentConfig config;
+  config.num_nodes = 24;
+  config.policy = Policy::kHashAnalytical;
+  config.trials = 2;
+  ExperimentResult r = RunExperiment(config);
+  EXPECT_GT(r.data(), 0);
+  EXPECT_GT(r.query_reply(), 0);
+  EXPECT_EQ(r.summary(), 0);
+  EXPECT_EQ(r.mapping(), 0);
+  EXPECT_DOUBLE_EQ(r.total, r.data() + r.query_reply());
+}
+
+TEST(HarnessTest, TrialAveragingIsMeanOfTrials) {
+  ExperimentConfig config;
+  config.num_nodes = 16;
+  config.duration = Minutes(8);
+  config.stabilization = Minutes(3);
+  config.policy = Policy::kBase;
+  config.source = workload::DataSourceKind::kUnique;
+  config.trials = 2;
+  config.seed = 77;
+  ExperimentResult avg = RunExperiment(config);
+  ExperimentResult t0 = RunTrial(config, MixSeed(config.seed, 0));
+  ExperimentResult t1 = RunTrial(config, MixSeed(config.seed, 1));
+  EXPECT_NEAR(avg.total, (t0.total + t1.total) / 2, 1e-9);
+}
+
+TEST(ReportTest, TableAlignsColumns) {
+  TablePrinter table({"a", "bbbb"});
+  table.AddRow({"xxxxx", "y"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx"), std::string::npos);
+  // Header row, rule, one data row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(ReportTest, Formatting) {
+  EXPECT_EQ(FormatCount(1234567.4), "1,234,567");
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(-1234), "-1,234");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatPercent(0.931, 1), "93.1%");
+}
+
+}  // namespace
+}  // namespace scoop::harness

@@ -1,0 +1,204 @@
+// End-to-end integration tests: full networks of agents over the simulated
+// radio, driven by the experiment harness (shortened runs). These encode
+// the paper's qualitative claims as assertions.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace scoop::harness {
+namespace {
+
+ExperimentConfig FastConfig() {
+  ExperimentConfig config;
+  config.num_nodes = 32;
+  config.duration = Minutes(18);
+  config.stabilization = Minutes(4);
+  config.trials = 1;
+  config.seed = 2024;
+  return config;
+}
+
+TEST(EndToEndTest, ScoopRunsHealthy) {
+  ExperimentConfig config = FastConfig();
+  config.policy = Policy::kScoop;
+  config.source = workload::DataSourceKind::kReal;
+  ExperimentResult r = RunTrial(config, 1);
+  EXPECT_GT(r.readings_produced, 1000);
+  EXPECT_GT(r.storage_success, 0.85);
+  EXPECT_GT(r.indices_disseminated, 0);
+  EXPECT_GT(r.queries_issued, 20);
+  // Small networks with weak corners show more query loss than the 62-node
+  // benches (which sit at the paper's ~78%).
+  EXPECT_GT(r.query_success, 0.3);
+  EXPECT_GT(r.summary_delivery, 0.5);
+}
+
+TEST(EndToEndTest, ScoopBeatsBaseAndLocalOnRealTrace) {
+  // The headline claim (Fig. 3 middle): Scoop's total message cost is well
+  // below both send-to-base and store-local under the default workload.
+  ExperimentConfig config = FastConfig();
+  config.source = workload::DataSourceKind::kReal;
+
+  config.policy = Policy::kScoop;
+  double scoop = RunTrial(config, 5).total_excl_beacons;
+  config.policy = Policy::kBase;
+  double base = RunTrial(config, 5).total_excl_beacons;
+  config.policy = Policy::kLocal;
+  double local = RunTrial(config, 5).total_excl_beacons;
+
+  EXPECT_LT(scoop, base * 0.85);
+  EXPECT_LT(scoop, local * 0.85);
+}
+
+TEST(EndToEndTest, UniqueDataStaysLocal) {
+  // Fig. 3 (left/right): with UNIQUE data the index is perfect and data
+  // traffic nearly vanishes compared to BASE.
+  ExperimentConfig config = FastConfig();
+  config.source = workload::DataSourceKind::kUnique;
+  config.policy = Policy::kScoop;
+  ExperimentResult scoop = RunTrial(config, 7);
+  config.policy = Policy::kBase;
+  ExperimentResult base = RunTrial(config, 7);
+  EXPECT_LT(scoop.data(), base.data() * 0.25);
+  EXPECT_GT(scoop.owner_hit_rate, 0.9);
+}
+
+TEST(EndToEndTest, EqualSuppressesMappings) {
+  // Fig. 3 (right): EQUAL incurs very few mapping messages because the
+  // basestation suppresses unchanged indices (§5.3).
+  ExperimentConfig config = FastConfig();
+  config.duration = Minutes(24);
+  config.policy = Policy::kScoop;
+  config.source = workload::DataSourceKind::kEqual;
+  ExperimentResult equal = RunTrial(config, 9);
+  EXPECT_GT(equal.indices_suppressed, 0);
+  config.source = workload::DataSourceKind::kGaussian;
+  ExperimentResult gaussian = RunTrial(config, 9);
+  EXPECT_LT(equal.mapping(), gaussian.mapping());
+}
+
+TEST(EndToEndTest, EqualBeatsRandomThanksToBatching) {
+  // §6: "EQUAL outperforms RANDOM even though every value has to be
+  // transmitted to a random node in both cases" -- batching.
+  ExperimentConfig config = FastConfig();
+  config.policy = Policy::kScoop;
+  config.source = workload::DataSourceKind::kEqual;
+  double equal = RunTrial(config, 11).total_excl_beacons;
+  config.source = workload::DataSourceKind::kRandom;
+  double random = RunTrial(config, 11).total_excl_beacons;
+  EXPECT_LT(equal, random);
+}
+
+TEST(EndToEndTest, AdaptationPushesDataTowardBaseUnderQueryPressure) {
+  // P1/P2 at system level: raising the query rate (and width) must shift
+  // index ownership toward the basestation.
+  ExperimentConfig config = FastConfig();
+  config.policy = Policy::kScoop;
+  config.source = workload::DataSourceKind::kGaussian;
+
+  config.queries_enabled = false;
+  double quiet = RunTrial(config, 13).base_owned_fraction;
+
+  config.queries_enabled = true;
+  config.query_interval = Seconds(2);
+  config.query_width_lo = 0.4;
+  config.query_width_hi = 0.6;
+  double hot = RunTrial(config, 13).base_owned_fraction;
+
+  EXPECT_GT(hot, quiet + 0.2);
+}
+
+TEST(EndToEndTest, DeterministicAcrossIdenticalRuns) {
+  ExperimentConfig config = FastConfig();
+  config.num_nodes = 20;
+  config.duration = Minutes(12);
+  config.policy = Policy::kScoop;
+  config.source = workload::DataSourceKind::kReal;
+  ExperimentResult a = RunTrial(config, 99);
+  ExperimentResult b = RunTrial(config, 99);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.readings_produced, b.readings_produced);
+  EXPECT_EQ(a.tuples_returned, b.tuples_returned);
+  for (int t = 0; t < kNumPacketTypes; ++t) {
+    EXPECT_EQ(a.sent_by_type[static_cast<size_t>(t)],
+              b.sent_by_type[static_cast<size_t>(t)]);
+  }
+}
+
+TEST(EndToEndTest, HashSimOrdersLikeAnalyticalModel) {
+  // The simulated HASH should agree with the closed-form model to within a
+  // modest factor (the model skips MAC dynamics).
+  ExperimentConfig config = FastConfig();
+  config.source = workload::DataSourceKind::kGaussian;
+  config.policy = Policy::kHashSim;
+  double sim = RunTrial(config, 17).total_excl_beacons;
+  core::HashModelResult model = RunHashAnalysis(config, 17);
+  EXPECT_GT(sim, model.total * 0.4);
+  EXPECT_LT(sim, model.total * 2.5);
+}
+
+TEST(EndToEndTest, BasePolicyIsPureDataTraffic) {
+  ExperimentConfig config = FastConfig();
+  config.policy = Policy::kBase;
+  config.source = workload::DataSourceKind::kReal;
+  ExperimentResult r = RunTrial(config, 19);
+  EXPECT_GT(r.data(), 0);
+  EXPECT_EQ(r.summary(), 0);
+  EXPECT_EQ(r.mapping(), 0);
+  EXPECT_EQ(r.query_reply(), 0);
+}
+
+TEST(EndToEndTest, LocalPolicyIsPureQueryTraffic) {
+  ExperimentConfig config = FastConfig();
+  config.policy = Policy::kLocal;
+  config.source = workload::DataSourceKind::kReal;
+  ExperimentResult r = RunTrial(config, 21);
+  EXPECT_EQ(r.data(), 0);
+  EXPECT_EQ(r.summary(), 0);
+  EXPECT_EQ(r.mapping(), 0);
+  EXPECT_GT(r.query_reply(), 0);
+  EXPECT_NEAR(r.avg_pct_nodes_queried, 1.0, 0.01);
+}
+
+TEST(EndToEndTest, NodeFailuresDegradeGracefully) {
+  ExperimentConfig config = FastConfig();
+  config.policy = Policy::kScoop;
+  config.source = workload::DataSourceKind::kReal;
+  config.failure_time = Minutes(10);
+
+  config.node_failure_fraction = 0.0;
+  ExperimentResult healthy = RunTrial(config, 27);
+  config.node_failure_fraction = 0.25;
+  ExperimentResult wounded = RunTrial(config, 27);
+
+  // A quarter of the network dying must not collapse the system: the
+  // survivors keep storing and answering, just a bit worse.
+  EXPECT_LT(wounded.storage_success, healthy.storage_success + 0.01);
+  EXPECT_GT(wounded.storage_success, 0.65);
+  // The planner keeps targeting dead owners for the history they held, so
+  // query success takes the brunt of the damage -- but must not collapse.
+  EXPECT_GT(wounded.query_success, 0.12);
+  EXPECT_GE(wounded.indices_disseminated, 1);
+}
+
+TEST(EndToEndTest, RootSkewShapes) {
+  // §6: BASE's root receives by far the most; LOCAL's root is the least
+  // loaded of the three policies.
+  ExperimentConfig config = FastConfig();
+  config.source = workload::DataSourceKind::kReal;
+  config.policy = Policy::kScoop;
+  ExperimentResult scoop = RunTrial(config, 23);
+  config.policy = Policy::kBase;
+  ExperimentResult base = RunTrial(config, 23);
+  config.policy = Policy::kLocal;
+  ExperimentResult local = RunTrial(config, 23);
+  EXPECT_GT(base.root_received, scoop.root_received);
+  EXPECT_GT(base.root_received, local.root_received);
+  // (The paper additionally reports LOCAL's root below SCOOP's; that
+  // ordering depends on how many replies survive to the root and does not
+  // hold robustly across topologies, so it is not asserted here -- see
+  // EXPERIMENTS.md E8.)
+}
+
+}  // namespace
+}  // namespace scoop::harness

@@ -1,0 +1,125 @@
+// Parameterized property sweeps (TEST_P): system-level invariants that
+// must hold across data sources, network sizes, and radio regimes.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace scoop::harness {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.num_nodes = 24;
+  config.duration = Minutes(15);
+  config.stabilization = Minutes(4);
+  config.trials = 1;
+  return config;
+}
+
+// --- Invariants across data sources ---
+
+class SourceSweep : public ::testing::TestWithParam<workload::DataSourceKind> {};
+
+TEST_P(SourceSweep, ScoopInvariantsHold) {
+  ExperimentConfig config = SmallConfig();
+  config.policy = Policy::kScoop;
+  config.source = GetParam();
+  ExperimentResult r = RunTrial(config, 31);
+
+  // Conservation-flavoured invariants.
+  EXPECT_GT(r.readings_produced, 0);
+  // Stored can exceed produced (at-least-once delivery duplicates under
+  // heavy retransmission, worst for RANDOM's long routes), but not wildly;
+  // and the vast majority of data must be durably stored.
+  EXPECT_GT(r.storage_success, 0.80);
+  EXPECT_LT(r.storage_success, 1.50);
+  // An index must exist and all queries must have been issued.
+  EXPECT_GE(r.indices_disseminated, 1);
+  EXPECT_GT(r.queries_issued, 10);
+  // Every message category is non-negative and the total adds up.
+  double sum = 0;
+  for (int t = 0; t < kNumPacketTypes; ++t) {
+    EXPECT_GE(r.sent_by_type[static_cast<size_t>(t)], 0);
+    sum += r.sent_by_type[static_cast<size_t>(t)];
+  }
+  EXPECT_DOUBLE_EQ(sum, r.total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSources, SourceSweep,
+    ::testing::Values(workload::DataSourceKind::kReal, workload::DataSourceKind::kUnique,
+                      workload::DataSourceKind::kEqual, workload::DataSourceKind::kRandom,
+                      workload::DataSourceKind::kGaussian),
+    [](const ::testing::TestParamInfo<workload::DataSourceKind>& info) {
+      return workload::DataSourceKindName(info.param);
+    });
+
+// --- Invariants across network sizes ---
+
+class SizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SizeSweep, ScoopScalesWithoutCollapse) {
+  ExperimentConfig config = SmallConfig();
+  config.policy = Policy::kScoop;
+  config.source = workload::DataSourceKind::kReal;
+  config.num_nodes = GetParam();
+  ExperimentResult r = RunTrial(config, 37);
+  EXPECT_GT(r.storage_success, 0.75);
+  EXPECT_GT(r.query_success, 0.35);
+  EXPECT_GE(r.indices_disseminated, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep, ::testing::Values(8, 16, 32, 64, 100),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           std::string name = "n"; name += std::to_string(info.param); return name;
+                         });
+
+// --- Invariants across policies ---
+
+class PolicySweep : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(PolicySweep, EveryPolicyStoresAndAnswers) {
+  ExperimentConfig config = SmallConfig();
+  config.policy = GetParam();
+  config.source = workload::DataSourceKind::kGaussian;
+  ExperimentResult r = RunTrial(config, 41);
+  EXPECT_GT(r.readings_produced, 0);
+  // BASE loses the most (unbatched readings over lossy multihop paths,
+  // like TinyDB); everything else does better.
+  EXPECT_GT(r.storage_success, 0.55);
+  EXPECT_GT(r.queries_issued, 10);
+  EXPECT_GT(r.tuples_returned, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
+                         ::testing::Values(Policy::kScoop, Policy::kLocal, Policy::kBase,
+                                           Policy::kHashSim),
+                         [](const ::testing::TestParamInfo<Policy>& info) {
+                           // gtest parameter names must be alphanumeric.
+                           std::string name = PolicyName(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// --- Invariants across seeds (trial independence) ---
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, HealthAcrossSeeds) {
+  ExperimentConfig config = SmallConfig();
+  config.policy = Policy::kScoop;
+  config.source = workload::DataSourceKind::kReal;
+  ExperimentResult r = RunTrial(config, GetParam());
+  EXPECT_GT(r.storage_success, 0.75);
+  EXPECT_GE(r.indices_disseminated, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           std::string name = "seed"; name += std::to_string(info.param); return name;
+                         });
+
+}  // namespace
+}  // namespace scoop::harness

@@ -1,0 +1,120 @@
+#include "net/neighbor_table.h"
+
+#include <gtest/gtest.h>
+
+namespace scoop::net {
+namespace {
+
+TEST(NeighborTableTest, LearnsNeighbors) {
+  NeighborTable table;
+  EXPECT_FALSE(table.Contains(5));
+  table.OnPacketSeen(5, 1, Seconds(1));
+  EXPECT_TRUE(table.Contains(5));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(NeighborTableTest, PerfectLinkEstimatesNearOne) {
+  NeighborTable table;
+  for (uint16_t seq = 1; seq <= 40; ++seq) {
+    table.OnPacketSeen(7, seq, Seconds(seq));
+  }
+  EXPECT_GT(table.Quality(7), 0.95);
+}
+
+TEST(NeighborTableTest, HalfLossyLinkEstimatesNearHalf) {
+  NeighborTable table;
+  // Hear only every other packet: gaps of 2 => 50% loss.
+  for (uint16_t seq = 1; seq <= 80; seq += 2) {
+    table.OnPacketSeen(7, seq, Seconds(seq));
+  }
+  EXPECT_NEAR(table.Quality(7), 0.5, 0.12);
+}
+
+TEST(NeighborTableTest, RetransmissionsDoNotSkewEstimate) {
+  NeighborTable table;
+  for (uint16_t seq = 1; seq <= 40; ++seq) {
+    table.OnPacketSeen(7, seq, Seconds(seq));
+    table.OnPacketSeen(7, seq, Seconds(seq));  // Duplicate (same seq).
+  }
+  EXPECT_GT(table.Quality(7), 0.95);
+}
+
+TEST(NeighborTableTest, UnknownNeighborQualityIsZero) {
+  NeighborTable table;
+  EXPECT_DOUBLE_EQ(table.Quality(9), 0.0);
+}
+
+TEST(NeighborTableTest, BestNeighborsSortedByQuality) {
+  NeighborTable table;
+  // Node 1: perfect. Node 2: 50%. Node 3: one packet (initial estimate).
+  for (uint16_t seq = 1; seq <= 32; ++seq) table.OnPacketSeen(1, seq, Seconds(seq));
+  for (uint16_t seq = 1; seq <= 64; seq += 2) table.OnPacketSeen(2, seq, Seconds(seq));
+  table.OnPacketSeen(3, 1, Seconds(1));
+  auto best = table.BestNeighbors(2);
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_EQ(best[0].id, 1);
+  EXPECT_GT(best[0].quality_x255, best[1].quality_x255);
+}
+
+TEST(NeighborTableTest, BestNeighborsClampsToSize) {
+  NeighborTable table;
+  table.OnPacketSeen(1, 1, 0);
+  EXPECT_EQ(table.BestNeighbors(12).size(), 1u);
+}
+
+TEST(NeighborTableTest, CapacityEnforced) {
+  NeighborTableOptions opts;
+  opts.capacity = 4;
+  NeighborTable table(opts);
+  for (NodeId id = 1; id <= 10; ++id) {
+    table.OnPacketSeen(id, 1, Seconds(id));
+  }
+  EXPECT_EQ(table.size(), 4u);
+  // The most recently heard neighbors survive.
+  EXPECT_TRUE(table.Contains(10));
+  EXPECT_FALSE(table.Contains(1));
+}
+
+TEST(NeighborTableTest, EvictStaleRemovesSilentNeighbors) {
+  NeighborTableOptions opts;
+  opts.eviction_timeout = Seconds(100);
+  NeighborTable table(opts);
+  table.OnPacketSeen(1, 1, Seconds(0));
+  table.OnPacketSeen(2, 1, Seconds(90));
+  table.EvictStale(Seconds(150));
+  EXPECT_FALSE(table.Contains(1));
+  EXPECT_TRUE(table.Contains(2));
+}
+
+TEST(NeighborTableTest, SequenceWraparoundHandled) {
+  NeighborTable table;
+  // Sequence numbers wrap at 65535; estimation must not explode.
+  table.OnPacketSeen(4, 65533, Seconds(1));
+  table.OnPacketSeen(4, 65535, Seconds(2));
+  table.OnPacketSeen(4, 1, Seconds(3));
+  table.OnPacketSeen(4, 3, Seconds(4));
+  for (uint16_t i = 0; i < 16; ++i) {
+    table.OnPacketSeen(4, static_cast<uint16_t>(5 + 2 * i), Seconds(5 + i));
+  }
+  EXPECT_NEAR(table.Quality(4), 0.5, 0.15);
+}
+
+TEST(NeighborTableTest, QualityTracksLinkChanges) {
+  NeighborTableOptions opts;
+  opts.ewma_alpha = 0.5;
+  NeighborTable table(opts);
+  uint16_t seq = 1;
+  for (int i = 0; i < 32; ++i) table.OnPacketSeen(6, seq++, Seconds(i));
+  double good = table.Quality(6);
+  // Link degrades: hear 1 in 4.
+  for (int i = 0; i < 32; ++i) {
+    seq = static_cast<uint16_t>(seq + 4);
+    table.OnPacketSeen(6, seq, Seconds(100 + i));
+  }
+  double bad = table.Quality(6);
+  EXPECT_GT(good, 0.9);
+  EXPECT_LT(bad, 0.5);
+}
+
+}  // namespace
+}  // namespace scoop::net

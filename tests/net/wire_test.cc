@@ -1,0 +1,104 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace scoop {
+namespace {
+
+TEST(WireTest, PacketTypeNames) {
+  EXPECT_STREQ(PacketTypeName(PacketType::kBeacon), "beacon");
+  EXPECT_STREQ(PacketTypeName(PacketType::kSummary), "summary");
+  EXPECT_STREQ(PacketTypeName(PacketType::kMapping), "mapping");
+  EXPECT_STREQ(PacketTypeName(PacketType::kData), "data");
+  EXPECT_STREQ(PacketTypeName(PacketType::kQuery), "query");
+  EXPECT_STREQ(PacketTypeName(PacketType::kReply), "reply");
+}
+
+TEST(WireTest, MakePacketStampsHeader) {
+  Packet p = MakePacket(5, 2, BeaconPayload{});
+  EXPECT_EQ(p.hdr.origin, 5);
+  EXPECT_EQ(p.hdr.origin_parent, 2);
+  EXPECT_EQ(p.hdr.type, PacketType::kBeacon);
+  EXPECT_TRUE(std::holds_alternative<BeaconPayload>(p.payload));
+}
+
+TEST(WireTest, MakePacketTypesMatchPayloads) {
+  EXPECT_EQ(MakePacket(1, 0, SummaryPayload{}).hdr.type, PacketType::kSummary);
+  EXPECT_EQ(MakePacket(1, 0, MappingPayload{}).hdr.type, PacketType::kMapping);
+  EXPECT_EQ(MakePacket(1, 0, DataPayload{}).hdr.type, PacketType::kData);
+  EXPECT_EQ(MakePacket(1, 0, QueryPayload{}).hdr.type, PacketType::kQuery);
+  EXPECT_EQ(MakePacket(1, 0, ReplyPayload{}).hdr.type, PacketType::kReply);
+}
+
+TEST(WireTest, BeaconWireSize) {
+  BeaconPayload b;
+  EXPECT_EQ(b.WireSize(), 6);
+  b.link_report.assign(12, NeighborEntry{});
+  EXPECT_EQ(b.WireSize(), 6 + 36);
+  Packet p = MakePacket(1, 0, b);
+  EXPECT_EQ(p.WireSize(), PacketHeader::kWireSize + 42);
+  EXPECT_LE(p.WireSize(), 96);  // Fits the MTU with a full link report.
+}
+
+TEST(WireTest, SummaryWireSizeGrowsWithContent) {
+  SummaryPayload s;
+  int base = s.WireSize();
+  EXPECT_EQ(base, 17);
+  s.bins.assign(10, 0);
+  EXPECT_EQ(s.WireSize(), base + 20);
+  s.neighbors.assign(12, NeighborEntry{});
+  EXPECT_EQ(s.WireSize(), base + 20 + 36);
+}
+
+TEST(WireTest, SummaryWithPaperDefaultsFitsMtu) {
+  // 10 bins + 12 neighbors must fit in one packet (§5.2 sends summaries as
+  // single messages).
+  SummaryPayload s;
+  s.bins.assign(10, 0);
+  s.neighbors.assign(12, NeighborEntry{});
+  Packet p = MakePacket(1, 0, s);
+  EXPECT_LE(p.WireSize(), 96);
+}
+
+TEST(WireTest, MappingWireSize) {
+  MappingPayload m;
+  EXPECT_EQ(m.WireSize(), 14);
+  m.entries.assign(5, RangeEntry{});
+  EXPECT_EQ(m.WireSize(), 14 + 5 * 6);
+}
+
+TEST(WireTest, DataWireSize) {
+  DataPayload d;
+  EXPECT_EQ(d.WireSize(), 10);
+  d.readings.assign(5, Reading{});
+  EXPECT_EQ(d.WireSize(), 10 + 5 * 6);
+  // A full batch of 5 readings must fit comfortably in the MTU.
+  Packet p = MakePacket(1, 0, d);
+  EXPECT_LE(p.WireSize(), 96);
+}
+
+TEST(WireTest, QueryWireSize) {
+  QueryPayload q;
+  EXPECT_EQ(q.WireSize(), 30);
+  q.ranges.assign(2, ValueRange{});
+  EXPECT_EQ(q.WireSize(), 38);
+}
+
+TEST(WireTest, ReplyWireSize) {
+  ReplyPayload r;
+  EXPECT_EQ(r.WireSize(), 11);
+  r.tuples.assign(3, ReplyTuple{});
+  EXPECT_EQ(r.WireSize(), 11 + 3 * 8);
+}
+
+TEST(WireTest, ValueRangeContains) {
+  ValueRange r{10, 20};
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(15));
+  EXPECT_TRUE(r.Contains(20));
+  EXPECT_FALSE(r.Contains(9));
+  EXPECT_FALSE(r.Contains(21));
+}
+
+}  // namespace
+}  // namespace scoop

@@ -1,0 +1,107 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scoop::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  while (q.RunOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.ScheduleAt(10, [&] { order.push_back(3); });
+  while (q.RunOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.ScheduleAt(5, [&] { ran = true; });
+  q.Cancel(id);
+  while (q.RunOne()) {
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelAfterRunIsNoop) {
+  EventQueue q;
+  int runs = 0;
+  EventId id = q.ScheduleAt(5, [&] { ++runs; });
+  while (q.RunOne()) {
+  }
+  q.Cancel(id);  // Must not crash.
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime observed = -1;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAfter(50, [&] { observed = q.now(); });
+  });
+  q.RunUntil(1000);
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockEvenWhenIdle) {
+  EventQueue q;
+  q.RunUntil(500);
+  EXPECT_EQ(q.now(), 500);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int runs = 0;
+  q.ScheduleAt(10, [&] { ++runs; });
+  q.ScheduleAt(20, [&] { ++runs; });
+  q.ScheduleAt(21, [&] { ++runs; });
+  q.RunUntil(20);
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(q.now(), 20);
+  q.RunUntil(21);
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.ScheduleAfter(1, recurse);
+  };
+  q.ScheduleAt(0, recurse);
+  q.RunUntil(100);
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(q.processed(), 10u);
+}
+
+TEST(EventQueueTest, CancelOneOfManyAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  EventId id = q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.ScheduleAt(10, [&] { order.push_back(3); });
+  q.Cancel(id);
+  q.RunUntil(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+}  // namespace
+}  // namespace scoop::sim

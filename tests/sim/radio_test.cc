@@ -1,0 +1,285 @@
+#include "sim/radio.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace scoop::sim {
+namespace {
+
+/// Minimal app that records everything it sees.
+class RecorderApp : public App {
+ public:
+  void OnBoot(Context& ctx) override { (void)ctx; }
+  void OnReceive(Context& ctx, const Packet& pkt, const ReceiveInfo& info) override {
+    (void)ctx;
+    received.push_back(pkt);
+    if (info.duplicate) ++duplicates;
+  }
+  void OnSnoop(Context& ctx, const Packet& pkt) override {
+    (void)ctx;
+    snooped.push_back(pkt);
+  }
+  void OnSendDone(Context& ctx, const Packet& pkt, bool success) override {
+    (void)ctx;
+    (void)pkt;
+    if (success) {
+      ++send_ok;
+    } else {
+      ++send_fail;
+    }
+  }
+
+  std::vector<Packet> received;
+  std::vector<Packet> snooped;
+  int duplicates = 0;
+  int send_ok = 0;
+  int send_fail = 0;
+};
+
+/// 3-node chain with configurable link probabilities:
+///   0 <-> 1 <-> 2, 0 and 2 cannot hear each other.
+Topology ChainTopology(double p01, double p12) {
+  std::vector<Point> pos = {{0, 0}, {10, 0}, {20, 0}};
+  std::vector<std::vector<double>> d = {
+      {0, p01, 0}, {p01, 0, p12}, {0, p12, 0}};
+  return Topology::FromMatrix(pos, d);
+}
+
+struct Fixture {
+  explicit Fixture(Topology topo, uint64_t seed = 1) : network(std::move(topo), Options(seed)) {
+    for (NodeId i = 0; i < network.topology().num_nodes(); ++i) {
+      auto app = std::make_unique<RecorderApp>();
+      apps.push_back(app.get());
+      network.SetApp(i, std::move(app));
+    }
+    network.Start();
+    network.RunUntil(Seconds(3));  // Past boot jitter.
+  }
+
+  static NetworkOptions Options(uint64_t seed) {
+    NetworkOptions o;
+    o.seed = seed;
+    return o;
+  }
+
+  Network network;
+  std::vector<RecorderApp*> apps;
+};
+
+Packet TestBeacon(NodeId origin) {
+  BeaconPayload b;
+  b.parent = 0;
+  b.depth = 1;
+  return MakePacket(origin, 0, b);
+}
+
+TEST(RadioTest, PerfectUnicastDelivered) {
+  Fixture f(ChainTopology(1.0, 1.0));
+  f.network.context(0).Unicast(1, TestBeacon(0));
+  f.network.RunUntil(Seconds(4));
+  ASSERT_EQ(f.apps[1]->received.size(), 1u);
+  EXPECT_EQ(f.apps[1]->received[0].hdr.link_src, 0);
+  EXPECT_EQ(f.apps[1]->received[0].hdr.link_dst, 1);
+  EXPECT_EQ(f.apps[0]->send_ok, 1);
+  // Node 2 cannot hear node 0.
+  EXPECT_TRUE(f.apps[2]->received.empty());
+  EXPECT_TRUE(f.apps[2]->snooped.empty());
+}
+
+TEST(RadioTest, BroadcastReachesNeighborsOnly) {
+  Fixture f(ChainTopology(1.0, 1.0));
+  f.network.context(1).Broadcast(TestBeacon(1));
+  f.network.RunUntil(Seconds(4));
+  EXPECT_EQ(f.apps[0]->received.size(), 1u);
+  EXPECT_EQ(f.apps[2]->received.size(), 1u);
+}
+
+TEST(RadioTest, UnicastIsSnoopedByThirdParties) {
+  std::vector<Point> pos = {{0, 0}, {5, 0}, {5, 5}};
+  std::vector<std::vector<double>> d = {
+      {0, 1.0, 1.0}, {1.0, 0, 1.0}, {1.0, 1.0, 0}};
+  Fixture f(Topology::FromMatrix(pos, d));
+  f.network.context(0).Unicast(1, TestBeacon(0));
+  f.network.RunUntil(Seconds(4));
+  EXPECT_EQ(f.apps[1]->received.size(), 1u);
+  ASSERT_EQ(f.apps[2]->snooped.size(), 1u);
+  EXPECT_TRUE(f.apps[2]->received.empty());
+  EXPECT_EQ(f.apps[2]->snooped[0].hdr.link_dst, 1);
+}
+
+TEST(RadioTest, DeadLinkNeverDelivers) {
+  Fixture f(ChainTopology(0.0, 1.0));
+  for (int i = 0; i < 20; ++i) f.network.context(0).Unicast(1, TestBeacon(0));
+  f.network.RunUntil(Seconds(30));
+  EXPECT_TRUE(f.apps[1]->received.empty());
+  EXPECT_EQ(f.apps[0]->send_fail, 20);
+}
+
+TEST(RadioTest, LossyUnicastRetransmitsAndMostlySucceeds) {
+  // p = 0.5 with 3 retries: per-attempt success (incl. ack) ~0.25, over 4
+  // attempts ~68%. With 200 packets we expect clearly more successes than
+  // a no-retransmission link would give (~25%).
+  Fixture f(ChainTopology(0.5, 1.0), /*seed=*/77);
+  for (int i = 0; i < 200; ++i) f.network.context(0).Unicast(1, TestBeacon(0));
+  f.network.RunUntil(Seconds(200));
+  int delivered_unique = 0;
+  delivered_unique = static_cast<int>(f.apps[1]->received.size()) - f.apps[1]->duplicates;
+  EXPECT_GT(delivered_unique, 100);
+  EXPECT_EQ(f.apps[0]->send_ok + f.apps[0]->send_fail, 200);
+  EXPECT_GT(f.apps[0]->send_ok, 100);
+}
+
+TEST(RadioTest, TransmitHookCountsRetransmissions) {
+  Topology topo = ChainTopology(0.5, 1.0);
+  NetworkOptions opts;
+  opts.seed = 5;
+  Network net(topo, opts);
+  int transmissions = 0, retx = 0;
+  net.radio().set_transmit_hook([&](NodeId, const Packet&, bool is_retx) {
+    ++transmissions;
+    if (is_retx) ++retx;
+  });
+  net.SetApp(0, std::make_unique<RecorderApp>());
+  net.SetApp(1, std::make_unique<RecorderApp>());
+  net.SetApp(2, std::make_unique<RecorderApp>());
+  net.Start();
+  net.RunUntil(Seconds(3));
+  for (int i = 0; i < 100; ++i) net.context(0).Unicast(1, TestBeacon(0));
+  net.RunUntil(Seconds(120));
+  EXPECT_GT(transmissions, 100);  // Lossy link must force retransmissions.
+  EXPECT_EQ(retx, transmissions - 100);
+}
+
+TEST(RadioTest, DuplicatesAreFlagged) {
+  // Very lossy reverse path for ACKs: 0->1 perfect, 1->0 weak. Packets are
+  // received but ACKs are lost, causing duplicate deliveries.
+  std::vector<Point> pos = {{0, 0}, {5, 0}};
+  std::vector<std::vector<double>> d = {{0, 1.0}, {0.1, 0}};
+  Fixture f(Topology::FromMatrix(pos, d), /*seed=*/3);
+  for (int i = 0; i < 50; ++i) f.network.context(0).Unicast(1, TestBeacon(0));
+  f.network.RunUntil(Seconds(100));
+  EXPECT_GT(f.apps[1]->duplicates, 0);
+}
+
+TEST(RadioTest, CollisionsCorruptOverlappingTransmissions) {
+  // Hidden-terminal setup: 0 and 2 cannot hear each other (no carrier
+  // sense), both unicast to 1 simultaneously on perfect links. With
+  // collisions modeled, many packets must be lost; without, all arrive.
+  auto run = [](bool model_collisions) {
+    Topology topo = ChainTopology(1.0, 1.0);
+    NetworkOptions opts;
+    opts.seed = 9;
+    opts.radio.model_collisions = model_collisions;
+    opts.radio.unicast_retries = 0;
+    opts.boot_jitter = 0;
+    Network net(topo, opts);
+    std::vector<RecorderApp*> apps;
+    for (NodeId i = 0; i < 3; ++i) {
+      auto app = std::make_unique<RecorderApp>();
+      apps.push_back(app.get());
+      net.SetApp(i, std::move(app));
+    }
+    net.Start();
+    net.RunUntil(Seconds(1));
+    for (int i = 0; i < 50; ++i) {
+      // Schedule the two sends at exactly the same instant.
+      net.queue().ScheduleAfter(Millis(100 * (i + 1)), [&net, i] {
+        BeaconPayload b;
+        b.depth = static_cast<uint8_t>(i);
+        net.radio().Send(0, [&] {
+          Packet p = MakePacket(0, 0, b);
+          p.hdr.link_dst = 1;
+          return p;
+        }());
+        net.radio().Send(2, [&] {
+          Packet p = MakePacket(2, 0, b);
+          p.hdr.link_dst = 1;
+          return p;
+        }());
+      });
+    }
+    net.RunUntil(Seconds(30));
+    return static_cast<int>(apps[1]->received.size());
+  };
+  int with_collisions = run(true);
+  int without_collisions = run(false);
+  EXPECT_EQ(without_collisions, 100);
+  EXPECT_LT(with_collisions, 20);  // Nearly everything collides.
+}
+
+TEST(RadioTest, CarrierSenseAvoidsCollisionsBetweenAudibleSenders) {
+  // 0 and 1 hear each other perfectly and both send to 2: CSMA must
+  // serialize them, so deliveries stay high even with collisions modeled.
+  std::vector<Point> pos = {{0, 0}, {1, 0}, {0.5, 1}};
+  std::vector<std::vector<double>> d = {
+      {0, 1.0, 1.0}, {1.0, 0, 1.0}, {1.0, 1.0, 0}};
+  NetworkOptions opts;
+  opts.seed = 17;
+  opts.radio.unicast_retries = 0;
+  opts.boot_jitter = 0;
+  Network net(Topology::FromMatrix(pos, d), opts);
+  std::vector<RecorderApp*> apps;
+  for (NodeId i = 0; i < 3; ++i) {
+    auto app = std::make_unique<RecorderApp>();
+    apps.push_back(app.get());
+    net.SetApp(i, std::move(app));
+  }
+  net.Start();
+  net.RunUntil(Seconds(1));
+  for (int i = 0; i < 50; ++i) {
+    net.queue().ScheduleAfter(Millis(100 * (i + 1)), [&net] {
+      Packet a = TestBeacon(0);
+      a.hdr.link_dst = 2;
+      net.radio().Send(0, a);
+      Packet b = TestBeacon(1);
+      b.hdr.link_dst = 2;
+      net.radio().Send(1, b);
+    });
+  }
+  net.RunUntil(Seconds(30));
+  EXPECT_GT(static_cast<int>(apps[2]->received.size()), 85);
+}
+
+TEST(RadioTest, RejectsOversizedPackets) {
+  Fixture f(ChainTopology(1.0, 1.0));
+  MappingPayload big;
+  big.index_id = 1;
+  big.num_chunks = 1;
+  // 30 entries * 6B + 11B header exceeds the 96B MTU.
+  for (int i = 0; i < 30; ++i) {
+    big.entries.push_back(RangeEntry{i, i, 1});
+  }
+  Packet pkt = MakePacket(0, 0, big);
+  EXPECT_GT(pkt.WireSize(), f.network.radio().options().max_packet_bytes);
+  EXPECT_DEATH(f.network.context(0).Broadcast(pkt), "SCOOP_CHECK");
+}
+
+TEST(RadioTest, AirtimeScalesWithSize) {
+  Topology topo = ChainTopology(1.0, 1.0);
+  NetworkOptions opts;
+  Network net(topo, opts);
+  SimTime small = net.radio().Airtime(20);
+  SimTime large = net.radio().Airtime(90);
+  EXPECT_GT(large, small);
+  // 38.4 kbps: (11+20)*8 bits ~ 6.5 ms.
+  EXPECT_NEAR(static_cast<double>(small), 6458.0, 100.0);
+}
+
+TEST(RadioTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Fixture f(ChainTopology(0.6, 0.6), /*seed=*/123);
+    for (int i = 0; i < 100; ++i) f.network.context(0).Unicast(1, TestBeacon(0));
+    f.network.RunUntil(Seconds(100));
+    return std::make_pair(f.apps[1]->received.size(), f.apps[0]->send_ok);
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace scoop::sim

@@ -1,0 +1,114 @@
+#include "sim/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace scoop::sim {
+namespace {
+
+TEST(TopologyTest, FromMatrixRoundTrip) {
+  std::vector<Point> pos = {{0, 0}, {1, 0}, {2, 0}};
+  std::vector<std::vector<double>> d = {
+      {0.0, 0.9, 0.0}, {0.8, 0.0, 0.7}, {0.0, 0.6, 0.0}};
+  Topology t = Topology::FromMatrix(pos, d);
+  EXPECT_EQ(t.num_nodes(), 3);
+  EXPECT_DOUBLE_EQ(t.delivery_prob(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(t.delivery_prob(1, 0), 0.8);
+  EXPECT_DOUBLE_EQ(t.delivery_prob(0, 2), 0.0);
+}
+
+TEST(TopologyTest, RandomIsConnected) {
+  RandomTopologyOptions opts;
+  opts.num_nodes = 63;
+  opts.seed = 7;
+  Topology t = Topology::MakeRandom(opts);
+  EXPECT_EQ(t.num_nodes(), 63);
+  EXPECT_TRUE(t.IsConnected(0.1));
+}
+
+TEST(TopologyTest, RandomNeighborFractionNearTarget) {
+  RandomTopologyOptions opts;
+  opts.num_nodes = 63;
+  opts.target_neighbor_fraction = 0.20;
+  opts.seed = 11;
+  Topology t = Topology::MakeRandom(opts);
+  double frac = t.AvgNeighborFraction(0.1);
+  // The paper reports nodes hear ~20% of the network.
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.35);
+}
+
+TEST(TopologyTest, LinksAreLossyAndAsymmetric) {
+  RandomTopologyOptions opts;
+  opts.num_nodes = 63;
+  opts.seed = 13;
+  Topology t = Topology::MakeRandom(opts);
+  // Paper: audible pairs lose 25%-90% of packets, so delivery stays below
+  // ~0.8 even on the best links.
+  int audible = 0, asymmetric = 0;
+  double max_p = 0;
+  for (NodeId i = 0; i < t.num_nodes(); ++i) {
+    for (NodeId j = 0; j < t.num_nodes(); ++j) {
+      if (i == j) continue;
+      double p = t.delivery_prob(i, j);
+      if (p <= 0) continue;
+      ++audible;
+      max_p = std::max(max_p, p);
+      double q = t.delivery_prob(j, i);
+      if (std::abs(p - q) > 0.02) ++asymmetric;
+    }
+  }
+  EXPECT_GT(audible, 0);
+  EXPECT_LE(max_p, 0.79);
+  // Most links should differ between directions.
+  EXPECT_GT(asymmetric, audible / 2);
+}
+
+TEST(TopologyTest, TestbedIsConnectedAndElongated) {
+  TestbedTopologyOptions opts;
+  opts.seed = 3;
+  Topology t = Topology::MakeTestbed(opts);
+  EXPECT_EQ(t.num_nodes(), 63);
+  EXPECT_TRUE(t.IsConnected(0.1));
+  // Multi-hop: mean hops from the base must exceed 1 (base can't hear all).
+  EXPECT_GT(t.MeanHopsFrom(0, 0.1), 1.2);
+}
+
+TEST(TopologyTest, DeterministicForSeed) {
+  RandomTopologyOptions opts;
+  opts.num_nodes = 40;
+  opts.seed = 99;
+  Topology a = Topology::MakeRandom(opts);
+  Topology b = Topology::MakeRandom(opts);
+  for (NodeId i = 0; i < a.num_nodes(); ++i) {
+    for (NodeId j = 0; j < a.num_nodes(); ++j) {
+      ASSERT_DOUBLE_EQ(a.delivery_prob(i, j), b.delivery_prob(i, j));
+    }
+  }
+}
+
+TEST(TopologyTest, DifferentSeedsGiveDifferentTopologies) {
+  RandomTopologyOptions opts;
+  opts.num_nodes = 40;
+  opts.seed = 1;
+  Topology a = Topology::MakeRandom(opts);
+  opts.seed = 2;
+  Topology b = Topology::MakeRandom(opts);
+  bool any_diff = false;
+  for (NodeId i = 1; i < a.num_nodes() && !any_diff; ++i) {
+    if (a.position(i).x != b.position(i).x) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TopologyTest, MeanHopsFromBasePositive) {
+  RandomTopologyOptions opts;
+  opts.num_nodes = 63;
+  opts.seed = 21;
+  Topology t = Topology::MakeRandom(opts);
+  double hops = t.MeanHopsFrom(0, 0.1);
+  EXPECT_GT(hops, 1.0);
+  EXPECT_LT(hops, 10.0);
+}
+
+}  // namespace
+}  // namespace scoop::sim

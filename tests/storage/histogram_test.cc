@@ -1,0 +1,117 @@
+#include "storage/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace scoop::storage {
+namespace {
+
+TEST(HistogramTest, PaperWorkedExample) {
+  // §5.2: min=1, max=100, nBins=10; 8 readings between 50 and 60 land in
+  // the 6th bin (n=5).
+  std::vector<Value> readings = {1, 100};  // Pin min and max.
+  for (int i = 0; i < 8; ++i) readings.push_back(51 + i);
+  ValueHistogram h = ValueHistogram::Build(readings, 10);
+  EXPECT_EQ(h.vmin(), 1);
+  EXPECT_EQ(h.vmax(), 100);
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 10.0);
+  EXPECT_EQ(h.bins()[5], 8u);
+}
+
+TEST(HistogramTest, ProbabilityFormulaMatchesPaper) {
+  // P(v) = P(v|bin) * P(bin) = (1/binWidth) * height/total.
+  std::vector<Value> readings = {1, 100};
+  for (int i = 0; i < 8; ++i) readings.push_back(51 + i);
+  ValueHistogram h = ValueHistogram::Build(readings, 10);
+  // Bin 5 holds 8 of 10 readings; width 10.
+  EXPECT_DOUBLE_EQ(h.ProbabilityOf(55), (1.0 / 10.0) * (8.0 / 10.0));
+  // Bin 0 holds 1 of 10.
+  EXPECT_DOUBLE_EQ(h.ProbabilityOf(5), (1.0 / 10.0) * (1.0 / 10.0));
+}
+
+TEST(HistogramTest, ProbabilitiesSumToOneOverDomain) {
+  std::vector<Value> readings;
+  for (int i = 0; i < 100; ++i) readings.push_back(i % 50);
+  ValueHistogram h = ValueHistogram::Build(readings, 10);
+  double sum = 0;
+  for (Value v = h.vmin(); v <= h.vmax(); ++v) sum += h.ProbabilityOf(v);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, OutOfRangeProbabilityIsZero) {
+  ValueHistogram h = ValueHistogram::Build({10, 20, 30}, 10);
+  EXPECT_DOUBLE_EQ(h.ProbabilityOf(9), 0.0);
+  EXPECT_DOUBLE_EQ(h.ProbabilityOf(31), 0.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  ValueHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.ProbabilityOf(5), 0.0);
+  EXPECT_EQ(h.BinOf(5), -1);
+}
+
+TEST(HistogramTest, SingleValueDistribution) {
+  // All readings identical: min == max, width clamps to 1, P(v) = 1.
+  std::vector<Value> readings(30, 42);
+  ValueHistogram h = ValueHistogram::Build(readings, 10);
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 1.0);
+  EXPECT_DOUBLE_EQ(h.ProbabilityOf(42), 1.0);
+  EXPECT_DOUBLE_EQ(h.ProbabilityOf(41), 0.0);
+}
+
+TEST(HistogramTest, NarrowDomainClampsWidthToOne) {
+  // Domain of 5 values with 10 bins: width would be 0.5; must clamp so
+  // per-value probabilities stay <= 1.
+  std::vector<Value> readings = {1, 2, 3, 4, 5};
+  ValueHistogram h = ValueHistogram::Build(readings, 10);
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 1.0);
+  double sum = 0;
+  for (Value v = 1; v <= 5; ++v) {
+    double p = h.ProbabilityOf(v);
+    EXPECT_LE(p, 1.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, LastBinIncludesMax) {
+  std::vector<Value> readings = {0, 99};
+  ValueHistogram h = ValueHistogram::Build(readings, 10);
+  EXPECT_EQ(h.BinOf(99), 9);
+  EXPECT_EQ(h.BinOf(0), 0);
+}
+
+TEST(HistogramTest, SummaryRoundTrip) {
+  std::vector<Value> readings;
+  for (int i = 0; i < 60; ++i) readings.push_back(i % 30);
+  ValueHistogram h = ValueHistogram::Build(readings, 10);
+  ValueHistogram h2 = ValueHistogram::FromSummary(h.vmin(), h.vmax(), h.WireBins());
+  EXPECT_EQ(h2.total(), h.total());
+  for (Value v = h.vmin(); v <= h.vmax(); ++v) {
+    EXPECT_DOUBLE_EQ(h2.ProbabilityOf(v), h.ProbabilityOf(v));
+  }
+}
+
+TEST(HistogramTest, NegativeValuesSupported) {
+  std::vector<Value> readings = {-49, -40, -30, -20, -10, 0};
+  ValueHistogram h = ValueHistogram::Build(readings, 5);
+  EXPECT_EQ(h.vmin(), -49);
+  EXPECT_EQ(h.vmax(), 0);
+  double sum = 0;
+  for (Value v = -49; v <= 0; ++v) sum += h.ProbabilityOf(v);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, FractionalBinWidthApproximatelyNormalized) {
+  // When (max-min+1) is not divisible by nBins the paper's P(v|bin) =
+  // 1/binWidth is an approximation: integer values per bin vary by one, so
+  // the per-value probabilities sum close to -- but not exactly -- 1.
+  std::vector<Value> readings = {-50, -40, -30, -20, -10, 0};  // 51 values, 5 bins.
+  ValueHistogram h = ValueHistogram::Build(readings, 5);
+  double sum = 0;
+  for (Value v = -50; v <= 0; ++v) sum += h.ProbabilityOf(v);
+  EXPECT_NEAR(sum, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace scoop::storage

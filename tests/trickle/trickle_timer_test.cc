@@ -1,0 +1,129 @@
+#include "trickle/trickle_timer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scoop::trickle {
+namespace {
+
+TrickleOptions SmallOptions() {
+  TrickleOptions o;
+  o.tau_min = Seconds(1);
+  o.tau_max = Seconds(8);
+  o.redundancy_k = 2;
+  return o;
+}
+
+TEST(TrickleTimerTest, FirstFireWithinFirstInterval) {
+  Rng rng(1);
+  TrickleTimer t(SmallOptions(), &rng);
+  SimTime fire = t.Start(0);
+  // Fire point lies in [tau/2, tau).
+  EXPECT_GE(fire, Seconds(1) / 2);
+  EXPECT_LT(fire, Seconds(1));
+}
+
+TEST(TrickleTimerTest, BroadcastsWhenQuiet) {
+  Rng rng(2);
+  TrickleTimer t(SmallOptions(), &rng);
+  SimTime fire = t.Start(0);
+  auto action = t.OnEvent(fire);
+  EXPECT_TRUE(action.should_broadcast);
+  EXPECT_EQ(action.next_event, Seconds(1));  // Interval end.
+}
+
+TEST(TrickleTimerTest, SuppressedWhenEnoughConsistentHeard) {
+  Rng rng(3);
+  TrickleTimer t(SmallOptions(), &rng);
+  SimTime fire = t.Start(0);
+  t.OnConsistent();
+  t.OnConsistent();
+  auto action = t.OnEvent(fire);
+  EXPECT_FALSE(action.should_broadcast);
+}
+
+TEST(TrickleTimerTest, OneConsistentIsNotEnoughForK2) {
+  Rng rng(4);
+  TrickleTimer t(SmallOptions(), &rng);
+  SimTime fire = t.Start(0);
+  t.OnConsistent();
+  auto action = t.OnEvent(fire);
+  EXPECT_TRUE(action.should_broadcast);
+}
+
+TEST(TrickleTimerTest, IntervalDoublesUpToMax) {
+  Rng rng(5);
+  TrickleTimer t(SmallOptions(), &rng);
+  SimTime next = t.Start(0);
+  EXPECT_EQ(t.tau(), Seconds(1));
+  // Walk through fire + interval-end events and watch tau double.
+  for (int i = 0; i < 6; ++i) {
+    auto fire_action = t.OnEvent(next);       // Fire point.
+    auto end_action = t.OnEvent(fire_action.next_event);  // Interval end.
+    next = end_action.next_event;
+  }
+  EXPECT_EQ(t.tau(), Seconds(8));  // Capped at tau_max.
+}
+
+TEST(TrickleTimerTest, ConsistentCountResetsEachInterval) {
+  Rng rng(6);
+  TrickleTimer t(SmallOptions(), &rng);
+  SimTime fire = t.Start(0);
+  t.OnConsistent();
+  t.OnConsistent();
+  auto a1 = t.OnEvent(fire);
+  EXPECT_FALSE(a1.should_broadcast);
+  auto a2 = t.OnEvent(a1.next_event);  // New interval begins.
+  EXPECT_EQ(t.heard_consistent(), 0);
+  auto a3 = t.OnEvent(a2.next_event);  // Fire point of new interval.
+  EXPECT_TRUE(a3.should_broadcast);
+}
+
+TEST(TrickleTimerTest, InconsistencyResetsTau) {
+  Rng rng(7);
+  TrickleTimer t(SmallOptions(), &rng);
+  SimTime next = t.Start(0);
+  for (int i = 0; i < 4; ++i) {
+    auto fire_action = t.OnEvent(next);
+    auto end_action = t.OnEvent(fire_action.next_event);
+    next = end_action.next_event;
+  }
+  EXPECT_GT(t.tau(), Seconds(1));
+  std::optional<SimTime> new_fire = t.OnInconsistent(Seconds(100));
+  ASSERT_TRUE(new_fire.has_value());
+  EXPECT_EQ(t.tau(), Seconds(1));
+  EXPECT_GE(*new_fire, Seconds(100) + Seconds(1) / 2);
+  EXPECT_LT(*new_fire, Seconds(100) + Seconds(1));
+}
+
+TEST(TrickleTimerTest, InconsistencyAtTauMinKeepsCurrentInterval) {
+  // Per the Trickle rules a node already at tau_min does not restart its
+  // interval -- otherwise a gossip storm would push the fire point forever.
+  Rng rng(9);
+  TrickleTimer t(SmallOptions(), &rng);
+  t.Start(0);
+  std::optional<SimTime> reset = t.OnInconsistent(Millis(100));
+  EXPECT_FALSE(reset.has_value());
+  EXPECT_EQ(t.tau(), Seconds(1));
+}
+
+TEST(TrickleTimerTest, SteadyStateTrafficDecays) {
+  // Over a long quiet period, the number of potential broadcasts is
+  // logarithmic in time, not linear: with tau_max 8s and 64s of runtime at
+  // steady state there are ~8 fires; with tau stuck at 1s there'd be ~64.
+  Rng rng(8);
+  TrickleTimer t(SmallOptions(), &rng);
+  SimTime next = t.Start(0);
+  int fires = 0;
+  while (next < Seconds(64)) {
+    auto action = t.OnEvent(next);
+    if (action.should_broadcast) ++fires;
+    next = action.next_event;
+  }
+  EXPECT_LE(fires, 14);
+  EXPECT_GE(fires, 7);
+}
+
+}  // namespace
+}  // namespace scoop::trickle

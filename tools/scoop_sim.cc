@@ -1,0 +1,157 @@
+// scoop_sim: command-line experiment runner.
+//
+//   scoop_sim [--policy=scoop|local|base|hash|hash-sim]
+//             [--source=real|unique|equal|random|gaussian]
+//             [--nodes=N] [--minutes=M] [--stabilization-minutes=M]
+//             [--sample-interval=S] [--query-interval=S]
+//             [--query-width-lo=F] [--query-width-hi=F]
+//             [--topology=testbed|random] [--trials=K] [--seed=S]
+//             [--batch=N] [--no-shortcut] [--no-descendants]
+//             [--owner-set=K] [--range-granularity=G]
+//             [--failure-fraction=F] [--failure-minute=M]
+//
+// Prints the message breakdown and success metrics for the configured run.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace {
+
+using namespace scoop;
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--policy=scoop|local|base|hash|hash-sim]\n"
+               "          [--source=real|unique|equal|random|gaussian]\n"
+               "          [--nodes=N] [--minutes=M] [--stabilization-minutes=M]\n"
+               "          [--sample-interval=S] [--query-interval=S]\n"
+               "          [--query-width-lo=F] [--query-width-hi=F]\n"
+               "          [--topology=testbed|random] [--trials=K] [--seed=S]\n"
+               "          [--batch=N] [--no-shortcut] [--no-descendants]\n"
+               "          [--owner-set=K] [--range-granularity=G]\n"
+               "          [--failure-fraction=F] [--failure-minute=M]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool MatchFlag(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+harness::Policy ParsePolicy(const std::string& name, const char* argv0) {
+  if (name == "scoop") return harness::Policy::kScoop;
+  if (name == "local") return harness::Policy::kLocal;
+  if (name == "base") return harness::Policy::kBase;
+  if (name == "hash") return harness::Policy::kHashAnalytical;
+  if (name == "hash-sim") return harness::Policy::kHashSim;
+  std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+  Usage(argv0);
+}
+
+workload::DataSourceKind ParseSource(const std::string& name, const char* argv0) {
+  if (name == "real") return workload::DataSourceKind::kReal;
+  if (name == "unique") return workload::DataSourceKind::kUnique;
+  if (name == "equal") return workload::DataSourceKind::kEqual;
+  if (name == "random") return workload::DataSourceKind::kRandom;
+  if (name == "gaussian") return workload::DataSourceKind::kGaussian;
+  std::fprintf(stderr, "unknown source '%s'\n", name.c_str());
+  Usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ExperimentConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    const char* arg = argv[i];
+    if (MatchFlag(arg, "--policy", &value) && value != nullptr) {
+      config.policy = ParsePolicy(value, argv[0]);
+    } else if (MatchFlag(arg, "--source", &value) && value != nullptr) {
+      config.source = ParseSource(value, argv[0]);
+    } else if (MatchFlag(arg, "--nodes", &value) && value != nullptr) {
+      config.num_nodes = std::atoi(value);
+    } else if (MatchFlag(arg, "--minutes", &value) && value != nullptr) {
+      config.duration = Minutes(std::atoi(value));
+    } else if (MatchFlag(arg, "--stabilization-minutes", &value) && value != nullptr) {
+      config.stabilization = Minutes(std::atoi(value));
+    } else if (MatchFlag(arg, "--sample-interval", &value) && value != nullptr) {
+      config.sample_interval = Seconds(std::atof(value));
+    } else if (MatchFlag(arg, "--query-interval", &value) && value != nullptr) {
+      config.query_interval = Seconds(std::atof(value));
+    } else if (MatchFlag(arg, "--query-width-lo", &value) && value != nullptr) {
+      config.query_width_lo = std::atof(value);
+    } else if (MatchFlag(arg, "--query-width-hi", &value) && value != nullptr) {
+      config.query_width_hi = std::atof(value);
+    } else if (MatchFlag(arg, "--topology", &value) && value != nullptr) {
+      config.preset = std::string(value) == "testbed" ? harness::TopologyPreset::kTestbed
+                                                      : harness::TopologyPreset::kRandom;
+    } else if (MatchFlag(arg, "--trials", &value) && value != nullptr) {
+      config.trials = std::atoi(value);
+    } else if (MatchFlag(arg, "--seed", &value) && value != nullptr) {
+      config.seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (MatchFlag(arg, "--batch", &value) && value != nullptr) {
+      config.max_batch = std::atoi(value);
+    } else if (MatchFlag(arg, "--no-shortcut", &value)) {
+      config.enable_neighbor_shortcut = false;
+    } else if (MatchFlag(arg, "--no-descendants", &value)) {
+      config.enable_descendant_routing = false;
+    } else if (MatchFlag(arg, "--owner-set", &value) && value != nullptr) {
+      config.builder.owner_set_size = std::atoi(value);
+    } else if (MatchFlag(arg, "--range-granularity", &value) && value != nullptr) {
+      config.builder.range_granularity = std::atoi(value);
+    } else if (MatchFlag(arg, "--failure-fraction", &value) && value != nullptr) {
+      config.node_failure_fraction = std::atof(value);
+    } else if (MatchFlag(arg, "--failure-minute", &value) && value != nullptr) {
+      config.failure_time = Minutes(std::atoi(value));
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  harness::ExperimentResult r = harness::RunExperiment(config);
+
+  std::printf("policy=%s source=%s nodes=%d minutes=%.0f trials=%d seed=%llu\n\n",
+              harness::PolicyName(config.policy),
+              workload::DataSourceKindName(config.source), config.num_nodes,
+              ToSeconds(config.duration) / 60, config.trials,
+              static_cast<unsigned long long>(config.seed));
+
+  harness::TablePrinter messages({"data", "summary", "mapping", "query", "reply",
+                                  "total(excl beacons)", "retx"});
+  messages.AddRow(
+      {harness::FormatCount(r.data()), harness::FormatCount(r.summary()),
+       harness::FormatCount(r.mapping()),
+       harness::FormatCount(r.sent_by_type[static_cast<size_t>(PacketType::kQuery)]),
+       harness::FormatCount(r.sent_by_type[static_cast<size_t>(PacketType::kReply)]),
+       harness::FormatCount(r.total_excl_beacons),
+       harness::FormatCount(r.retransmissions)});
+  messages.Print();
+
+  std::printf("\n");
+  harness::TablePrinter health({"stored", "owner-hit", "q-success", "summaries@base",
+                                "%nodes-queried", "indices(diss/supp)"});
+  health.AddRow({harness::FormatPercent(r.storage_success),
+                 harness::FormatPercent(r.owner_hit_rate),
+                 harness::FormatPercent(r.query_success),
+                 harness::FormatPercent(r.summary_delivery),
+                 harness::FormatPercent(r.avg_pct_nodes_queried),
+                 harness::FormatCount(r.indices_disseminated) + "/" +
+                     harness::FormatCount(r.indices_suppressed)});
+  health.Print();
+  return 0;
+}
