@@ -1,0 +1,137 @@
+// Move-only type-erased `void()` callable with inline storage. The
+// discrete-event queue runs one of these per simulated event, so unlike
+// std::function (16-byte small-object buffer in libstdc++) the buffer is
+// sized to hold typical simulator callbacks -- `this` plus a few scalars,
+// or a whole std::function forwarded from the App::Context interface --
+// without touching the allocator. Larger or potentially-throwing-move
+// callables fall back to a single heap box.
+#ifndef SCOOP_COMMON_SMALL_CALLBACK_H_
+#define SCOOP_COMMON_SMALL_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace scoop {
+
+class SmallCallback {
+ public:
+  /// Callables up to this size (and max_align_t alignment, and nothrow move)
+  /// are stored inline; anything bigger is heap-boxed.
+  static constexpr size_t kInlineBytes = 48;
+
+  SmallCallback() = default;
+  SmallCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    // A null function pointer or empty std::function yields an empty
+    // SmallCallback, so callers' null checks reject it up front instead of
+    // it exploding at invoke time. (Lambdas are not bool-testable, so this
+    // costs the common path nothing.)
+    if constexpr (std::is_constructible_v<bool, Fn&>) {
+      if (!static_cast<bool>(f)) return;
+    }
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &BoxedOps<Fn>::kOps;
+    }
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  SmallCallback(SmallCallback&& other) noexcept { MoveFrom(other); }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallCallback& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  ~SmallCallback() { Reset(); }
+
+  /// Invokes the stored callable; undefined if empty.
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  friend bool operator==(const SmallCallback& f, std::nullptr_t) { return !f; }
+  friend bool operator==(std::nullptr_t, const SmallCallback& f) { return !f; }
+  friend bool operator!=(const SmallCallback& f, std::nullptr_t) {
+    return static_cast<bool>(f);
+  }
+  friend bool operator!=(std::nullptr_t, const SmallCallback& f) {
+    return static_cast<bool>(f);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Moves the representation from `from` into the raw buffer `to` and
+    /// ends `from`'s lifetime; `from` must not be destroyed again.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* self) { (*static_cast<Fn*>(self))(); }
+    static void Relocate(void* from, void* to) {
+      Fn* f = static_cast<Fn*>(from);
+      ::new (to) Fn(std::move(*f));
+      f->~Fn();
+    }
+    static void Destroy(void* self) { static_cast<Fn*>(self)->~Fn(); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct BoxedOps {
+    static void Invoke(void* self) { (**static_cast<Fn**>(self))(); }
+    static void Relocate(void* from, void* to) {
+      ::new (to) Fn*(*static_cast<Fn**>(from));
+    }
+    static void Destroy(void* self) { delete *static_cast<Fn**>(self); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(SmallCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_SMALL_CALLBACK_H_

@@ -1,54 +1,152 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
 
 namespace scoop::sim {
 
+uint32_t EventQueue::AcquireSlot() {
+  if (free_head_ != kNilSlot) {
+    uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  SCOOP_CHECK_LT(slots_.size(), static_cast<size_t>(kNilSlot));
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(uint32_t index) {
+  Slot& s = slots_[index];
+  s.key = 0;
+  s.fn = nullptr;
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
 EventId EventQueue::ScheduleAt(SimTime at, Callback fn) {
   SCOOP_CHECK_GE(at, now_);
   SCOOP_CHECK(fn != nullptr);
-  EventId id = next_id_++;
-  heap_.push(HeapEntry{at, id});
-  pending_.emplace(id, std::move(fn));
-  return id;
+  uint32_t index = AcquireSlot();
+  // 2^40 schedules per queue; a run that long would take years of CPU.
+  SCOOP_CHECK_LT(next_seq_ + 1, uint64_t{1} << (64 - kSlotBits));
+  uint64_t key = (++next_seq_ << kSlotBits) | index;
+  Slot& s = slots_[index];
+  s.key = key;
+  s.fn = std::move(fn);
+  heap_.push_back(HeapEntry{at, key});
+  SiftUp(heap_.size() - 1);
+  ++live_;
+  return key;
 }
 
 void EventQueue::Cancel(EventId id) {
-  pending_.erase(id);  // Heap entry is skipped lazily in RunOne().
+  // Reject kInvalidEventId explicitly: a free slot's key is 0, so id 0
+  // would otherwise match it and double-release the slot.
+  if (id == kInvalidEventId) return;
+  uint32_t index = static_cast<uint32_t>(id & kSlotMask);
+  if (index >= slots_.size()) return;
+  if (slots_[index].key != id) return;  // Already ran, cancelled, or reused.
+  ReleaseSlot(index);
+  --live_;
+  ++stale_;  // Its heap entry stays behind until skimmed or compacted.
+  MaybeCompact();
+}
+
+void EventQueue::SiftUp(size_t pos) {
+  HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    size_t parent = (pos - 1) >> 2;
+    if (!Earlier(e, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = e;
+}
+
+void EventQueue::SiftDown(size_t pos) {
+  HeapEntry e = heap_[pos];
+  const size_t n = heap_.size();
+  HeapEntry* h = heap_.data();
+  for (;;) {
+    size_t child = (pos << 2) + 1;
+    size_t best;
+    if (child + 3 < n) {
+      // Full node: tournament-select the earliest of the four children
+      // (two independent compares, then one) instead of a serial chain.
+      size_t lo = child + (Earlier(h[child + 1], h[child]) ? 1 : 0);
+      size_t hi = child + (Earlier(h[child + 3], h[child + 2]) ? 3 : 2);
+      best = Earlier(h[hi], h[lo]) ? hi : lo;
+    } else if (child < n) {
+      best = child;
+      for (size_t c = child + 1; c < n; ++c) {
+        if (Earlier(h[c], h[best])) best = c;
+      }
+    } else {
+      break;
+    }
+    if (!Earlier(h[best], e)) break;
+    h[pos] = h[best];
+    pos = best;
+  }
+  h[pos] = e;
+}
+
+void EventQueue::PopTop() {
+  HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    SiftDown(0);
+  }
+}
+
+void EventQueue::SkimStale() {
+  while (!heap_.empty() && !IsLive(heap_.front())) {
+    PopTop();
+    --stale_;
+  }
 }
 
 bool EventQueue::RunOne() {
-  while (!heap_.empty()) {
-    HeapEntry top = heap_.top();
-    heap_.pop();
-    auto it = pending_.find(top.id);
-    if (it == pending_.end()) continue;  // Cancelled.
-    Callback fn = std::move(it->second);
-    pending_.erase(it);
-    SCOOP_CHECK_GE(top.at, now_);
-    now_ = top.at;
-    ++processed_;
-    fn();
-    return true;
-  }
-  return false;
+  SkimStale();
+  if (heap_.empty()) return false;
+  HeapEntry top = heap_.front();
+  PopTop();
+  SCOOP_CHECK_GE(top.at, now_);
+  // Release the slot before invoking, so the callback can schedule into it;
+  // the fresh key a reuse gets keeps the old id stale.
+  uint32_t index = static_cast<uint32_t>(top.key & kSlotMask);
+  Callback fn = std::move(slots_[index].fn);
+  ReleaseSlot(index);
+  --live_;
+  now_ = top.at;
+  ++processed_;
+  fn();
+  return true;
 }
 
 void EventQueue::RunUntil(SimTime end) {
-  while (!heap_.empty()) {
-    HeapEntry top = heap_.top();
-    if (top.at > end) break;
-    auto it = pending_.find(top.id);
-    if (it == pending_.end()) {
-      heap_.pop();
-      continue;
-    }
+  for (;;) {
+    SkimStale();
+    if (heap_.empty() || heap_.front().at > end) break;
     RunOne();
   }
   SCOOP_CHECK_GE(end, now_);
   now_ = end;
+}
+
+void EventQueue::Compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) { return !IsLive(e); }),
+              heap_.end());
+  // Floyd heapify: sift down every internal node, deepest first.
+  if (heap_.size() > 1) {
+    for (size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) SiftDown(i);
+  }
+  stale_ = 0;
 }
 
 }  // namespace scoop::sim

@@ -1,28 +1,43 @@
 // Deterministic discrete-event scheduler: the heart of the simulator.
+//
+// Hot-path design: callbacks live in a slab of reusable slots addressed by
+// index, so schedule/cancel/run perform no per-event heap allocation (the
+// seed paid an unordered_map node per event plus std::function boxing; see
+// common/small_callback.h for the callback side). An EventId packs the
+// slot index (low 24 bits) with a monotonic schedule sequence number (high
+// 40 bits); the same value is the heap tie-breaker and the staleness
+// check, so handles of events that already ran, were cancelled, or whose
+// slot was reused are rejected with one compare and no lookup table.
+// Events sit in a 4-ary implicit min-heap of 16-byte entries (half the
+// levels of a binary heap, cache-line-friendly sift paths). Cancelled
+// entries are dropped lazily at the top and compacted away in bulk once
+// they outnumber live ones, keeping the heap bounded under the
+// cancel/reschedule churn of Trickle timers and radio timeouts.
 #ifndef SCOOP_SIM_EVENT_QUEUE_H_
 #define SCOOP_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
+#include "common/small_callback.h"
 
 namespace scoop::sim {
 
-/// Handle for a scheduled event, usable with Cancel().
+/// Handle for a scheduled event, usable with Cancel(). Packs the schedule
+/// sequence number (high 40 bits) over the slab slot index (low 24 bits).
 using EventId = uint64_t;
 
-/// Sentinel for "no event".
+/// Sentinel for "no event". Sequence numbers start at 1, so no id is 0.
 inline constexpr EventId kInvalidEventId = 0;
 
 /// Min-heap of timed callbacks. Ties in time are broken by scheduling order,
 /// making runs bit-reproducible.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -32,7 +47,9 @@ class EventQueue {
   EventId ScheduleAt(SimTime at, Callback fn);
 
   /// Schedules `fn` to run `delay` from now.
-  EventId ScheduleAfter(SimTime delay, Callback fn) { return ScheduleAt(now_ + delay, fn); }
+  EventId ScheduleAfter(SimTime delay, Callback fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
 
   /// Cancels a pending event; no-op if it already ran or was cancelled.
   void Cancel(EventId id);
@@ -41,10 +58,10 @@ class EventQueue {
   SimTime now() const { return now_; }
 
   /// True iff no events are pending.
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return live_ == 0; }
 
-  /// Number of pending events.
-  size_t size() const { return pending_.size(); }
+  /// Number of pending (scheduled and not cancelled) events.
+  size_t size() const { return live_; }
 
   /// Runs the earliest pending event. Returns false when the queue is empty.
   bool RunOne();
@@ -55,20 +72,66 @@ class EventQueue {
   /// Total number of events executed so far (for tests and benchmarks).
   size_t processed() const { return processed_; }
 
+  /// Heap entries currently held, including cancelled entries not yet
+  /// compacted away. Compaction keeps this O(size()); exposed so tests can
+  /// assert the heap stays bounded under cancel-heavy workloads.
+  size_t heap_size() const { return heap_.size(); }
+
  private:
+  /// Low bits of an id/key addressing the slab slot.
+  static constexpr int kSlotBits = 24;
+  static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr uint32_t kNilSlot = kSlotMask;
+
   struct HeapEntry {
     SimTime at;
-    EventId id;
-    bool operator>(const HeapEntry& other) const {
-      if (at != other.at) return at > other.at;
-      return id > other.id;
-    }
+    /// (seq << kSlotBits) | slot: unique per schedule, monotonic in
+    /// scheduling order (seq occupies the high bits), doubles as EventId.
+    uint64_t key;
   };
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
-  std::unordered_map<EventId, Callback> pending_;
+  struct Slot {
+    Callback fn;
+    uint64_t key = 0;  ///< Id of the armed event, 0 while free.
+    uint32_t next_free = kNilSlot;
+  };
+
+  /// Heap order: true iff `a` fires before `b`.
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.key < b.key;
+  }
+
+  /// True iff the entry's event is still armed (not run/cancelled/reused).
+  bool IsLive(const HeapEntry& e) const {
+    return slots_[e.key & kSlotMask].key == e.key;
+  }
+
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t index);
+
+  // 4-ary implicit heap over heap_.
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+  /// Removes the heap top (which must exist).
+  void PopTop();
+  /// Drops cancelled entries off the heap top.
+  void SkimStale();
+  void MaybeCompact() {
+    // Amortized O(1) per cancel: rebuild only once stale entries outnumber
+    // live ones (and are numerous enough to make the rebuild worthwhile).
+    if (stale_ >= 64 && stale_ * 2 > heap_.size()) Compact();
+  }
+  /// Rebuilds the heap from live entries only.
+  void Compact();
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNilSlot;
+  size_t live_ = 0;    ///< Armed slots.
+  size_t stale_ = 0;   ///< Cancelled entries still sitting in heap_.
+  uint64_t next_seq_ = 0;
   SimTime now_ = 0;
-  EventId next_id_ = 1;
   size_t processed_ = 0;
 };
 

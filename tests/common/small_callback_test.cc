@@ -1,0 +1,111 @@
+#include "common/small_callback.h"
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace scoop {
+namespace {
+
+TEST(SmallCallbackTest, DefaultIsEmpty) {
+  SmallCallback cb;
+  EXPECT_FALSE(cb);
+  EXPECT_TRUE(cb == nullptr);
+  EXPECT_FALSE(cb != nullptr);
+}
+
+TEST(SmallCallbackTest, InvokesSmallLambda) {
+  int count = 0;
+  SmallCallback cb = [&count] { ++count; };
+  ASSERT_TRUE(cb != nullptr);
+  cb();
+  cb();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SmallCallbackTest, HoldsCapturesAcrossMove) {
+  int sum = 0;
+  int64_t a = 3, b = 4, c = 5;  // 32 bytes of capture: inline territory.
+  SmallCallback cb = [&sum, a, b, c] { sum += static_cast<int>(a + b + c); };
+  SmallCallback moved = std::move(cb);
+  EXPECT_FALSE(cb);  // NOLINT(bugprone-use-after-move): moved-from is empty.
+  ASSERT_TRUE(moved);
+  moved();
+  EXPECT_EQ(sum, 12);
+}
+
+TEST(SmallCallbackTest, HeapFallbackForLargeCapture) {
+  char big[128];
+  std::memset(big, 7, sizeof(big));
+  int out = 0;
+  SmallCallback cb = [big, &out] { out = big[100]; };
+  SmallCallback moved = std::move(cb);
+  moved();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(SmallCallbackTest, DestroysCaptureExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  EXPECT_EQ(counter.use_count(), 1);
+  {
+    SmallCallback cb = [counter] { };
+    EXPECT_EQ(counter.use_count(), 2);
+    SmallCallback moved = std::move(cb);
+    EXPECT_EQ(counter.use_count(), 2);  // Moved, not copied.
+  }
+  EXPECT_EQ(counter.use_count(), 1);  // Destroyed with the callback.
+}
+
+TEST(SmallCallbackTest, MoveAssignReleasesPreviousTarget) {
+  auto first = std::make_shared<int>(1);
+  auto second = std::make_shared<int>(2);
+  SmallCallback cb = [first] { };
+  cb = SmallCallback([second] { });
+  EXPECT_EQ(first.use_count(), 1);  // Old target destroyed by assignment.
+  EXPECT_EQ(second.use_count(), 2);
+  cb = nullptr;
+  EXPECT_EQ(second.use_count(), 1);
+  EXPECT_FALSE(cb);
+}
+
+TEST(SmallCallbackTest, WrapsStdFunctionInline) {
+  // App::Context::Schedule forwards std::function callbacks into the event
+  // queue; a whole std::function must fit in the inline buffer.
+  static_assert(sizeof(std::function<void()>) <= SmallCallback::kInlineBytes);
+  int count = 0;
+  std::function<void()> fn = [&count] { ++count; };
+  SmallCallback cb = fn;  // Copies the std::function in.
+  cb();
+  fn();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SmallCallbackTest, EmptyStdFunctionYieldsEmptyCallback) {
+  // The event queue checks callbacks for null at schedule time; an empty
+  // std::function smuggled through App::Context::Schedule must trip that
+  // check rather than throw bad_function_call when the event fires.
+  SmallCallback from_fn = std::function<void()>();
+  EXPECT_FALSE(from_fn);
+  EXPECT_TRUE(from_fn == nullptr);
+
+  void (*fp)() = nullptr;
+  SmallCallback from_ptr = fp;
+  EXPECT_FALSE(from_ptr);
+}
+
+TEST(SmallCallbackTest, SelfContainedAfterSourceScopeEnds) {
+  SmallCallback cb;
+  int out = 0;
+  {
+    int64_t local = 41;
+    cb = [&out, local] { out = static_cast<int>(local) + 1; };
+  }
+  cb();
+  EXPECT_EQ(out, 42);
+}
+
+}  // namespace
+}  // namespace scoop

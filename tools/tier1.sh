@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure + build (warnings as errors) + full ctest suite.
+# Usage: tools/tier1.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${repo_root}/${build_dir}" -S "${repo_root}"
+cmake --build "${repo_root}/${build_dir}" -j "${jobs}"
+ctest --test-dir "${repo_root}/${build_dir}" --output-on-failure -j "${jobs}"
