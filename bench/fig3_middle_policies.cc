@@ -2,41 +2,65 @@
 // HASH, and BASE over the REAL data trace. Reproduces the per-policy
 // message breakdown (data / summary / mapping / query+reply).
 //
+// The experiment grid comes from the registered `fig3_middle` scenario, so
+// this bench and `scoop_campaign --scenario=fig3_middle` cannot drift
+// apart: both expand the same .scn spec.
+//
 // Paper shape: SCOOP pays summary+mapping overhead but slashes data and
 // query/reply traffic, landing well below LOCAL and BASE; HASH ≈ BASE
 // because query and data rates are comparable.
 #include <cstdio>
+#include <cstdlib>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "scenario/campaign.h"
+#include "scenario/scenario_registry.h"
 
 int main() {
   using namespace scoop;
-  harness::ExperimentConfig config;
-  config.source = workload::DataSourceKind::kReal;
-  config.preset = harness::TopologyPreset::kRandom;
+  Result<scenario::Scenario> scn = scenario::LoadRegisteredScenario("fig3_middle");
+  if (!scn.ok()) {
+    std::fprintf(stderr, "error: %s\n", scn.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<scenario::ExpandedRun>> runs = scenario::ExpandScenario(scn.value());
+  if (!runs.ok()) {
+    std::fprintf(stderr, "error: %s\n", runs.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("=== Figure 3 (middle): policies over the REAL trace, simulation ===\n");
   std::printf("62 nodes + base, 40 min (10 min stabilization), sample 1/15s,\n");
   std::printf("query 1/15s over 1-5%% of the domain, averaged over %d trials.\n\n",
-              config.trials);
+              scn.value().base.trials);
+
+  // Run the whole grid first: the "vs scoop" ratio needs the scoop total,
+  // and the scenario text controls row order, so don't assume scoop is
+  // first.
+  std::vector<harness::ExperimentResult> results;
+  double scoop_total = 0;
+  for (const scenario::ExpandedRun& run : runs.value()) {
+    results.push_back(harness::RunExperiment(run.config));
+    if (run.config.policy == harness::Policy::kScoop) {
+      scoop_total = results.back().total_excl_beacons;
+    }
+  }
 
   harness::TablePrinter table({"policy", "data", "summary", "mapping", "query", "reply",
                                "total", "vs scoop"});
-  double scoop_total = 0;
-  for (harness::Policy policy :
-       {harness::Policy::kScoop, harness::Policy::kLocal, harness::Policy::kHashAnalytical,
-        harness::Policy::kBase}) {
-    config.policy = policy;
-    harness::ExperimentResult r = harness::RunExperiment(config);
-    if (policy == harness::Policy::kScoop) scoop_total = r.total_excl_beacons;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const scenario::ExpandedRun& run = runs.value()[i];
+    const harness::ExperimentResult& r = results[i];
     table.AddRow(
-        {harness::PolicyName(policy), harness::FormatCount(r.data()),
+        {harness::PolicyName(run.config.policy), harness::FormatCount(r.data()),
          harness::FormatCount(r.summary()), harness::FormatCount(r.mapping()),
          harness::FormatCount(r.sent_by_type[static_cast<size_t>(PacketType::kQuery)]),
          harness::FormatCount(r.sent_by_type[static_cast<size_t>(PacketType::kReply)]),
          harness::FormatCount(r.total_excl_beacons),
-         harness::FormatDouble(r.total_excl_beacons / scoop_total, 2) + "x"});
+         scoop_total > 0
+             ? harness::FormatDouble(r.total_excl_beacons / scoop_total, 2) + "x"
+             : "n/a"});
   }
   table.Print();
   std::printf(

@@ -29,6 +29,12 @@ sim::Topology MakeTopology(const ExperimentConfig& config, uint64_t seed) {
     opts.seed = seed;
     return sim::Topology::MakeTestbed(opts);
   }
+  if (config.preset == TopologyPreset::kGrid) {
+    sim::GridTopologyOptions opts;
+    opts.num_nodes = config.num_nodes;
+    opts.seed = seed;
+    return sim::Topology::MakeGrid(opts);
+  }
   sim::RandomTopologyOptions opts;
   opts.num_nodes = config.num_nodes;
   opts.seed = seed;
@@ -156,6 +162,14 @@ class QueryDriver {
     if (at > config_.duration - Seconds(2)) return;
     network_->queue().ScheduleAt(at, [this, at] {
       IssueOne();
+      // Burst mode: the remaining burst_size-1 queries follow at
+      // burst-spacing offsets (burst_size == 1 schedules nothing extra, so
+      // the steady workload's event sequence is untouched).
+      for (int k = 1; k < config_.query_burst_size; ++k) {
+        SimTime burst_at = at + k * config_.query_burst_spacing;
+        if (burst_at > config_.duration - Seconds(2)) break;
+        network_->queue().ScheduleAt(burst_at, [this] { IssueOne(); });
+      }
       ScheduleNext(at + config_.query_interval);
     });
   }
@@ -209,6 +223,18 @@ class QueryDriver {
 
 }  // namespace
 
+const char* TopologyPresetName(TopologyPreset preset) {
+  switch (preset) {
+    case TopologyPreset::kTestbed:
+      return "testbed";
+    case TopologyPreset::kRandom:
+      return "random";
+    case TopologyPreset::kGrid:
+      return "grid";
+  }
+  return "?";
+}
+
 const char* PolicyName(Policy policy) {
   switch (policy) {
     case Policy::kScoop:
@@ -254,17 +280,29 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   network.Start();
   queries.Start();
 
-  // Failure injection: kill a random subset of sensor nodes mid-run.
+  // Failure injection: kill random subsets of sensor nodes mid-run, in one
+  // or more waves. Victims are drawn without replacement from one shuffled
+  // order, so wave 0 kills exactly the set the single-event configuration
+  // always killed.
   if (config.node_failure_fraction > 0) {
     Rng failure_rng(MixSeed(seed, 0xDEAD));
     std::vector<NodeId> victims;
     for (int i = 1; i < config.num_nodes; ++i) victims.push_back(static_cast<NodeId>(i));
     failure_rng.Shuffle(victims.begin(), victims.end());
-    int kills = static_cast<int>(config.node_failure_fraction * (config.num_nodes - 1));
-    victims.resize(static_cast<size_t>(std::clamp(kills, 0, config.num_nodes - 1)));
-    network.queue().ScheduleAt(config.failure_time, [&network, victims] {
-      for (NodeId v : victims) network.SetNodeAlive(v, false);
-    });
+    int per_wave = static_cast<int>(config.node_failure_fraction * (config.num_nodes - 1));
+    per_wave = std::clamp(per_wave, 0, config.num_nodes - 1);
+    size_t begin = 0;
+    for (int w = 0; w < std::max(1, config.failure_wave_count); ++w) {
+      size_t end = std::min(victims.size(), begin + static_cast<size_t>(per_wave));
+      if (begin >= end) break;
+      std::vector<NodeId> wave(victims.begin() + static_cast<ptrdiff_t>(begin),
+                               victims.begin() + static_cast<ptrdiff_t>(end));
+      network.queue().ScheduleAt(config.failure_time + w * config.failure_wave_interval,
+                                 [&network, wave] {
+                                   for (NodeId v : wave) network.SetNodeAlive(v, false);
+                                 });
+      begin = end;
+    }
   }
 
   network.RunUntil(config.duration);
@@ -335,12 +373,24 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   return r;
 }
 
-ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  if (config.policy == Policy::kHashAnalytical) return HashAnalysisAsResult(config);
-  SCOOP_CHECK_GE(config.trials, 1);
+ExperimentResult RunAnyTrial(const ExperimentConfig& config, uint64_t seed) {
+  if (config.policy == Policy::kHashAnalytical) {
+    core::HashModelResult m = RunHashAnalysis(config, seed);
+    ExperimentResult r;
+    r.sent_by_type[static_cast<size_t>(PacketType::kData)] = m.data_messages;
+    r.sent_by_type[static_cast<size_t>(PacketType::kQuery)] = m.query_messages;
+    r.sent_by_type[static_cast<size_t>(PacketType::kReply)] = m.reply_messages;
+    r.total = m.total;
+    r.total_excl_beacons = m.total;
+    return r;
+  }
+  return RunTrial(config, seed);
+}
+
+ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
+  SCOOP_CHECK_GE(trials.size(), 1u);
   ExperimentResult sum;
-  for (int trial = 0; trial < config.trials; ++trial) {
-    ExperimentResult r = RunTrial(config, MixSeed(config.seed, static_cast<uint64_t>(trial)));
+  for (const ExperimentResult& r : trials) {
     for (int t = 0; t < kNumPacketTypes; ++t) {
       sum.sent_by_type[static_cast<size_t>(t)] += r.sent_by_type[static_cast<size_t>(t)];
     }
@@ -367,7 +417,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     sum.avg_node_lifetime_days += r.avg_node_lifetime_days;
     sum.root_lifetime_days += r.root_lifetime_days;
   }
-  double k = static_cast<double>(config.trials);
+  double k = static_cast<double>(trials.size());
   for (int t = 0; t < kNumPacketTypes; ++t) sum.sent_by_type[static_cast<size_t>(t)] /= k;
   sum.total /= k;
   sum.total_excl_beacons /= k;
@@ -392,6 +442,16 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   sum.avg_node_lifetime_days /= k;
   sum.root_lifetime_days /= k;
   return sum;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  SCOOP_CHECK_GE(config.trials, 1);
+  std::vector<ExperimentResult> rows;
+  rows.reserve(static_cast<size_t>(config.trials));
+  for (int trial = 0; trial < config.trials; ++trial) {
+    rows.push_back(RunAnyTrial(config, MixSeed(config.seed, static_cast<uint64_t>(trial))));
+  }
+  return AggregateTrials(rows);
 }
 
 core::HashModelResult RunHashAnalysis(const ExperimentConfig& config, uint64_t seed) {
@@ -433,23 +493,8 @@ core::HashModelResult RunHashAnalysis(const ExperimentConfig& config, uint64_t s
 }
 
 ExperimentResult HashAnalysisAsResult(const ExperimentConfig& config) {
-  core::HashModelResult sum;
-  for (int trial = 0; trial < config.trials; ++trial) {
-    core::HashModelResult r =
-        RunHashAnalysis(config, MixSeed(config.seed, static_cast<uint64_t>(trial)));
-    sum.data_messages += r.data_messages;
-    sum.query_messages += r.query_messages;
-    sum.reply_messages += r.reply_messages;
-    sum.total += r.total;
-  }
-  double k = static_cast<double>(std::max(1, config.trials));
-  ExperimentResult result;
-  result.sent_by_type[static_cast<size_t>(PacketType::kData)] = sum.data_messages / k;
-  result.sent_by_type[static_cast<size_t>(PacketType::kQuery)] = sum.query_messages / k;
-  result.sent_by_type[static_cast<size_t>(PacketType::kReply)] = sum.reply_messages / k;
-  result.total = sum.total / k;
-  result.total_excl_beacons = sum.total / k;
-  return result;
+  SCOOP_CHECK(config.policy == Policy::kHashAnalytical);
+  return RunExperiment(config);
 }
 
 }  // namespace scoop::harness

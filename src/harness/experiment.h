@@ -9,6 +9,7 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/hash_model.h"
 #include "core/index_builder.h"
@@ -30,11 +31,15 @@ enum class Policy {
 
 const char* PolicyName(Policy policy);
 
-/// Topology families (§6: 62-node office testbed and TOSSIM topologies).
+/// Topology families (§6: 62-node office testbed and TOSSIM topologies,
+/// plus the dense-lattice extension).
 enum class TopologyPreset {
   kTestbed,  ///< Elongated office floor, base near one end.
   kRandom,   ///< Uniform square area, base in a corner.
+  kGrid,     ///< Dense square lattice, base at a corner.
 };
+
+const char* TopologyPresetName(TopologyPreset preset);
 
 /// One experiment specification. Defaults mirror the paper's §6 table.
 struct ExperimentConfig {
@@ -54,6 +59,11 @@ struct ExperimentConfig {
 
   bool queries_enabled = true;
   SimTime query_interval = Seconds(15);
+  /// Queries per burst: every query_interval, this many queries are issued
+  /// back to back (spaced query_burst_spacing apart). 1 = the paper's
+  /// steady workload; >1 models a user session hammering the basestation.
+  int query_burst_size = 1;
+  SimTime query_burst_spacing = Seconds(1);
   /// Value-range queries (§3 default) or explicit node-list queries (§5.5,
   /// used by Figure 4's selectivity sweep).
   enum class QueryMode { kValueRange, kNodeList };
@@ -75,6 +85,12 @@ struct ExperimentConfig {
   /// nodes fail or move out of range mid-deployment.
   double node_failure_fraction = 0.0;
   SimTime failure_time = Minutes(20);
+  /// Failure waves: the fraction above is killed again at each of
+  /// `failure_wave_count` instants spaced `failure_wave_interval` apart
+  /// (wave w at failure_time + w * interval), each wave claiming fresh
+  /// victims. 1 = the single mid-run failure event.
+  int failure_wave_count = 1;
+  SimTime failure_wave_interval = Minutes(5);
 
   // --- Scoop feature knobs (ablations) ---
   int max_batch = 5;
@@ -144,6 +160,17 @@ ExperimentResult RunExperiment(const ExperimentConfig& config);
 
 /// Runs a single trial with an explicit seed.
 ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed);
+
+/// Runs one trial of any policy with an explicit seed: simulation for the
+/// simulated policies, the closed-form model for kHashAnalytical. Reentrant
+/// (no shared mutable state), so trials may run on concurrent threads; the
+/// campaign runner shards on this.
+ExperimentResult RunAnyTrial(const ExperimentConfig& config, uint64_t seed);
+
+/// Averages per-trial rows into the aggregate the benches print. Summation
+/// follows the order of `trials`, so a fixed row order yields bit-identical
+/// aggregates regardless of how the trials were scheduled.
+ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials);
 
 /// Evaluates the paper's analytical HASH model for this workload over the
 /// same topology the simulation would use.

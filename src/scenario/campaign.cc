@@ -1,0 +1,139 @@
+#include "scenario/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "scenario/scenario_parser.h"
+
+namespace scoop::scenario {
+
+Result<std::vector<ExpandedRun>> ExpandScenario(const Scenario& scenario) {
+  // Bound the materialized grid before building it: each axis is capped at
+  // parse time, but the cross product of modest axes can still explode.
+  constexpr uint64_t kMaxCombos = 100000;
+  uint64_t combos = 1;
+  for (const SweepAxis& axis : scenario.sweeps) {
+    if (axis.values.empty()) {
+      return Status::InvalidArgument("sweep axis '" + axis.key + "' has no values");
+    }
+    combos *= axis.values.size();
+    if (combos > kMaxCombos) {
+      return Status::ResourceExhausted(
+          "sweep cross product exceeds " + std::to_string(kMaxCombos) +
+          " combos at axis '" + axis.key + "'");
+    }
+  }
+
+  std::vector<ExpandedRun> runs;
+  runs.push_back(ExpandedRun{{}, scenario.base});
+  // Cross product, one axis at a time: each existing run forks once per
+  // axis value, keeping earlier axes as the slower-varying dimensions.
+  for (const SweepAxis& axis : scenario.sweeps) {
+    std::vector<ExpandedRun> next;
+    next.reserve(runs.size() * axis.values.size());
+    for (const ExpandedRun& run : runs) {
+      for (const std::string& value : axis.values) {
+        ExpandedRun forked = run;
+        Status s = ApplyScenarioKey(&forked.config, axis.key, value);
+        if (!s.ok()) {
+          return Status::InvalidArgument("sweep '" + axis.key + "' value '" + value +
+                                         "': " + s.message());
+        }
+        forked.axes.emplace_back(axis.key, value);
+        next.push_back(std::move(forked));
+      }
+    }
+    runs = std::move(next);
+  }
+  // Re-check cross-field invariants per combo: a sweep can move one side
+  // of a pair constraint the base-config check saw as consistent.
+  for (const ExpandedRun& run : runs) {
+    Status valid = ValidateConfig(run.config);
+    if (!valid.ok()) {
+      std::string where;
+      for (const auto& [key, value] : run.axes) where += " " + key + "=" + value;
+      return Status::InvalidArgument("combo" + (where.empty() ? " <base>" : where) + ": " +
+                                     valid.message());
+    }
+  }
+  return runs;
+}
+
+Result<CampaignResult> RunCampaign(const Scenario& scenario, const CampaignOptions& options) {
+  Result<std::vector<ExpandedRun>> expanded = ExpandScenario(scenario);
+  if (!expanded.ok()) return expanded.status();
+  const std::vector<ExpandedRun>& runs = expanded.value();
+
+  CampaignResult result;
+  result.scenario_name = scenario.name;
+  result.description = scenario.description;
+  for (const SweepAxis& axis : scenario.sweeps) result.axis_keys.push_back(axis.key);
+  result.rows.resize(runs.size());
+
+  // Flatten the grid into (combo, trial) units with pre-assigned result
+  // slots; workers claim units off an atomic cursor. Slot writes are
+  // disjoint, so no locking, and aggregation below reads the grid in its
+  // fixed order -- results cannot depend on which thread ran what when.
+  struct Unit {
+    size_t combo;
+    int trial;
+    uint64_t seed;
+  };
+  // Bound the (combo x trial) grid before materializing per-trial result
+  // slots: the combo cap alone still admits combos * trials blowups.
+  constexpr uint64_t kMaxTrialRuns = 100000;
+  uint64_t total_trials = 0;
+  for (const ExpandedRun& run : runs) {
+    SCOOP_CHECK_GE(run.config.trials, 1);
+    total_trials += static_cast<uint64_t>(run.config.trials);
+  }
+  if (total_trials > kMaxTrialRuns) {
+    return Status::ResourceExhausted("campaign grid has " + std::to_string(total_trials) +
+                                     " trial runs, more than the " +
+                                     std::to_string(kMaxTrialRuns) + " allowed");
+  }
+
+  std::vector<Unit> units;
+  units.reserve(total_trials);
+  for (size_t c = 0; c < runs.size(); ++c) {
+    const harness::ExperimentConfig& config = runs[c].config;
+    result.rows[c].axes = runs[c].axes;
+    result.rows[c].config = config;
+    result.rows[c].trials.resize(static_cast<size_t>(config.trials));
+    for (int t = 0; t < config.trials; ++t) {
+      units.push_back(Unit{c, t, MixSeed(config.seed, static_cast<uint64_t>(t))});
+    }
+  }
+
+  int threads = options.threads;
+  if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::clamp(threads, 1, static_cast<int>(units.size()));
+
+  std::atomic<size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= units.size()) return;
+      const Unit& unit = units[i];
+      result.rows[unit.combo].trials[static_cast<size_t>(unit.trial)] =
+          harness::RunAnyTrial(result.rows[unit.combo].config, unit.seed);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  result.threads_used = threads;
+
+  for (CampaignRow& row : result.rows) row.mean = harness::AggregateTrials(row.trials);
+  return result;
+}
+
+}  // namespace scoop::scenario

@@ -1,0 +1,36 @@
+// The shipped scenario library: the paper's five §6 figures/tables plus
+// the extension workloads (dense grid, bursty queries, failure waves,
+// skewed Gaussian) and a tiny CI smoke scenario, each embedded as .scn
+// text. Embedding the text (not pre-built structs) keeps the registry
+// honest: every shipped scenario goes through the same parser users' files
+// do, and `scoop_campaign --print=NAME` hands users a starting point.
+#ifndef SCOOP_SCENARIO_SCENARIO_REGISTRY_H_
+#define SCOOP_SCENARIO_SCENARIO_REGISTRY_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/status.h"
+#include "scenario/scenario.h"
+
+namespace scoop::scenario {
+
+/// One embedded scenario: its registry name and its .scn source text.
+struct RegistryEntry {
+  const char* name;
+  const char* spec;
+};
+
+/// The full registry, in display order.
+const RegistryEntry* RegisteredScenarios(size_t* count);
+
+/// The .scn text for `name`, or nullptr if not registered.
+const char* FindRegisteredSpec(std::string_view name);
+
+/// Parses the registered scenario `name` (NotFound if absent; embedded
+/// specs always parse, enforced by the registry test).
+Result<Scenario> LoadRegisteredScenario(std::string_view name);
+
+}  // namespace scoop::scenario
+
+#endif  // SCOOP_SCENARIO_SCENARIO_REGISTRY_H_

@@ -116,6 +116,38 @@ Topology Topology::MakeTestbed(const TestbedTopologyOptions& options) {
   return Topology(positions, std::move(delivery));
 }
 
+Topology Topology::MakeGrid(const GridTopologyOptions& options) {
+  SCOOP_CHECK_GE(options.num_nodes, 2);
+  SCOOP_CHECK_LE(options.num_nodes, kMaxNodes);
+  SCOOP_CHECK_GT(options.spacing, 0.0);
+  Rng rng(options.seed, /*stream=*/0x6B1D);
+  int n = options.num_nodes;
+  int cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  std::vector<Point> positions(static_cast<size_t>(n));
+  // Node 0 (the basestation) sits at the (0, 0) corner of the lattice;
+  // sensors fill the grid row-major with a little placement jitter.
+  for (int i = 0; i < n; ++i) {
+    int r = i / cols;
+    int c = i % cols;
+    double jx = (i == 0) ? 0.0 : rng.Gaussian(0, options.spacing * options.jitter_fraction);
+    double jy = (i == 0) ? 0.0 : rng.Gaussian(0, options.spacing * options.jitter_fraction);
+    positions[static_cast<size_t>(i)] =
+        Point{std::max(0.0, c * options.spacing + jx), std::max(0.0, r * options.spacing + jy)};
+  }
+
+  double range = options.radio_range;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    Rng link_rng(options.seed, /*stream=*/3000 + static_cast<uint64_t>(attempt));
+    auto delivery = ComputeDelivery(positions, options.propagation, range, link_rng);
+    Topology topo(positions, std::move(delivery));
+    if (topo.IsConnected(0.1)) return topo;
+    range *= 1.12;
+  }
+  Rng link_rng(options.seed, /*stream=*/3999);
+  auto delivery = ComputeDelivery(positions, options.propagation, range * 4, link_rng);
+  return Topology(positions, std::move(delivery));
+}
+
 Topology Topology::FromMatrix(std::vector<Point> positions,
                               std::vector<std::vector<double>> delivery) {
   SCOOP_CHECK_EQ(positions.size(), delivery.size());

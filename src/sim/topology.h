@@ -45,6 +45,20 @@ struct RandomTopologyOptions {
   uint64_t seed = 1;
 };
 
+/// Options for the dense-grid preset: nodes on a regular square lattice
+/// with the basestation at a corner (a machine-room or agricultural
+/// deployment; the densest regime Scoop's neighbor shortcut can exploit).
+struct GridTopologyOptions {
+  int num_nodes = 121;   ///< Including the basestation; laid out row-major.
+  double spacing = 6.0;  ///< Meters between lattice neighbors.
+  double radio_range = 18.0;
+  /// Per-node placement jitter as a fraction of `spacing` (0 = perfect
+  /// lattice; small jitter avoids degenerate equidistant link ties).
+  double jitter_fraction = 0.10;
+  PropagationOptions propagation;
+  uint64_t seed = 1;
+};
+
 /// Options for the "testbed" preset: one elongated office floor with the
 /// basestation near one end (the paper's 62-node indoor deployment).
 struct TestbedTopologyOptions {
@@ -65,6 +79,9 @@ class Topology {
 
   /// Generates the office-floor testbed preset.
   static Topology MakeTestbed(const TestbedTopologyOptions& options);
+
+  /// Generates the dense square-lattice preset.
+  static Topology MakeGrid(const GridTopologyOptions& options);
 
   /// Builds a topology directly from a delivery matrix (tests).
   static Topology FromMatrix(std::vector<Point> positions,

@@ -79,12 +79,21 @@ class GaussianSource final : public DataSource {
  public:
   GaussianSource(const DataSourceOptions& options, int num_nodes, uint64_t seed)
       : options_(options), rng_(MixSeed(seed, 0x6A05), /*stream=*/4) {
-    // Each sensor i picks mean mu_i uniformly from the domain for the whole
-    // experiment (§6).
+    // Each sensor i picks mean mu_i from the domain for the whole
+    // experiment (§6: uniform; skew != 1 warps the draw toward one end).
     means_.reserve(static_cast<size_t>(num_nodes));
     for (int i = 0; i < num_nodes; ++i) {
-      means_.push_back(static_cast<double>(
-          rng_.UniformInt(options_.domain_lo, options_.domain_hi)));
+      if (options_.gaussian_mean_skew == 1.0) {
+        means_.push_back(static_cast<double>(
+            rng_.UniformInt(options_.domain_lo, options_.domain_hi)));
+      } else {
+        double u = std::pow(rng_.UniformDouble(), options_.gaussian_mean_skew);
+        // Subtract in double: the domain can span more than INT32_MAX.
+        double span = static_cast<double>(options_.domain_hi) -
+                      static_cast<double>(options_.domain_lo);
+        means_.push_back(
+            std::round(static_cast<double>(options_.domain_lo) + u * span));
+      }
     }
     stddev_ = std::sqrt(options_.gaussian_variance);
   }

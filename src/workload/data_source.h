@@ -41,6 +41,11 @@ struct DataSourceOptions {
   Value equal_value = 42;
   /// GAUSSIAN per-node variance (paper: 10).
   double gaussian_variance = 10.0;
+  /// GAUSSIAN mean-placement skew: 1.0 draws per-node means uniformly from
+  /// the domain (the paper's setup); >1 biases means toward domain_lo as
+  /// pow(u, skew), concentrating load on the low-value owners; <1 biases
+  /// toward domain_hi.
+  double gaussian_mean_skew = 1.0;
   /// REAL: domain size (paper: V was about 150).
   Value real_domain_hi = 149;
   /// REAL: weight of the building-wide shared signal vs node-local offsets.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "harness/report.h"
 
 namespace scoop::harness {
@@ -59,6 +60,69 @@ TEST(HarnessTest, TrialAveragingIsMeanOfTrials) {
   ExperimentResult t0 = RunTrial(config, MixSeed(config.seed, 0));
   ExperimentResult t1 = RunTrial(config, MixSeed(config.seed, 1));
   EXPECT_NEAR(avg.total, (t0.total + t1.total) / 2, 1e-9);
+}
+
+TEST(HarnessTest, AggregateTrialsAveragesFieldByField) {
+  ExperimentResult a;
+  a.total = 10;
+  a.storage_success = 0.8;
+  a.sent_by_type[0] = 4;
+  ExperimentResult b;
+  b.total = 20;
+  b.storage_success = 0.6;
+  b.sent_by_type[0] = 8;
+  ExperimentResult mean = AggregateTrials({a, b});
+  EXPECT_DOUBLE_EQ(mean.total, 15);
+  EXPECT_DOUBLE_EQ(mean.storage_success, 0.7);
+  EXPECT_DOUBLE_EQ(mean.sent_by_type[0], 6);
+}
+
+TEST(HarnessTest, RunAnyTrialDispatchesAnalyticalHash) {
+  ExperimentConfig config;
+  config.num_nodes = 24;
+  config.policy = Policy::kHashAnalytical;
+  ExperimentResult r = RunAnyTrial(config, MixSeed(config.seed, 0));
+  EXPECT_GT(r.data(), 0);
+  EXPECT_DOUBLE_EQ(r.total, r.total_excl_beacons);
+}
+
+TEST(HarnessTest, QueryBurstsMultiplyIssuedQueries) {
+  ExperimentConfig config;
+  config.num_nodes = 8;
+  config.duration = Minutes(4);
+  config.stabilization = Minutes(1);
+  config.query_interval = Seconds(30);
+  config.trials = 1;
+  ExperimentResult steady = RunTrial(config, 1);
+
+  ExperimentConfig bursty = config;
+  bursty.query_burst_size = 4;
+  bursty.query_burst_spacing = Seconds(2);
+  ExperimentResult burst = RunTrial(bursty, 1);
+  EXPECT_GT(burst.queries_issued, 2.5 * steady.queries_issued);
+}
+
+TEST(HarnessTest, FailureWavesKillMoreNodesThanOneWave) {
+  ExperimentConfig config;
+  config.num_nodes = 20;
+  config.duration = Minutes(10);
+  config.stabilization = Minutes(2);
+  config.policy = Policy::kBase;
+  config.source = workload::DataSourceKind::kUnique;
+  config.trials = 1;
+  config.node_failure_fraction = 0.2;
+  config.failure_time = Minutes(3);
+  ExperimentResult one_wave = RunTrial(config, 5);
+
+  ExperimentConfig waves = config;
+  waves.failure_wave_count = 3;
+  waves.failure_wave_interval = Minutes(1);
+  ExperimentResult three_waves = RunTrial(waves, 5);
+  // A dead node keeps sampling but its radio is off: each extra wave
+  // silences another 20% of the sensors, so less traffic reaches the air
+  // and fewer readings make it into storage.
+  EXPECT_LT(three_waves.total_excl_beacons, one_wave.total_excl_beacons);
+  EXPECT_LT(three_waves.storage_success, one_wave.storage_success);
 }
 
 TEST(ReportTest, TableAlignsColumns) {

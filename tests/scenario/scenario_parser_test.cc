@@ -1,0 +1,296 @@
+#include "scenario/scenario_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace scoop::scenario {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::Policy;
+using harness::TopologyPreset;
+
+Scenario MustParse(const std::string& text) {
+  Result<Scenario> parsed = ParseScenario(text, "test.scn");
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? parsed.value() : Scenario{};
+}
+
+std::string ErrorOf(const std::string& text) {
+  Result<Scenario> parsed = ParseScenario(text, "test.scn");
+  EXPECT_FALSE(parsed.ok()) << "expected a parse error";
+  return parsed.ok() ? "" : parsed.status().message();
+}
+
+TEST(ScenarioParserTest, MinimalScenarioKeepsDefaults) {
+  Scenario s = MustParse("name = defaults\n");
+  EXPECT_EQ(s.name, "defaults");
+  ExperimentConfig d;
+  EXPECT_EQ(s.base.policy, d.policy);
+  EXPECT_EQ(s.base.num_nodes, d.num_nodes);
+  EXPECT_EQ(s.base.duration, d.duration);
+  EXPECT_EQ(s.base.trials, d.trials);
+  EXPECT_TRUE(s.sweeps.empty());
+}
+
+TEST(ScenarioParserTest, CommentsAndWhitespaceAreIgnored) {
+  Scenario s = MustParse(
+      "# full-line comment\n"
+      "; alternative comment\n"
+      "\n"
+      "  name = commented   \n"
+      "nodes = 17   # trailing comment\n");
+  EXPECT_EQ(s.name, "commented");
+  EXPECT_EQ(s.base.num_nodes, 17);
+}
+
+// Every ExperimentConfig knob must round-trip through format -> parse.
+// This map must name every key the parser recognizes, with a non-default
+// value, so adding a knob to the table without coverage fails here.
+TEST(ScenarioParserTest, RoundTripEveryKey) {
+  const std::map<std::string, std::string> values = {
+      {"policy", "hash-sim"},
+      {"source", "gaussian"},
+      {"topology", "grid"},
+      {"nodes", "17"},
+      {"duration_minutes", "21.5"},
+      {"stabilization_minutes", "3.25"},
+      {"sample_interval_seconds", "7.5"},
+      {"summary_interval_seconds", "55"},
+      {"remap_interval_seconds", "130"},
+      {"queries", "off"},
+      {"query_interval_seconds", "12.25"},
+      {"query_burst_size", "4"},
+      {"query_burst_spacing_seconds", "0.5"},
+      {"query_mode", "node-list"},
+      {"query_width_lo", "0.02"},
+      {"query_width_hi", "0.07"},
+      {"node_list_fraction", "0.33"},
+      {"history_window_seconds", "45"},
+      {"trials", "5"},
+      {"seed", "123456789"},
+      {"failure_fraction", "0.25"},
+      {"failure_minute", "12.5"},
+      {"failure_wave_count", "3"},
+      {"failure_wave_interval_minutes", "2.5"},
+      {"max_batch", "9"},
+      {"neighbor_shortcut", "off"},
+      {"descendant_routing", "off"},
+      {"suppression_similarity", "0.8"},
+      {"consider_store_local", "on"},
+      {"owner_set", "2"},
+      {"range_granularity", "4"},
+      {"owner_hysteresis", "0.75"},
+      {"domain_lo", "-5"},
+      {"domain_hi", "205"},
+      {"equal_value", "7"},
+      {"gaussian_variance", "2.5"},
+      {"gaussian_mean_skew", "3"},
+      {"real_domain_hi", "99"},
+      {"real_shared_weight", "0.4"},
+      {"real_correlation_meters", "22.5"},
+      {"real_noise", "1.25"},
+      {"energy_tx_nj_per_bit", "650"},
+      {"energy_rx_nj_per_bit", "325"},
+      {"energy_flash_write_nj_per_bit", "30"},
+      {"energy_battery_joules", "15000"},
+  };
+  for (const std::string& key : ScenarioKeyNames()) {
+    ASSERT_TRUE(values.count(key)) << "no round-trip coverage for key '" << key << "'";
+  }
+  ASSERT_EQ(values.size(), ScenarioKeyNames().size());
+
+  Scenario original;
+  original.name = "round_trip";
+  original.description = "every knob set to a non-default value";
+  for (const auto& [key, value] : values) {
+    Status s = ApplyScenarioKey(&original.base, key, value);
+    ASSERT_TRUE(s.ok()) << key << ": " << s.ToString();
+  }
+  original.sweeps.push_back(SweepAxis{"policy", {"scoop", "local"}});
+  original.sweeps.push_back(SweepAxis{"seed", {"1", "2", "3"}});
+
+  std::string text = FormatScenario(original);
+  Result<Scenario> reparsed = ParseScenario(text, "roundtrip.scn");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  // Formatting the reparsed scenario must reproduce the text exactly --
+  // i.e. every field survived the trip.
+  EXPECT_EQ(FormatScenario(reparsed.value()), text);
+
+  const ExperimentConfig& c = reparsed.value().base;
+  EXPECT_EQ(c.policy, Policy::kHashSim);
+  EXPECT_EQ(c.preset, TopologyPreset::kGrid);
+  EXPECT_EQ(c.num_nodes, 17);
+  EXPECT_EQ(c.duration, Seconds(21.5 * 60));
+  EXPECT_EQ(c.sample_interval, Seconds(7.5));
+  EXPECT_FALSE(c.queries_enabled);
+  EXPECT_EQ(c.query_burst_size, 4);
+  EXPECT_EQ(c.query_mode, ExperimentConfig::QueryMode::kNodeList);
+  EXPECT_EQ(c.trials, 5);
+  EXPECT_EQ(c.seed, 123456789u);
+  EXPECT_EQ(c.failure_wave_count, 3);
+  EXPECT_FALSE(c.enable_neighbor_shortcut);
+  EXPECT_TRUE(c.builder.consider_store_local);
+  EXPECT_EQ(c.builder.owner_set_size, 2);
+  EXPECT_EQ(c.source_options.domain_lo, -5);
+  EXPECT_DOUBLE_EQ(c.source_options.gaussian_mean_skew, 3.0);
+  EXPECT_DOUBLE_EQ(c.energy.battery_joules, 15000.0);
+  ASSERT_EQ(reparsed.value().sweeps.size(), 2u);
+  EXPECT_EQ(reparsed.value().sweeps[1].values.size(), 3u);
+}
+
+TEST(ScenarioParserTest, SweepRangesExpandInclusively) {
+  Scenario s = MustParse("name = ranges\nsweep.seed = 1..4\n");
+  ASSERT_EQ(s.sweeps.size(), 1u);
+  EXPECT_EQ(s.sweeps[0].key, "seed");
+  EXPECT_EQ(s.sweeps[0].values, (std::vector<std::string>{"1", "2", "3", "4"}));
+}
+
+TEST(ScenarioParserTest, SweepListsKeepDeclarationOrder) {
+  Scenario s = MustParse("name = lists\nsweep.policy = base, scoop , local\n");
+  ASSERT_EQ(s.sweeps.size(), 1u);
+  EXPECT_EQ(s.sweeps[0].values, (std::vector<std::string>{"base", "scoop", "local"}));
+}
+
+// --- diagnostics ----------------------------------------------------------
+
+TEST(ScenarioParserTest, MissingEqualsReportsLineAndColumn) {
+  std::string err = ErrorOf("name = t\nnodes banana\n");
+  EXPECT_NE(err.find("test.scn:2:1"), std::string::npos) << err;
+  EXPECT_NE(err.find("expected 'key = value'"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, UnknownKeyReportsPosition) {
+  std::string err = ErrorOf("name = t\n  frobnicate = 1\n");
+  EXPECT_NE(err.find("test.scn:2:3"), std::string::npos) << err;
+  EXPECT_NE(err.find("unknown key 'frobnicate'"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, UnknownSweepKeyReportsPosition) {
+  std::string err = ErrorOf("name = t\nsweep.frobnicate = 1\n");
+  EXPECT_NE(err.find("test.scn:2:1"), std::string::npos) << err;
+  EXPECT_NE(err.find("unknown sweep key 'frobnicate'"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, BadValueReportsValueColumn) {
+  std::string err = ErrorOf("name = t\nnodes = banana\n");
+  EXPECT_NE(err.find("test.scn:2:9"), std::string::npos) << err;
+  EXPECT_NE(err.find("expected an integer"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, OutOfRangeValueIsRejected) {
+  std::string err = ErrorOf("name = t\nnodes = 1\n");
+  EXPECT_NE(err.find("nodes must be in [2, 128]"), std::string::npos) << err;
+  err = ErrorOf("name = t\nnodes = 500\n");
+  EXPECT_NE(err.find("nodes must be in [2, 128]"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, BadSweepValueFailsAtParseTime) {
+  std::string err = ErrorOf("name = t\nsweep.nodes = 8, banana\n");
+  EXPECT_NE(err.find("test.scn:2:15"), std::string::npos) << err;
+  EXPECT_NE(err.find("sweep 'nodes'"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, BackwardsRangeIsRejected) {
+  std::string err = ErrorOf("name = t\nsweep.seed = 5..1\n");
+  EXPECT_NE(err.find("bad range '5..1'"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, DuplicateKeyIsRejected) {
+  std::string err = ErrorOf("name = t\nnodes = 8\nnodes = 9\n");
+  EXPECT_NE(err.find("test.scn:3:1"), std::string::npos) << err;
+  EXPECT_NE(err.find("duplicate key 'nodes'"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, MissingValueIsRejected) {
+  std::string err = ErrorOf("name = t\nnodes =\n");
+  EXPECT_NE(err.find("missing value for key 'nodes'"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, MissingNameIsRejected) {
+  std::string err = ErrorOf("nodes = 8\n");
+  EXPECT_NE(err.find("missing required key 'name'"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, CrossFieldChecks) {
+  std::string err = ErrorOf("name = t\nquery_width_lo = 0.5\nquery_width_hi = 0.1\n");
+  EXPECT_NE(err.find("query_width_lo must be <= query_width_hi"), std::string::npos) << err;
+  err = ErrorOf("name = t\ndomain_lo = 10\ndomain_hi = 5\n");
+  EXPECT_NE(err.find("domain_lo must be <= domain_hi"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, BadEnumValuesListAlternatives) {
+  EXPECT_NE(ErrorOf("name = t\npolicy = turbo\n").find("scoop|local|base|hash|hash-sim"),
+            std::string::npos);
+  EXPECT_NE(ErrorOf("name = t\ntopology = moon\n").find("testbed|random|grid"),
+            std::string::npos);
+  EXPECT_NE(ErrorOf("name = t\nquery_mode = psychic\n").find("range|node-list"),
+            std::string::npos);
+}
+
+TEST(ScenarioParserTest, OverflowingIntegersAreRejected) {
+  std::string err = ErrorOf("name = t\nseed = 99999999999999999999999999\n");
+  EXPECT_NE(err.find("does not fit in 64 bits"), std::string::npos) << err;
+  err = ErrorOf("name = t\nsweep.seed = 1..99999999999999999999999999\n");
+  EXPECT_NE(err.find("bad range"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, AbsurdDurationsAreRejected) {
+  std::string err = ErrorOf("name = t\nduration_minutes = 1e300\n");
+  EXPECT_NE(err.find("duration_minutes"), std::string::npos) << err;
+  err = ErrorOf("name = t\nsample_interval_seconds = 1e300\n");
+  EXPECT_NE(err.find("sample_interval_seconds"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, SweepRangeAtInt64MaxTerminates) {
+  Scenario s =
+      MustParse("name = t\nsweep.seed = 9223372036854775805..9223372036854775807\n");
+  ASSERT_EQ(s.sweeps.size(), 1u);
+  EXPECT_EQ(s.sweeps[0].values,
+            (std::vector<std::string>{"9223372036854775805", "9223372036854775806",
+                                      "9223372036854775807"}));
+}
+
+TEST(ScenarioParserTest, HugeSweepRangesAreCappedWithoutOverflow) {
+  std::string err = ErrorOf("name = t\nsweep.seed = 1..1000000\n");
+  EXPECT_NE(err.find("more than 100000 values"), std::string::npos) << err;
+  // lo..hi spanning more than INT64_MAX must not wrap the size guard.
+  err = ErrorOf(
+      "name = t\nsweep.seed = -9000000000000000000..9000000000000000000\n");
+  EXPECT_NE(err.find("more than 100000 values"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, FormatScenarioSanitizesFreeText) {
+  Scenario s;
+  s.name = "sanitized";
+  s.description = "batching off # heavy load\nsecond line";
+  std::string text = FormatScenario(s);
+  Result<Scenario> reparsed = ParseScenario(text, "sanitize.scn");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  // '#' would start a trailing comment and '\n' would end the value, so
+  // the writer strips/flattens them; the rest survives.
+  EXPECT_NE(reparsed.value().description.find("heavy load"), std::string::npos);
+  EXPECT_NE(reparsed.value().description.find("second line"), std::string::npos);
+  EXPECT_EQ(reparsed.value().description.find('#'), std::string::npos);
+}
+
+TEST(ScenarioParserTest, ValidateConfigChecksCrossFieldInvariants) {
+  harness::ExperimentConfig config;
+  EXPECT_TRUE(ValidateConfig(config).ok());
+  config.query_width_lo = 0.5;
+  config.query_width_hi = 0.1;
+  EXPECT_FALSE(ValidateConfig(config).ok());
+}
+
+TEST(ScenarioParserTest, ApplyScenarioKeyRejectsUnknownKey) {
+  harness::ExperimentConfig config;
+  Status s = ApplyScenarioKey(&config, "frobnicate", "1");
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+}  // namespace
+}  // namespace scoop::scenario

@@ -1,0 +1,92 @@
+#include "scenario/scenario_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/types.h"
+#include "scenario/campaign.h"
+
+namespace scoop::scenario {
+namespace {
+
+TEST(ScenarioRegistryTest, EveryRegisteredScenarioParsesAndExpands) {
+  size_t count = 0;
+  const RegistryEntry* entries = RegisteredScenarios(&count);
+  ASSERT_GE(count, 11u);
+  std::set<std::string> names;
+  for (size_t i = 0; i < count; ++i) {
+    SCOPED_TRACE(entries[i].name);
+    names.insert(entries[i].name);
+    Result<Scenario> parsed = LoadRegisteredScenario(entries[i].name);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().name, entries[i].name)
+        << "registry key must match the spec's name";
+    EXPECT_FALSE(parsed.value().description.empty());
+    Result<std::vector<ExpandedRun>> runs = ExpandScenario(parsed.value());
+    ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+    EXPECT_GE(runs.value().size(), 1u);
+    for (const ExpandedRun& run : runs.value()) {
+      EXPECT_GE(run.config.num_nodes, 2);
+      EXPECT_LE(run.config.num_nodes, kMaxNodes);
+      EXPECT_GE(run.config.trials, 1);
+    }
+  }
+  EXPECT_EQ(names.size(), count) << "registry names must be unique";
+}
+
+TEST(ScenarioRegistryTest, Fig3MiddleMatchesTheBenchSetup) {
+  Result<Scenario> parsed = LoadRegisteredScenario("fig3_middle");
+  ASSERT_TRUE(parsed.ok());
+  const Scenario& s = parsed.value();
+  EXPECT_EQ(s.base.source, workload::DataSourceKind::kReal);
+  EXPECT_EQ(s.base.preset, harness::TopologyPreset::kRandom);
+  // Everything else stays at the paper defaults the bench uses.
+  harness::ExperimentConfig d;
+  EXPECT_EQ(s.base.num_nodes, d.num_nodes);
+  EXPECT_EQ(s.base.duration, d.duration);
+  EXPECT_EQ(s.base.trials, d.trials);
+  EXPECT_EQ(s.base.seed, d.seed);
+  ASSERT_EQ(s.sweeps.size(), 1u);
+  EXPECT_EQ(s.sweeps[0].key, "policy");
+  EXPECT_EQ(s.sweeps[0].values,
+            (std::vector<std::string>{"scoop", "local", "hash", "base"}));
+}
+
+TEST(ScenarioRegistryTest, SmokeTinyIsActuallyTiny) {
+  Result<Scenario> parsed = LoadRegisteredScenario("smoke_tiny");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().base.num_nodes, 2);
+  EXPECT_LE(parsed.value().base.duration, Minutes(2));
+}
+
+TEST(ScenarioRegistryTest, ExtensionScenariosUseTheirKnobs) {
+  Result<Scenario> grid = LoadRegisteredScenario("grid_dense");
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid.value().base.preset, harness::TopologyPreset::kGrid);
+  EXPECT_EQ(grid.value().base.num_nodes, 121);
+
+  Result<Scenario> bursty = LoadRegisteredScenario("bursty_queries");
+  ASSERT_TRUE(bursty.ok());
+  EXPECT_GT(bursty.value().base.query_burst_size, 1);
+
+  Result<Scenario> waves = LoadRegisteredScenario("failure_waves");
+  ASSERT_TRUE(waves.ok());
+  EXPECT_GT(waves.value().base.failure_wave_count, 1);
+  EXPECT_GT(waves.value().base.node_failure_fraction, 0.0);
+
+  Result<Scenario> skew = LoadRegisteredScenario("gaussian_skew");
+  ASSERT_TRUE(skew.ok());
+  EXPECT_EQ(skew.value().base.source, workload::DataSourceKind::kGaussian);
+}
+
+TEST(ScenarioRegistryTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(FindRegisteredSpec("no_such_scenario"), nullptr);
+  Result<Scenario> missing = LoadRegisteredScenario("no_such_scenario");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace scoop::scenario

@@ -100,6 +100,48 @@ TEST(TopologyTest, DifferentSeedsGiveDifferentTopologies) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(TopologyTest, GridIsConnectedWithBaseAtCorner) {
+  GridTopologyOptions opts;
+  opts.num_nodes = 121;
+  opts.seed = 5;
+  Topology t = Topology::MakeGrid(opts);
+  EXPECT_EQ(t.num_nodes(), 121);
+  EXPECT_TRUE(t.IsConnected(0.1));
+  // The basestation anchors the (0, 0) corner of the lattice, unjittered.
+  EXPECT_DOUBLE_EQ(t.position(0).x, 0.0);
+  EXPECT_DOUBLE_EQ(t.position(0).y, 0.0);
+  // 121 nodes on an 11x11 lattice at 6 m spacing: the far corner is ~60 m
+  // out, so the deployment is multi-hop from the base.
+  EXPECT_GT(t.MeanHopsFrom(0, 0.1), 1.2);
+}
+
+TEST(TopologyTest, GridIsDenserThanRandom) {
+  GridTopologyOptions grid_opts;
+  grid_opts.num_nodes = 63;
+  grid_opts.seed = 9;
+  Topology grid = Topology::MakeGrid(grid_opts);
+  RandomTopologyOptions rand_opts;
+  rand_opts.num_nodes = 63;
+  rand_opts.seed = 9;
+  Topology random = Topology::MakeRandom(rand_opts);
+  // 6 m lattice spacing packs nodes tighter than the 55 m random square, so
+  // a node should hear a larger fraction of the network.
+  EXPECT_GT(grid.AvgNeighborFraction(0.1), random.AvgNeighborFraction(0.1));
+}
+
+TEST(TopologyTest, GridDeterministicForSeed) {
+  GridTopologyOptions opts;
+  opts.num_nodes = 49;
+  opts.seed = 31;
+  Topology a = Topology::MakeGrid(opts);
+  Topology b = Topology::MakeGrid(opts);
+  for (NodeId i = 0; i < a.num_nodes(); ++i) {
+    for (NodeId j = 0; j < a.num_nodes(); ++j) {
+      ASSERT_DOUBLE_EQ(a.delivery_prob(i, j), b.delivery_prob(i, j));
+    }
+  }
+}
+
 TEST(TopologyTest, MeanHopsFromBasePositive) {
   RandomTopologyOptions opts;
   opts.num_nodes = 63;

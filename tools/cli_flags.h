@@ -1,0 +1,27 @@
+// Tiny shared helper for the tools' --flag / --flag=value parsing.
+#ifndef SCOOP_TOOLS_CLI_FLAGS_H_
+#define SCOOP_TOOLS_CLI_FLAGS_H_
+
+#include <cstring>
+
+namespace scoop::tools {
+
+/// Matches `arg` against `--name` (then *value = nullptr) or `--name=...`
+/// (then *value points at the text after '='). Returns false otherwise.
+inline bool MatchFlag(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace scoop::tools
+
+#endif  // SCOOP_TOOLS_CLI_FLAGS_H_

@@ -3,9 +3,11 @@
 //   scoop_sim [--policy=scoop|local|base|hash|hash-sim]
 //             [--source=real|unique|equal|random|gaussian]
 //             [--nodes=N] [--minutes=M] [--stabilization-minutes=M]
-//             [--sample-interval=S] [--query-interval=S]
+//             [--sample-interval=S] [--summary-interval=S] [--remap-interval=S]
+//             [--query-interval=S] [--query-mode=range|node-list]
 //             [--query-width-lo=F] [--query-width-hi=F]
-//             [--topology=testbed|random] [--trials=K] [--seed=S]
+//             [--node-list-fraction=F] [--history-window-seconds=S]
+//             [--topology=testbed|random|grid] [--trials=K] [--seed=S]
 //             [--batch=N] [--no-shortcut] [--no-descendants]
 //             [--owner-set=K] [--range-granularity=G]
 //             [--failure-fraction=F] [--failure-minute=M]
@@ -18,6 +20,9 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "scenario/scenario_parser.h"
+
+#include "cli_flags.h"
 
 namespace {
 
@@ -28,9 +33,11 @@ using namespace scoop;
                "usage: %s [--policy=scoop|local|base|hash|hash-sim]\n"
                "          [--source=real|unique|equal|random|gaussian]\n"
                "          [--nodes=N] [--minutes=M] [--stabilization-minutes=M]\n"
-               "          [--sample-interval=S] [--query-interval=S]\n"
+               "          [--sample-interval=S] [--summary-interval=S] [--remap-interval=S]\n"
+               "          [--query-interval=S] [--query-mode=range|node-list]\n"
                "          [--query-width-lo=F] [--query-width-hi=F]\n"
-               "          [--topology=testbed|random] [--trials=K] [--seed=S]\n"
+               "          [--node-list-fraction=F] [--history-window-seconds=S]\n"
+               "          [--topology=testbed|random|grid] [--trials=K] [--seed=S]\n"
                "          [--batch=N] [--no-shortcut] [--no-descendants]\n"
                "          [--owner-set=K] [--range-granularity=G]\n"
                "          [--failure-fraction=F] [--failure-minute=M]\n",
@@ -38,38 +45,18 @@ using namespace scoop;
   std::exit(2);
 }
 
-bool MatchFlag(const char* arg, const char* name, const char** value) {
-  size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '\0') {
-    *value = nullptr;
-    return true;
-  }
-  if (arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
-}
+using scoop::tools::MatchFlag;
 
-harness::Policy ParsePolicy(const std::string& name, const char* argv0) {
-  if (name == "scoop") return harness::Policy::kScoop;
-  if (name == "local") return harness::Policy::kLocal;
-  if (name == "base") return harness::Policy::kBase;
-  if (name == "hash") return harness::Policy::kHashAnalytical;
-  if (name == "hash-sim") return harness::Policy::kHashSim;
-  std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
-  Usage(argv0);
-}
-
-workload::DataSourceKind ParseSource(const std::string& name, const char* argv0) {
-  if (name == "real") return workload::DataSourceKind::kReal;
-  if (name == "unique") return workload::DataSourceKind::kUnique;
-  if (name == "equal") return workload::DataSourceKind::kEqual;
-  if (name == "random") return workload::DataSourceKind::kRandom;
-  if (name == "gaussian") return workload::DataSourceKind::kGaussian;
-  std::fprintf(stderr, "unknown source '%s'\n", name.c_str());
-  Usage(argv0);
+/// Routes the enum-valued flags through the scenario key table, so the CLI
+/// and .scn files share one name-to-enum mapping (and one rejection path
+/// for unknown values).
+void ApplyKeyOrUsage(harness::ExperimentConfig* config, const char* key, const char* value,
+                     const char* argv0) {
+  scoop::Status s = scenario::ApplyScenarioKey(config, key, value);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    Usage(argv0);
+  }
 }
 
 }  // namespace
@@ -80,44 +67,53 @@ int main(int argc, char** argv) {
     const char* value = nullptr;
     const char* arg = argv[i];
     if (MatchFlag(arg, "--policy", &value) && value != nullptr) {
-      config.policy = ParsePolicy(value, argv[0]);
+      ApplyKeyOrUsage(&config, "policy", value, argv[0]);
     } else if (MatchFlag(arg, "--source", &value) && value != nullptr) {
-      config.source = ParseSource(value, argv[0]);
+      ApplyKeyOrUsage(&config, "source", value, argv[0]);
     } else if (MatchFlag(arg, "--nodes", &value) && value != nullptr) {
-      config.num_nodes = std::atoi(value);
+      ApplyKeyOrUsage(&config, "nodes", value, argv[0]);
     } else if (MatchFlag(arg, "--minutes", &value) && value != nullptr) {
-      config.duration = Minutes(std::atoi(value));
+      ApplyKeyOrUsage(&config, "duration_minutes", value, argv[0]);
     } else if (MatchFlag(arg, "--stabilization-minutes", &value) && value != nullptr) {
-      config.stabilization = Minutes(std::atoi(value));
+      ApplyKeyOrUsage(&config, "stabilization_minutes", value, argv[0]);
     } else if (MatchFlag(arg, "--sample-interval", &value) && value != nullptr) {
-      config.sample_interval = Seconds(std::atof(value));
+      ApplyKeyOrUsage(&config, "sample_interval_seconds", value, argv[0]);
+    } else if (MatchFlag(arg, "--summary-interval", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "summary_interval_seconds", value, argv[0]);
+    } else if (MatchFlag(arg, "--remap-interval", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "remap_interval_seconds", value, argv[0]);
     } else if (MatchFlag(arg, "--query-interval", &value) && value != nullptr) {
-      config.query_interval = Seconds(std::atof(value));
+      ApplyKeyOrUsage(&config, "query_interval_seconds", value, argv[0]);
+    } else if (MatchFlag(arg, "--query-mode", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "query_mode", value, argv[0]);
     } else if (MatchFlag(arg, "--query-width-lo", &value) && value != nullptr) {
-      config.query_width_lo = std::atof(value);
+      ApplyKeyOrUsage(&config, "query_width_lo", value, argv[0]);
     } else if (MatchFlag(arg, "--query-width-hi", &value) && value != nullptr) {
-      config.query_width_hi = std::atof(value);
+      ApplyKeyOrUsage(&config, "query_width_hi", value, argv[0]);
+    } else if (MatchFlag(arg, "--node-list-fraction", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "node_list_fraction", value, argv[0]);
+    } else if (MatchFlag(arg, "--history-window-seconds", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "history_window_seconds", value, argv[0]);
     } else if (MatchFlag(arg, "--topology", &value) && value != nullptr) {
-      config.preset = std::string(value) == "testbed" ? harness::TopologyPreset::kTestbed
-                                                      : harness::TopologyPreset::kRandom;
+      ApplyKeyOrUsage(&config, "topology", value, argv[0]);
     } else if (MatchFlag(arg, "--trials", &value) && value != nullptr) {
-      config.trials = std::atoi(value);
+      ApplyKeyOrUsage(&config, "trials", value, argv[0]);
     } else if (MatchFlag(arg, "--seed", &value) && value != nullptr) {
-      config.seed = static_cast<uint64_t>(std::atoll(value));
+      ApplyKeyOrUsage(&config, "seed", value, argv[0]);
     } else if (MatchFlag(arg, "--batch", &value) && value != nullptr) {
-      config.max_batch = std::atoi(value);
+      ApplyKeyOrUsage(&config, "max_batch", value, argv[0]);
     } else if (MatchFlag(arg, "--no-shortcut", &value)) {
       config.enable_neighbor_shortcut = false;
     } else if (MatchFlag(arg, "--no-descendants", &value)) {
       config.enable_descendant_routing = false;
     } else if (MatchFlag(arg, "--owner-set", &value) && value != nullptr) {
-      config.builder.owner_set_size = std::atoi(value);
+      ApplyKeyOrUsage(&config, "owner_set", value, argv[0]);
     } else if (MatchFlag(arg, "--range-granularity", &value) && value != nullptr) {
-      config.builder.range_granularity = std::atoi(value);
+      ApplyKeyOrUsage(&config, "range_granularity", value, argv[0]);
     } else if (MatchFlag(arg, "--failure-fraction", &value) && value != nullptr) {
-      config.node_failure_fraction = std::atof(value);
+      ApplyKeyOrUsage(&config, "failure_fraction", value, argv[0]);
     } else if (MatchFlag(arg, "--failure-minute", &value) && value != nullptr) {
-      config.failure_time = Minutes(std::atoi(value));
+      ApplyKeyOrUsage(&config, "failure_minute", value, argv[0]);
     } else {
       Usage(argv[0]);
     }
