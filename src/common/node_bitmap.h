@@ -88,6 +88,102 @@ class NodeBitmap {
   std::array<uint64_t, 2> words_;
 };
 
+/// Heap-backed bitmap over node ids, for simulator-internal sets (per-node
+/// interferer sets, the active-transmitter set). Unlike NodeBitmap this is
+/// not a wire format: it has no 128-node cap, so the radio layer can model
+/// networks far beyond the query-packet limit (benchmarks run 1000 nodes).
+class DynamicNodeBitmap {
+ public:
+  DynamicNodeBitmap() = default;
+
+  /// Creates an empty set able to hold ids in [0, num_nodes).
+  explicit DynamicNodeBitmap(int num_nodes)
+      : words_((static_cast<size_t>(num_nodes) + 63) / 64, 0) {}
+
+  /// Marks `id` as a member. `id` must be within capacity.
+  void Set(NodeId id) {
+    SCOOP_CHECK_LT(static_cast<size_t>(id) / 64, words_.size());
+    words_[id / 64] |= (uint64_t{1} << (id % 64));
+  }
+
+  /// Removes `id` from the set. `id` must be within capacity.
+  void Clear(NodeId id) {
+    SCOOP_CHECK_LT(static_cast<size_t>(id) / 64, words_.size());
+    words_[id / 64] &= ~(uint64_t{1} << (id % 64));
+  }
+
+  /// True iff `id` is a member (ids beyond capacity are never members).
+  bool Test(NodeId id) const {
+    size_t w = static_cast<size_t>(id) / 64;
+    if (w >= words_.size()) return false;
+    return (words_[w] >> (id % 64)) & 1;
+  }
+
+  /// Number of member ids.
+  int Count() const {
+    int total = 0;
+    for (uint64_t w : words_) total += std::popcount(w);
+    return total;
+  }
+
+  /// True iff no ids are members.
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// True iff this set shares at least one id with `other`.
+  bool Intersects(const DynamicNodeBitmap& other) const {
+    size_t n = std::min(words_.size(), other.words_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Calls `fn(id)` for each id in the intersection with `other`, in
+  /// ascending id order, stopping early as soon as a call returns true.
+  /// Returns true iff some call did. The radio's carrier sense uses this to
+  /// scan only (active transmitters AND audible interferers).
+  template <typename Fn>
+  bool AnyOfIntersection(const DynamicNodeBitmap& other, Fn&& fn) const {
+    size_t n = std::min(words_.size(), other.words_.size());
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t bits = words_[i] & other.words_[i];
+      while (bits != 0) {
+        int b = std::countr_zero(bits);
+        if (fn(static_cast<NodeId>(i * 64 + static_cast<size_t>(b)))) return true;
+        bits &= bits - 1;
+      }
+    }
+    return false;
+  }
+
+  /// Member ids in ascending order.
+  std::vector<NodeId> ToVector() const {
+    std::vector<NodeId> out;
+    out.reserve(static_cast<size_t>(Count()));
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        int b = std::countr_zero(bits);
+        out.push_back(static_cast<NodeId>(w * 64 + static_cast<size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const DynamicNodeBitmap& a, const DynamicNodeBitmap& b) {
+    return a.words_ == b.words_;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
 }  // namespace scoop
 
 #endif  // SCOOP_COMMON_NODE_BITMAP_H_

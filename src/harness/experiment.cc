@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/check.h"
@@ -370,21 +371,26 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   r.avg_node_lifetime_days = sum_lifetime / std::max(1, config.num_nodes - 1);
   double root_joules = energy.RadioEnergyJ(stats.WorkloadBytesBy(0), 0);
   r.root_lifetime_days = energy.LifetimeDays(root_joules, config.duration);
+  r.sim_events = static_cast<double>(network.queue().processed());
   return r;
 }
 
 ExperimentResult RunAnyTrial(const ExperimentConfig& config, uint64_t seed) {
+  auto wall_start = std::chrono::steady_clock::now();
+  ExperimentResult r;
   if (config.policy == Policy::kHashAnalytical) {
     core::HashModelResult m = RunHashAnalysis(config, seed);
-    ExperimentResult r;
     r.sent_by_type[static_cast<size_t>(PacketType::kData)] = m.data_messages;
     r.sent_by_type[static_cast<size_t>(PacketType::kQuery)] = m.query_messages;
     r.sent_by_type[static_cast<size_t>(PacketType::kReply)] = m.reply_messages;
     r.total = m.total;
     r.total_excl_beacons = m.total;
-    return r;
+  } else {
+    r = RunTrial(config, seed);
   }
-  return RunTrial(config, seed);
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return r;
 }
 
 ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
@@ -416,6 +422,8 @@ ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
     sum.max_node_sent += r.max_node_sent;
     sum.avg_node_lifetime_days += r.avg_node_lifetime_days;
     sum.root_lifetime_days += r.root_lifetime_days;
+    sum.wall_seconds += r.wall_seconds;
+    sum.sim_events += r.sim_events;
   }
   double k = static_cast<double>(trials.size());
   for (int t = 0; t < kNumPacketTypes; ++t) sum.sent_by_type[static_cast<size_t>(t)] /= k;
@@ -441,6 +449,8 @@ ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
   sum.max_node_sent /= k;
   sum.avg_node_lifetime_days /= k;
   sum.root_lifetime_days /= k;
+  sum.wall_seconds /= k;
+  sum.sim_events /= k;
   return sum;
 }
 
@@ -459,15 +469,15 @@ core::HashModelResult RunHashAnalysis(const ExperimentConfig& config, uint64_t s
   core::XmitsEstimator xmits(config.num_nodes);
   sim::RadioOptions radio;  // For the ACK model, to match the simulated MAC.
   for (int i = 0; i < config.num_nodes; ++i) {
-    for (int j = 0; j < config.num_nodes; ++j) {
-      if (i == j) continue;
+    // Only audible links matter: AddLink drops anything below its minimum
+    // quality, so walking the CSR neighbor lists instead of the full matrix
+    // feeds it the identical link set.
+    for (const sim::Topology::Link& link : topology.audible_from(static_cast<NodeId>(i))) {
       // Effective per-attempt success = delivery * ack delivery, matching
       // what the simulated link layer experiences.
-      double p_fwd = topology.delivery_prob(static_cast<NodeId>(i), static_cast<NodeId>(j));
-      double p_ack = std::pow(topology.delivery_prob(static_cast<NodeId>(j),
-                                                     static_cast<NodeId>(i)),
+      double p_ack = std::pow(topology.delivery_prob(link.to, static_cast<NodeId>(i)),
                               radio.ack_shortness_exponent);
-      xmits.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(j), p_fwd * p_ack);
+      xmits.AddLink(static_cast<NodeId>(i), link.to, link.prob * p_ack);
     }
   }
   xmits.Build();

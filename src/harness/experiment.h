@@ -153,6 +153,13 @@ struct ExperimentResult {
   // Energy/lifetime (§2.1 model).
   double avg_node_lifetime_days = 0;
   double root_lifetime_days = 0;
+
+  // Perf telemetry (host-side). Deliberately NOT part of the deterministic
+  // metric-column table the CSV/JSON reporters render: wall time varies
+  // run to run, and those outputs must stay byte-identical for a fixed
+  // seed. The campaign runner surfaces these via its perf report instead.
+  double wall_seconds = 0;  ///< Host wall-clock the trial took.
+  double sim_events = 0;    ///< Discrete events the trial executed.
 };
 
 /// Runs `config.trials` trials (seeds derived from config.seed) and averages.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/check.h"
@@ -112,6 +113,7 @@ Result<CampaignResult> RunCampaign(const Scenario& scenario, const CampaignOptio
   if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
   threads = std::clamp(threads, 1, static_cast<int>(units.size()));
 
+  auto wall_start = std::chrono::steady_clock::now();
   std::atomic<size_t> cursor{0};
   auto worker = [&] {
     for (;;) {
@@ -131,6 +133,8 @@ Result<CampaignResult> RunCampaign(const Scenario& scenario, const CampaignOptio
     for (std::thread& t : pool) t.join();
   }
   result.threads_used = threads;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   for (CampaignRow& row : result.rows) row.mean = harness::AggregateTrials(row.trials);
   return result;

@@ -49,6 +49,10 @@ struct CampaignResult {
   std::vector<std::string> axis_keys;  ///< Sweep keys, declaration order.
   std::vector<CampaignRow> rows;       ///< Expansion order.
   int threads_used = 1;
+  /// Host wall-clock the whole grid took (all workers, start to join).
+  /// Perf telemetry only -- never rendered into the deterministic CSV/JSON
+  /// reports; CampaignPerfJson carries it instead.
+  double wall_seconds = 0;
 };
 
 /// Expands and runs the whole campaign. Deterministic: per-combo trial

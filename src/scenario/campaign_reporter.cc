@@ -209,4 +209,41 @@ std::string CampaignJsonLines(const CampaignResult& result) {
   return out;
 }
 
+std::string CampaignPerfJson(const CampaignResult& result) {
+  double total_events = 0;
+  double total_wall = 0;
+  for (const CampaignRow& row : result.rows) {
+    for (const harness::ExperimentResult& trial : row.trials) {
+      total_events += trial.sim_events;
+      total_wall += trial.wall_seconds;
+    }
+  }
+  std::string out = "{\"scenario\":" + JsonString(result.scenario_name);
+  out += ",\"threads\":" + std::to_string(result.threads_used);
+  out += ",\"wall_seconds\":" + FormatJsonMetric(result.wall_seconds);
+  out += ",\"trial_wall_seconds_total\":" + FormatJsonMetric(total_wall);
+  out += ",\"sim_events_total\":" + FormatJsonMetric(total_events);
+  out += ",\"events_per_second\":" +
+         FormatJsonMetric(total_wall > 0 ? total_events / total_wall : 0.0);
+  out += ",\"rows\":[";
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    const CampaignRow& row = result.rows[i];
+    if (i > 0) out += ",";
+    out += "{\"axes\":{";
+    for (size_t a = 0; a < row.axes.size(); ++a) {
+      if (a > 0) out += ",";
+      out += JsonString(row.axes[a].first) + ":" + JsonString(row.axes[a].second);
+    }
+    out += "},\"wall_seconds\":" + FormatJsonMetric(row.mean.wall_seconds);
+    out += ",\"sim_events\":" + FormatJsonMetric(row.mean.sim_events);
+    out += ",\"events_per_second\":" +
+           FormatJsonMetric(row.mean.wall_seconds > 0
+                                ? row.mean.sim_events / row.mean.wall_seconds
+                                : 0.0);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
 }  // namespace scoop::scenario

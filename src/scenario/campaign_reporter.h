@@ -36,6 +36,13 @@ std::string CampaignCsv(const CampaignResult& result);
 /// mean metrics, and the per-trial total_excl_beacons trajectory.
 std::string CampaignJsonLines(const CampaignResult& result);
 
+/// Perf report (one JSON document): campaign wall-clock plus per-combo
+/// wall seconds, simulated events, and events/second. This is the
+/// machine-tracked perf trajectory (BENCH_radio.json); it is kept separate
+/// from CampaignCsv/CampaignJsonLines because wall time varies run to run
+/// and those reports must stay byte-identical for a fixed seed.
+std::string CampaignPerfJson(const CampaignResult& result);
+
 }  // namespace scoop::scenario
 
 #endif  // SCOOP_SCENARIO_CAMPAIGN_REPORTER_H_

@@ -14,15 +14,39 @@ Radio::Radio(const Topology* topology, const RadioOptions& options, EventQueue* 
       queue_(queue),
       rng_(MixSeed(seed, /*entity_id=*/0xAD10), /*stream=*/0xAD10),
       mac_(static_cast<size_t>(topology->num_nodes())),
-      alive_(static_cast<size_t>(topology->num_nodes()), true) {
+      alive_(static_cast<size_t>(topology->num_nodes()), true),
+      active_tx_(topology->num_nodes()),
+      node_tx_(static_cast<size_t>(topology->num_nodes())) {
   SCOOP_CHECK(topology != nullptr);
   SCOOP_CHECK(queue != nullptr);
+  max_airtime_ = Airtime(options_.max_packet_bytes);
+  // The topology precomputes interferer sets at its default threshold; a
+  // radio configured with a different threshold builds matching sets once
+  // here. Either way the hot path reads one resolved pointer.
+  if (options_.interference_threshold == Topology::kInterferenceThreshold) {
+    interferers_ = &topology->interferer_sets();
+  } else {
+    own_interferers_ = topology->BuildInterfererSets(options_.interference_threshold);
+    interferers_ = &own_interferers_;
+  }
 }
 
 void Radio::SetNodeAlive(NodeId id, bool alive) {
   SCOOP_CHECK_LT(static_cast<size_t>(id), alive_.size());
   alive_[id] = alive;
-  if (!alive) mac_[id].queue.clear();
+  if (!alive) {
+    MacState& mac = mac_[id];
+    mac.queue.clear();
+    if (mac.transmitting) {
+      // Abort the in-flight frame: bumping the generation turns the
+      // pending FinishTx into a stale no-op, so a frame queued after a
+      // power-cycle can never be mistaken for the aborted one. The RF
+      // energy already on the air keeps interfering until its scheduled
+      // end (the channel indexes retain the span).
+      mac.transmitting = false;
+      ++mac.tx_gen;
+    }
+  }
 }
 
 bool Radio::IsAlive(NodeId id) const {
@@ -35,12 +59,25 @@ SimTime Radio::Airtime(int wire_size) const {
   return static_cast<SimTime>(bits / options_.bitrate_bps * kSecond);
 }
 
+SimTime Radio::BackoffWindow(const RadioOptions& options, int attempt) {
+  SCOOP_CHECK_GE(attempt, 1);
+  // Binary exponential backoff: the window starts at backoff_min, doubles
+  // with each failed channel-acquisition attempt, and is clamped at
+  // backoff_max. (The seed started at backoff_max and doubled from there,
+  // so contending senders waited 32x too long on first contact and the
+  // window kept growing past any configured ceiling.)
+  SimTime window = options.backoff_min;
+  for (int k = 1; k < attempt && window < options.backoff_max; ++k) window *= 2;
+  return std::min(window, options.backoff_max);
+}
+
 void Radio::Send(NodeId src, Packet pkt) {
   SCOOP_CHECK_LT(src, mac_.size());
   SCOOP_CHECK_LE(pkt.WireSize(), options_.max_packet_bytes);
   if (!alive_[src]) return;  // Dead radios transmit nothing.
   pkt.hdr.link_src = src;
   OutFrame frame;
+  frame.airtime = Airtime(pkt.WireSize());
   frame.pkt = std::move(pkt);
   frame.retries_left =
       (frame.pkt.hdr.link_dst == kBroadcastId) ? 0 : options_.unicast_retries;
@@ -60,24 +97,29 @@ size_t Radio::PendingCount(NodeId src) const {
 
 bool Radio::ChannelBusy(NodeId node) const {
   SimTime now = queue_->now();
-  for (const Transmission& tx : history_) {
-    if (tx.end <= now) continue;
-    if (tx.src == node) return true;  // We are mid-transmission ourselves.
-    if (topology_->delivery_prob(tx.src, node) >= options_.interference_threshold) {
-      return true;
-    }
-  }
-  return false;
+  // Our own latest transmission (only the most recent can still be on the
+  // air -- a node's transmissions are serial).
+  if (node_tx_[node][0].end > now) return true;
+  // Audible foreign transmissions: only active transmitters that are in
+  // this node's interferer set can trip carrier sense.
+  const DynamicNodeBitmap& audible = (*interferers_)[node];
+  return active_tx_.AnyOfIntersection(
+      audible, [&](NodeId a) { return node_tx_[a][0].end > now; });
 }
 
 bool Radio::Collided(NodeId receiver, NodeId sender, SimTime start, SimTime end) const {
   if (!options_.model_collisions) return false;
   double signal = topology_->delivery_prob(sender, receiver);
-  for (const Transmission& tx : history_) {
+  const DynamicNodeBitmap& audible = (*interferers_)[receiver];
+  // Ring entries are in start order; anything whose start is more than one
+  // max airtime before the window cannot reach into it.
+  for (size_t i = ring_.size(); i-- > ring_head_;) {
+    const Transmission& tx = ring_[i];
+    if (tx.start + max_airtime_ <= start) break;
     if (tx.src == sender || tx.src == receiver) continue;
     if (tx.end <= start || tx.start >= end) continue;  // No time overlap.
+    if (!audible.Test(tx.src)) continue;               // Too weak to interfere.
     double interference = topology_->delivery_prob(tx.src, receiver);
-    if (interference < options_.interference_threshold) continue;
     // Capture: a clearly stronger signal survives a weak interferer.
     if (interference >= options_.capture_ratio * signal) return true;
   }
@@ -85,19 +127,28 @@ bool Radio::Collided(NodeId receiver, NodeId sender, SimTime start, SimTime end)
 }
 
 bool Radio::WasTransmitting(NodeId node, SimTime start, SimTime end) const {
-  for (const Transmission& tx : history_) {
-    if (tx.src != node) continue;
-    if (tx.end <= start || tx.start >= end) continue;
-    return true;
+  // A node's transmissions are serial, so of all its frames only the most
+  // recent one starting before `end` can overlap [start, end] -- and at
+  // most one newer frame can share the window's end instant. Both live in
+  // node_tx_.
+  for (const TxSpan& t : node_tx_[node]) {
+    if (t.start < end && t.end > start) return true;
   }
   return false;
 }
 
-void Radio::PruneTransmissions() {
-  // Anything that ended more than one max-length frame ago cannot overlap a
-  // transmission still in flight.
-  SimTime horizon = queue_->now() - 4 * Airtime(options_.max_packet_bytes);
-  std::erase_if(history_, [horizon](const Transmission& tx) { return tx.end < horizon; });
+void Radio::PruneRing() {
+  // Anything that started more than five max-length frames ago can no
+  // longer overlap a transmission still in flight.
+  SimTime horizon = queue_->now() - 4 * max_airtime_;
+  while (ring_head_ < ring_.size() && ring_[ring_head_].start + max_airtime_ < horizon) {
+    ++ring_head_;
+  }
+  // Amortized O(1): drop the dead prefix once it dominates the buffer.
+  if (ring_head_ >= 64 && ring_head_ * 2 >= ring_.size()) {
+    ring_.erase(ring_.begin(), ring_.begin() + static_cast<ptrdiff_t>(ring_head_));
+    ring_head_ = 0;
+  }
 }
 
 void Radio::TryStart(NodeId src) {
@@ -115,10 +166,10 @@ void Radio::TryStart(NodeId src) {
       TryStart(src);
       return;
     }
-    // Exponential backoff: window doubles with each failed attempt.
-    int doublings = std::min(frame.channel_attempts - 1, options_.max_backoff_doublings);
-    SimTime window = options_.backoff_max << doublings;
-    SimTime delay = options_.backoff_min + rng_.UniformInt(0, window - options_.backoff_min);
+    SimTime window = BackoffWindow(options_, frame.channel_attempts);
+    // Uniform in [1, window]: never zero (a zero delay would re-sense at
+    // the same instant and burn channel attempts without progress).
+    SimTime delay = 1 + rng_.UniformInt(0, window - 1);
     mac.backoff_scheduled = true;
     queue_->ScheduleAfter(delay, [this, src] {
       mac_[src].backoff_scheduled = false;
@@ -137,30 +188,46 @@ void Radio::TryStart(NodeId src) {
   if (transmit_hook_) transmit_hook_(src, frame.pkt, is_retx);
 
   SimTime start = queue_->now();
-  SimTime end = start + Airtime(frame.pkt.WireSize());
-  history_.push_back(Transmission{src, start, end});
+  SimTime end = start + frame.airtime;
+  ring_.push_back(Transmission{src, start, end});
+  node_tx_[src][1] = node_tx_[src][0];
+  node_tx_[src][0] = TxSpan{start, end};
+  active_tx_.Set(src);
   mac.transmitting = true;
-  queue_->ScheduleAt(end, [this, src, start, end] { FinishTx(src, start, end); });
+  uint32_t gen = ++mac.tx_gen;
+  queue_->ScheduleAt(end, [this, src, start, end, gen] { FinishTx(src, start, end, gen); });
 }
 
-void Radio::FinishTx(NodeId src, SimTime start, SimTime end) {
+void Radio::FinishTx(NodeId src, SimTime start, SimTime end, uint32_t gen) {
   MacState& mac = mac_[src];
+  if (gen != mac.tx_gen) {
+    // Stale completion: the frame was aborted mid-air by a power-cycle.
+    // Never touch the queue -- a frame queued after revival is a different
+    // transmission. Retire the active-transmitter bit unless a newer
+    // frame of this node has since claimed it.
+    if (!mac.transmitting) active_tx_.Clear(src);
+    return;
+  }
   SCOOP_CHECK(mac.transmitting);
   mac.transmitting = false;
-  if (mac.queue.empty()) return;  // Node was powered down mid-transmission.
+  active_tx_.Clear(src);
+  // The queue cannot be empty here: power-downs (the only external queue
+  // clear) bump tx_gen, which routes their completion through the stale
+  // branch above.
+  SCOOP_CHECK(!mac.queue.empty());
 
   OutFrame& frame = mac.queue.front();
   const Packet& pkt = frame.pkt;
   NodeId dst = pkt.hdr.link_dst;
   bool dst_received = false;
 
-  int n = topology_->num_nodes();
-  for (NodeId r = 0; r < n; ++r) {
-    if (r == src) continue;
+  // Only the sender's audible out-neighbors can receive; the CSR list
+  // visits them in ascending id, exactly the order (and with exactly the
+  // Bernoulli draws) the dense matrix walk used.
+  for (const Topology::Link& link : topology_->audible_from(src)) {
+    NodeId r = link.to;
     if (!alive_[r]) continue;  // Dead radios hear nothing.
-    double p = topology_->delivery_prob(src, r);
-    if (p <= 0.0) continue;
-    if (!rng_.Bernoulli(p)) continue;                   // Link loss.
+    if (!rng_.Bernoulli(link.prob)) continue;           // Link loss.
     if (WasTransmitting(r, start, end)) continue;       // Half duplex.
     if (Collided(r, src, start, end)) continue;         // Corrupted.
     bool addressed = (dst == kBroadcastId) || (dst == r);
@@ -194,7 +261,7 @@ void Radio::FinishTx(NodeId src, SimTime start, SimTime end) {
     }
   }
 
-  PruneTransmissions();
+  PruneRing();
   TryStart(src);
 }
 

@@ -4,13 +4,24 @@
 // half-duplex receivers, promiscuous snooping, and link-layer ACK +
 // retransmission for unicasts. This is the TOSSIM-substitute substrate
 // (DESIGN.md S2).
+//
+// Hot-path design: one transmission touches only the sender's audible
+// out-neighbors (the topology's CSR lists), not all N nodes, and channel
+// queries (carrier sense, collision, half-duplex) run on per-node indexes
+// -- an active-transmitter bitmap intersected with the receiver's
+// interferer set, each node's last two transmission spans, and a
+// time-ordered ring of recent transmissions pruned from the front -- in
+// place of the seed's linear scans over a shared history vector. One
+// broadcast is O(degree + overlapping transmissions) instead of O(N * H).
 #ifndef SCOOP_SIM_RADIO_H_
 #define SCOOP_SIM_RADIO_H_
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <vector>
 
+#include "common/node_bitmap.h"
 #include "common/rng.h"
 #include "net/wire.h"
 #include "sim/event_queue.h"
@@ -49,8 +60,10 @@ class Radio {
   void Send(NodeId src, Packet pkt);
 
   /// Powers a node's radio down (failure injection, §2.1) or back up. A
-  /// dead node transmits nothing (its queue is dropped) and receives
-  /// nothing; everything else routes around it.
+  /// dead node transmits nothing (its queue is dropped and any in-flight
+  /// frame is aborted) and receives nothing; everything else routes around
+  /// it. The RF energy of an aborted frame stays on the air until its
+  /// scheduled end: other nodes still carrier-sense and collide with it.
   void SetNodeAlive(NodeId id, bool alive);
 
   /// True unless the node was powered down.
@@ -72,12 +85,18 @@ class Radio {
   /// Airtime of a packet of `wire_size` bytes (plus link framing).
   SimTime Airtime(int wire_size) const;
 
+  /// CSMA backoff window for the 1-based busy-channel `attempt`: starts at
+  /// backoff_min, doubles per attempt, clamps at backoff_max. Exposed so
+  /// tests can pin the window sequence.
+  static SimTime BackoffWindow(const RadioOptions& options, int attempt);
+
  private:
   struct OutFrame {
     Packet pkt;
     int retries_left = 0;       // Unicast retransmissions remaining.
     int channel_attempts = 0;   // CSMA attempts used so far.
     bool seq_assigned = false;
+    SimTime airtime = 0;  ///< Cached Airtime(pkt.WireSize()), set at Send().
   };
 
   struct MacState {
@@ -85,10 +104,21 @@ class Radio {
     bool transmitting = false;
     bool backoff_scheduled = false;
     uint16_t next_seq = 1;
+    /// Bumped at every transmission start and at every mid-air abort
+    /// (power-down); a FinishTx completion whose generation no longer
+    /// matches is stale and must not touch the queue.
+    uint32_t tx_gen = 0;
   };
 
+  /// One transmission, as kept in the recent-transmissions ring.
   struct Transmission {
     NodeId src = kInvalidNodeId;
+    SimTime start = 0;
+    SimTime end = 0;
+  };
+
+  /// A node's transmission interval, for half-duplex / self-busy checks.
+  struct TxSpan {
     SimTime start = 0;
     SimTime end = 0;
   };
@@ -96,7 +126,9 @@ class Radio {
   /// Attempts to start transmitting the head frame at `src`.
   void TryStart(NodeId src);
   /// Completes a transmission: computes receptions, collisions, ACK.
-  void FinishTx(NodeId src, SimTime start, SimTime end);
+  /// `gen` is the mac tx generation at start; a mismatch means the frame
+  /// was aborted (power-cycle) and the completion is stale.
+  void FinishTx(NodeId src, SimTime start, SimTime end, uint32_t gen);
   /// True iff `node` senses an audible transmission in progress.
   bool ChannelBusy(NodeId node) const;
   /// True iff reception at `receiver` during [start,end] was corrupted by a
@@ -104,8 +136,9 @@ class Radio {
   bool Collided(NodeId receiver, NodeId sender, SimTime start, SimTime end) const;
   /// True iff `node` was itself transmitting at any point in [start,end].
   bool WasTransmitting(NodeId node, SimTime start, SimTime end) const;
-  /// Removes transmissions that can no longer affect anything.
-  void PruneTransmissions();
+  /// Advances the ring head past transmissions that can no longer overlap
+  /// anything, compacting the buffer once the dead prefix dominates.
+  void PruneRing();
 
   const Topology* topology_;
   RadioOptions options_;
@@ -113,7 +146,28 @@ class Radio {
   Rng rng_;
   std::vector<MacState> mac_;
   std::vector<bool> alive_;
-  std::vector<Transmission> history_;  // Recent + active transmissions.
+
+  // --- Neighborhood-indexed channel state ---
+  /// Per-receiver interferer sets, resolved once at construction: the
+  /// topology's precomputed sets when options_.interference_threshold
+  /// matches their threshold, else own_interferers_.
+  const std::vector<DynamicNodeBitmap>* interferers_ = nullptr;
+  std::vector<DynamicNodeBitmap> own_interferers_;
+  /// Nodes with a transmission currently on the air.
+  DynamicNodeBitmap active_tx_;
+  /// Each node's last two transmission spans, most recent first. Two
+  /// suffice: a node's transmissions are serial, so only its most recent
+  /// frame starting before a query window's end can overlap the window --
+  /// plus at most one frame starting exactly at the window's end instant.
+  std::vector<std::array<TxSpan, 2>> node_tx_;
+  /// Recent + active transmissions in start order; start times are
+  /// monotone, so overlap queries walk backward from the tail and stop at
+  /// the first entry older than one max airtime before the window.
+  std::vector<Transmission> ring_;
+  size_t ring_head_ = 0;  ///< First live ring entry (amortized pruning).
+  /// Airtime of a maximum-size frame: the overlap/prune horizon, computed
+  /// once instead of per FinishTx.
+  SimTime max_airtime_ = 0;
 
   TransmitHook transmit_hook_;
   DeliverHook deliver_hook_;

@@ -20,12 +20,15 @@ struct RadioOptions {
   /// chunked by the sender (mapping and reply packets do this).
   int max_packet_bytes = 96;
 
-  /// Initial CSMA backoff window.
-  SimTime backoff_min = Millis(1);
-  SimTime backoff_max = Millis(32);
-
-  /// Each busy-channel retry doubles the window, up to this many doublings.
-  int max_backoff_doublings = 3;
+  /// CSMA backoff window bounds: the window starts at backoff_min, doubles
+  /// with each failed channel-acquisition attempt, and clamps at
+  /// backoff_max (binary exponential backoff). backoff_min sits near a
+  /// typical frame airtime (a 25-byte frame is ~7.5 ms at 38.4 kbps) so a
+  /// backed-off sender does not burn several channel attempts re-sensing
+  /// while a single foreign frame is still on the air; backoff_max spans
+  /// about three maximum-length frames.
+  SimTime backoff_min = Millis(8);
+  SimTime backoff_max = Millis(64);
 
   /// After this many failed channel-acquisition attempts the frame is
   /// dropped (counted as a channel drop).

@@ -16,13 +16,55 @@ double Distance(const Point& a, const Point& b) {
 
 }  // namespace
 
-std::vector<std::vector<double>> Topology::ComputeDelivery(const std::vector<Point>& positions,
-                                                           const PropagationOptions& prop,
-                                                           double range, Rng& rng) {
-  int n = static_cast<int>(positions.size());
-  std::vector<std::vector<double>> delivery(n, std::vector<double>(n, 0.0));
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
+Topology::Topology(std::vector<Point> positions, std::vector<double> delivery)
+    : positions_(std::move(positions)), delivery_(std::move(delivery)) {
+  size_t n = positions_.size();
+  SCOOP_CHECK_EQ(delivery_.size(), n * n);
+  // The radio's CSR delivery walk and interferer sets assume no
+  // self-links: a nonzero diagonal would add a self Bernoulli draw and
+  // break the bit-reproducibility contract.
+  for (size_t i = 0; i < n; ++i) SCOOP_CHECK_EQ(delivery_[i * n + i], 0.0);
+
+  // CSR audible-neighbor lists: links with p > 0, ascending receiver id
+  // within each sender (row order gives that for free).
+  out_offsets_.assign(n + 1, 0);
+  size_t audible = 0;
+  for (size_t i = 0; i < n * n; ++i) {
+    if (delivery_[i] > 0.0) ++audible;
+  }
+  out_links_.reserve(audible);
+  for (size_t from = 0; from < n; ++from) {
+    out_offsets_[from] = static_cast<uint32_t>(out_links_.size());
+    const double* row = delivery_.data() + from * n;
+    for (size_t to = 0; to < n; ++to) {
+      if (row[to] > 0.0) {
+        out_links_.push_back(Link{static_cast<NodeId>(to), row[to]});
+      }
+    }
+  }
+  out_offsets_[n] = static_cast<uint32_t>(out_links_.size());
+
+  interferers_ = BuildInterfererSets(kInterferenceThreshold);
+}
+
+std::vector<DynamicNodeBitmap> Topology::BuildInterfererSets(double threshold) const {
+  size_t n = positions_.size();
+  std::vector<DynamicNodeBitmap> sets(n, DynamicNodeBitmap(static_cast<int>(n)));
+  for (size_t from = 0; from < n; ++from) {
+    for (const Link& link : audible_from(static_cast<NodeId>(from))) {
+      if (link.prob >= threshold) sets[link.to].Set(static_cast<NodeId>(from));
+    }
+  }
+  return sets;
+}
+
+std::vector<double> Topology::ComputeDelivery(const std::vector<Point>& positions,
+                                              const PropagationOptions& prop, double range,
+                                              Rng& rng) {
+  size_t n = positions.size();
+  std::vector<double> delivery(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
       if (i == j) continue;
       double d = Distance(positions[i], positions[j]);
       if (d >= range) continue;
@@ -30,7 +72,7 @@ std::vector<std::vector<double>> Topology::ComputeDelivery(const std::vector<Poi
       // Directed lognormal shadowing makes links lossy and asymmetric.
       double noisy = base * std::exp(rng.Gaussian(0.0, prop.shadowing_sigma));
       noisy = std::min(noisy, prop.max_delivery);
-      delivery[i][j] = (noisy < prop.min_delivery) ? 0.0 : noisy;
+      delivery[i * n + j] = (noisy < prop.min_delivery) ? 0.0 : noisy;
     }
   }
   return delivery;
@@ -38,7 +80,6 @@ std::vector<std::vector<double>> Topology::ComputeDelivery(const std::vector<Poi
 
 Topology Topology::MakeRandom(const RandomTopologyOptions& options) {
   SCOOP_CHECK_GE(options.num_nodes, 2);
-  SCOOP_CHECK_LE(options.num_nodes, kMaxNodes);
   Rng rng(options.seed, /*stream=*/0x70F0);
   std::vector<Point> positions(static_cast<size_t>(options.num_nodes));
   // Basestation near a corner of the area, like a sink at the edge of a
@@ -56,10 +97,10 @@ Topology Topology::MakeRandom(const RandomTopologyOptions& options) {
   for (int attempt = 0; attempt < 40; ++attempt) {
     Rng link_rng(options.seed, /*stream=*/7 + static_cast<uint64_t>(attempt));
     auto delivery = ComputeDelivery(positions, options.propagation, range, link_rng);
-    Topology topo(positions, std::move(delivery));
-    bool connected = topo.IsConnected(0.1);
+    int n = options.num_nodes;
+    bool connected = ConnectedAt(delivery, n, 0.1);
     if (connected && options.target_neighbor_fraction > 0) {
-      double frac = topo.AvgNeighborFraction(0.1);
+      double frac = NeighborFractionAt(delivery, n, 0.1);
       if (frac > options.target_neighbor_fraction * 1.25) {
         range *= 0.93;
         continue;
@@ -69,7 +110,7 @@ Topology Topology::MakeRandom(const RandomTopologyOptions& options) {
         continue;
       }
     }
-    if (connected) return topo;
+    if (connected) return Topology(positions, std::move(delivery));
     range *= 1.12;
   }
   // Last resort: huge range; always connected.
@@ -80,7 +121,6 @@ Topology Topology::MakeRandom(const RandomTopologyOptions& options) {
 
 Topology Topology::MakeTestbed(const TestbedTopologyOptions& options) {
   SCOOP_CHECK_GE(options.num_nodes, 2);
-  SCOOP_CHECK_LE(options.num_nodes, kMaxNodes);
   Rng rng(options.seed, /*stream=*/0xBED);
   int n = options.num_nodes;
   std::vector<Point> positions(static_cast<size_t>(n));
@@ -107,8 +147,7 @@ Topology Topology::MakeTestbed(const TestbedTopologyOptions& options) {
   for (int attempt = 0; attempt < 40; ++attempt) {
     Rng link_rng(options.seed, /*stream=*/1000 + static_cast<uint64_t>(attempt));
     auto delivery = ComputeDelivery(positions, options.propagation, range, link_rng);
-    Topology topo(positions, std::move(delivery));
-    if (topo.IsConnected(0.1)) return topo;
+    if (ConnectedAt(delivery, n, 0.1)) return Topology(positions, std::move(delivery));
     range *= 1.12;
   }
   Rng link_rng(options.seed, /*stream=*/2999);
@@ -118,7 +157,6 @@ Topology Topology::MakeTestbed(const TestbedTopologyOptions& options) {
 
 Topology Topology::MakeGrid(const GridTopologyOptions& options) {
   SCOOP_CHECK_GE(options.num_nodes, 2);
-  SCOOP_CHECK_LE(options.num_nodes, kMaxNodes);
   SCOOP_CHECK_GT(options.spacing, 0.0);
   Rng rng(options.seed, /*stream=*/0x6B1D);
   int n = options.num_nodes;
@@ -139,8 +177,7 @@ Topology Topology::MakeGrid(const GridTopologyOptions& options) {
   for (int attempt = 0; attempt < 40; ++attempt) {
     Rng link_rng(options.seed, /*stream=*/3000 + static_cast<uint64_t>(attempt));
     auto delivery = ComputeDelivery(positions, options.propagation, range, link_rng);
-    Topology topo(positions, std::move(delivery));
-    if (topo.IsConnected(0.1)) return topo;
+    if (ConnectedAt(delivery, n, 0.1)) return Topology(positions, std::move(delivery));
     range *= 1.12;
   }
   Rng link_rng(options.seed, /*stream=*/3999);
@@ -151,41 +188,48 @@ Topology Topology::MakeGrid(const GridTopologyOptions& options) {
 Topology Topology::FromMatrix(std::vector<Point> positions,
                               std::vector<std::vector<double>> delivery) {
   SCOOP_CHECK_EQ(positions.size(), delivery.size());
-  for (const auto& row : delivery) SCOOP_CHECK_EQ(row.size(), positions.size());
-  return Topology(std::move(positions), std::move(delivery));
+  size_t n = positions.size();
+  std::vector<double> flat;
+  flat.reserve(n * n);
+  for (const auto& row : delivery) {
+    SCOOP_CHECK_EQ(row.size(), n);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return Topology(std::move(positions), std::move(flat));
 }
 
-double Topology::AvgNeighborFraction(double threshold) const {
-  int n = num_nodes();
+double Topology::NeighborFractionAt(const std::vector<double>& delivery, int n,
+                                    double threshold) {
   if (n <= 1) return 0;
   long total = 0;
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
-      if (i != j && delivery_[i][j] >= threshold) ++total;
+      if (i != j && delivery[static_cast<size_t>(i) * static_cast<size_t>(n) + j] >= threshold) {
+        ++total;
+      }
     }
   }
   return static_cast<double>(total) / (static_cast<double>(n) * (n - 1));
 }
 
+double Topology::AvgNeighborFraction(double threshold) const {
+  return NeighborFractionAt(delivery_, num_nodes(), threshold);
+}
+
 double Topology::MeanAudibleDelivery() const {
-  int n = num_nodes();
   double sum = 0;
   long count = 0;
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      if (i != j && delivery_[i][j] > 0) {
-        sum += delivery_[i][j];
-        ++count;
-      }
-    }
+  for (const Link& link : out_links_) {
+    sum += link.prob;
+    ++count;
   }
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
-bool Topology::IsConnected(double threshold) const {
-  int n = num_nodes();
+bool Topology::ConnectedAt(const std::vector<double>& delivery, int n, double threshold) {
   // `forward` follows edges u->v (base pushes data out); `reverse` follows
   // v->u (data flows toward the base). Both must span the network.
+  size_t stride = static_cast<size_t>(n);
   for (bool forward : {true, false}) {
     std::vector<bool> seen(static_cast<size_t>(n), false);
     std::queue<int> frontier;
@@ -197,8 +241,8 @@ bool Topology::IsConnected(double threshold) const {
       frontier.pop();
       for (int v = 0; v < n; ++v) {
         if (seen[static_cast<size_t>(v)]) continue;
-        double p = forward ? delivery_[static_cast<size_t>(u)][static_cast<size_t>(v)]
-                           : delivery_[static_cast<size_t>(v)][static_cast<size_t>(u)];
+        double p = forward ? delivery[static_cast<size_t>(u) * stride + static_cast<size_t>(v)]
+                           : delivery[static_cast<size_t>(v) * stride + static_cast<size_t>(u)];
         if (p >= threshold) {
           seen[static_cast<size_t>(v)] = true;
           ++reached;
@@ -211,6 +255,10 @@ bool Topology::IsConnected(double threshold) const {
   return true;
 }
 
+bool Topology::IsConnected(double threshold) const {
+  return ConnectedAt(delivery_, num_nodes(), threshold);
+}
+
 double Topology::MeanHopsFrom(NodeId from, double threshold) const {
   int n = num_nodes();
   std::vector<int> dist(static_cast<size_t>(n), -1);
@@ -220,12 +268,11 @@ double Topology::MeanHopsFrom(NodeId from, double threshold) const {
   while (!frontier.empty()) {
     int u = frontier.front();
     frontier.pop();
-    for (int v = 0; v < n; ++v) {
-      if (dist[static_cast<size_t>(v)] >= 0) continue;
-      if (delivery_[static_cast<size_t>(u)][static_cast<size_t>(v)] >= threshold) {
-        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
-        frontier.push(v);
-      }
+    for (const Link& link : audible_from(static_cast<NodeId>(u))) {
+      if (link.prob < threshold) continue;
+      if (dist[link.to] >= 0) continue;
+      dist[link.to] = dist[static_cast<size_t>(u)] + 1;
+      frontier.push(link.to);
     }
   }
   double sum = 0;

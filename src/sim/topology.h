@@ -3,11 +3,21 @@
 // reports for its 62-node testbed and TOSSIM runs (§6): each node hears
 // ~20% of the network, audible pairs lose 25-90% of packets, and links are
 // slightly asymmetric.
+//
+// The regime is sparse, so alongside the flat row-major matrix every
+// topology precomputes neighborhood indexes the radio hot path runs on:
+// CSR-style audible-neighbor lists (per sender, the links with p > 0 in
+// ascending receiver order) and per-receiver interferer sets (a bitmap of
+// senders loud enough to trigger carrier sense or corrupt a reception).
+// This is the TOSSIM-style per-node adjacency indexing that lets one
+// broadcast cost O(degree) instead of O(N).
 #ifndef SCOOP_SIM_TOPOLOGY_H_
 #define SCOOP_SIM_TOPOLOGY_H_
 
+#include <span>
 #include <vector>
 
+#include "common/node_bitmap.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -70,9 +80,27 @@ struct TestbedTopologyOptions {
   uint64_t seed = 1;
 };
 
-/// Immutable topology: positions and directed delivery probabilities.
+/// Immutable topology: positions, directed delivery probabilities, and the
+/// precomputed neighborhood indexes the radio hot path runs on.
+///
+/// The generators are size-agnostic: the 128-node `kMaxNodes` cap is a
+/// property of the query-packet wire format, enforced where agents are
+/// installed (harness/scenario layers), not here -- radio-level benchmarks
+/// simulate networks of 1000+ nodes.
 class Topology {
  public:
+  /// One audible directed link in a sender's CSR neighbor list.
+  struct Link {
+    NodeId to = 0;
+    double prob = 0.0;
+  };
+
+  /// Senders whose delivery probability to a receiver is at least this can
+  /// interfere there (carrier sense and collisions). Must match the
+  /// RadioOptions::interference_threshold default; a radio configured with
+  /// a different threshold rebuilds its own sets via BuildInterfererSets.
+  static constexpr double kInterferenceThreshold = 0.05;
+
   /// Generates nodes uniformly in a rectangle. Guarantees the audible-link
   /// graph is connected (re-rolls shadowing with growing range if needed).
   static Topology MakeRandom(const RandomTopologyOptions& options);
@@ -95,8 +123,30 @@ class Topology {
 
   /// Delivery probability of a packet sent by `from` arriving at `to`.
   double delivery_prob(NodeId from, NodeId to) const {
-    return delivery_[from][to];
+    return delivery_[static_cast<size_t>(from) * positions_.size() + to];
   }
+
+  /// The audible out-links of `from` (delivery probability > 0), in
+  /// ascending receiver id -- the same order the dense matrix walk visited
+  /// them, so replacing the walk preserves RNG draw order exactly.
+  std::span<const Link> audible_from(NodeId from) const {
+    return {out_links_.data() + out_offsets_[from],
+            out_links_.data() + out_offsets_[static_cast<size_t>(from) + 1]};
+  }
+
+  /// Senders whose delivery probability to `to` clears
+  /// kInterferenceThreshold: the only nodes whose transmissions `to` can
+  /// carrier-sense or be corrupted by.
+  const DynamicNodeBitmap& interferers(NodeId to) const { return interferers_[to]; }
+
+  /// All precomputed interferer sets, indexed by receiver (the radio keeps
+  /// one pointer to whichever vector -- this or a custom-threshold rebuild
+  /// -- it runs on).
+  const std::vector<DynamicNodeBitmap>& interferer_sets() const { return interferers_; }
+
+  /// Per-receiver interferer sets for a non-default threshold (the
+  /// precomputed `interferers()` cover the default).
+  std::vector<DynamicNodeBitmap> BuildInterfererSets(double threshold) const;
 
   /// Position of `id` in meters.
   const Point& position(NodeId id) const { return positions_[id]; }
@@ -122,15 +172,29 @@ class Topology {
   double MeanHopsFrom(NodeId from, double threshold) const;
 
  private:
-  Topology(std::vector<Point> positions, std::vector<std::vector<double>> delivery)
-      : positions_(std::move(positions)), delivery_(std::move(delivery)) {}
+  /// `delivery` is the flat row-major matrix: delivery[from * n + to].
+  Topology(std::vector<Point> positions, std::vector<double> delivery);
 
-  static std::vector<std::vector<double>> ComputeDelivery(const std::vector<Point>& positions,
-                                                          const PropagationOptions& prop,
-                                                          double range, Rng& rng);
+  static std::vector<double> ComputeDelivery(const std::vector<Point>& positions,
+                                             const PropagationOptions& prop, double range,
+                                             Rng& rng);
+
+  // Raw-matrix forms of the public queries, so the generators' range-tuning
+  // loops can accept/reject candidate matrices without paying the index
+  // build for topologies they are about to discard.
+  static bool ConnectedAt(const std::vector<double>& delivery, int n, double threshold);
+  static double NeighborFractionAt(const std::vector<double>& delivery, int n,
+                                   double threshold);
 
   std::vector<Point> positions_;
-  std::vector<std::vector<double>> delivery_;
+  /// Flat row-major delivery matrix, num_nodes^2 entries.
+  std::vector<double> delivery_;
+  /// CSR audible-neighbor index over delivery_: node i's out-links are
+  /// out_links_[out_offsets_[i] .. out_offsets_[i+1]).
+  std::vector<uint32_t> out_offsets_;
+  std::vector<Link> out_links_;
+  /// Per-receiver interferer sets at kInterferenceThreshold.
+  std::vector<DynamicNodeBitmap> interferers_;
 };
 
 }  // namespace scoop::sim

@@ -64,5 +64,74 @@ TEST(NodeBitmapTest, Equality) {
   EXPECT_FALSE(NodeBitmap::Of({5}) == NodeBitmap::Of({6}));
 }
 
+TEST(DynamicNodeBitmapTest, StartsEmptyAndScalesPastWireFormatCap) {
+  DynamicNodeBitmap bm(1000);
+  EXPECT_TRUE(bm.Empty());
+  EXPECT_EQ(bm.Count(), 0);
+  bm.Set(0);
+  bm.Set(999);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(999));
+  EXPECT_FALSE(bm.Test(500));
+  EXPECT_EQ(bm.Count(), 2);
+  bm.Clear(999);
+  EXPECT_FALSE(bm.Test(999));
+  EXPECT_EQ(bm.ToVector(), (std::vector<NodeId>{0}));
+}
+
+TEST(DynamicNodeBitmapTest, TestBeyondCapacityIsFalse) {
+  DynamicNodeBitmap bm(64);
+  bm.Set(63);
+  EXPECT_FALSE(bm.Test(64));
+  EXPECT_FALSE(bm.Test(kInvalidNodeId));
+  DynamicNodeBitmap empty;
+  EXPECT_FALSE(empty.Test(0));
+  EXPECT_TRUE(empty.Empty());
+}
+
+TEST(DynamicNodeBitmapTest, IntersectsAcrossDifferentCapacities) {
+  DynamicNodeBitmap a(700);
+  DynamicNodeBitmap b(100);
+  a.Set(650);
+  b.Set(70);
+  EXPECT_FALSE(a.Intersects(b));
+  a.Set(70);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+}
+
+TEST(DynamicNodeBitmapTest, AnyOfIntersectionVisitsAscendingAndStopsEarly) {
+  DynamicNodeBitmap a(300);
+  DynamicNodeBitmap b(300);
+  for (NodeId id : {3, 64, 130, 257}) a.Set(id);
+  for (NodeId id : {3, 64, 131, 257}) b.Set(id);
+
+  std::vector<NodeId> visited;
+  bool found = a.AnyOfIntersection(b, [&](NodeId id) {
+    visited.push_back(id);
+    return false;
+  });
+  EXPECT_FALSE(found);
+  EXPECT_EQ(visited, (std::vector<NodeId>{3, 64, 257}));
+
+  visited.clear();
+  found = a.AnyOfIntersection(b, [&](NodeId id) {
+    visited.push_back(id);
+    return id == 64;  // Early exit mid-intersection.
+  });
+  EXPECT_TRUE(found);
+  EXPECT_EQ(visited, (std::vector<NodeId>{3, 64}));
+}
+
+TEST(DynamicNodeBitmapTest, Equality) {
+  DynamicNodeBitmap a(128);
+  DynamicNodeBitmap b(128);
+  a.Set(77);
+  b.Set(77);
+  EXPECT_EQ(a, b);
+  b.Set(78);
+  EXPECT_FALSE(a == b);
+}
+
 }  // namespace
 }  // namespace scoop

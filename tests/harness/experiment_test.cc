@@ -125,6 +125,24 @@ TEST(HarnessTest, FailureWavesKillMoreNodesThanOneWave) {
   EXPECT_LT(three_waves.storage_success, one_wave.storage_success);
 }
 
+TEST(HarnessTest, TrialsCarryPerfTelemetry) {
+  ExperimentConfig config;
+  config.num_nodes = 8;
+  config.duration = Minutes(3);
+  config.stabilization = Minutes(1);
+  config.trials = 1;
+  ExperimentResult r = RunAnyTrial(config, 11);
+  // A simulated trial executes thousands of events and takes nonzero wall
+  // time; both feed the campaign perf report (events/second).
+  EXPECT_GT(r.sim_events, 100);
+  EXPECT_GT(r.wall_seconds, 0);
+
+  config.policy = Policy::kHashAnalytical;
+  ExperimentResult hash = RunAnyTrial(config, 11);
+  EXPECT_EQ(hash.sim_events, 0);  // Closed-form model: no simulation.
+  EXPECT_GT(hash.wall_seconds, 0);
+}
+
 TEST(ReportTest, TableAlignsColumns) {
   TablePrinter table({"a", "bbbb"});
   table.AddRow({"xxxxx", "y"});

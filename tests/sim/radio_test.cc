@@ -269,6 +269,78 @@ TEST(RadioTest, AirtimeScalesWithSize) {
   EXPECT_NEAR(static_cast<double>(small), 6458.0, 100.0);
 }
 
+TEST(RadioTest, BackoffWindowStartsAtMinDoublesAndClamps) {
+  RadioOptions opts;
+  opts.backoff_min = Millis(1);
+  opts.backoff_max = Millis(32);
+  std::vector<SimTime> windows;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    windows.push_back(Radio::BackoffWindow(opts, attempt));
+  }
+  EXPECT_EQ(windows, (std::vector<SimTime>{Millis(1), Millis(2), Millis(4), Millis(8),
+                                           Millis(16), Millis(32), Millis(32), Millis(32)}));
+
+  opts.backoff_min = Millis(2);
+  opts.backoff_max = Millis(16);
+  windows.clear();
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    windows.push_back(Radio::BackoffWindow(opts, attempt));
+  }
+  EXPECT_EQ(windows, (std::vector<SimTime>{Millis(2), Millis(4), Millis(8), Millis(16),
+                                           Millis(16), Millis(16)}));
+}
+
+TEST(RadioTest, PowerCycleMidTransmissionDoesNotSwallowNextFrame) {
+  // Regression for the stale-FinishTx hazard: node 0 is killed while a
+  // frame is on the air, revived, and sends a fresh frame before the old
+  // transmission's completion event fires. The old code ACK-processed the
+  // *new* queue-front frame as if it were the finished transmission, so
+  // the new frame was popped without ever being transmitted.
+  Fixture f(ChainTopology(1.0, 1.0));
+  int transmissions = 0;
+  f.network.radio().set_transmit_hook(
+      [&](NodeId src, const Packet&, bool) { transmissions += (src == 0) ? 1 : 0; });
+
+  Packet first = TestBeacon(0);
+  first.hdr.link_dst = 1;
+  SimTime t0 = f.network.now();
+  f.network.queue().ScheduleAt(t0 + Millis(10), [&] { f.network.radio().Send(0, first); });
+  // The frame's airtime is ~7 ms; kill mid-air, revive, and queue the next
+  // frame all before the transmission's scheduled end.
+  f.network.queue().ScheduleAt(t0 + Millis(12),
+                               [&] { f.network.SetNodeAlive(0, false); });
+  f.network.queue().ScheduleAt(t0 + Millis(13), [&] { f.network.SetNodeAlive(0, true); });
+  Packet second = TestBeacon(0);
+  second.hdr.link_dst = 1;
+  second.hdr.origin = 9;  // Marks the post-revival frame.
+  f.network.queue().ScheduleAt(t0 + Millis(14), [&] { f.network.radio().Send(0, second); });
+  f.network.RunUntil(t0 + Seconds(5));
+
+  // The second frame must be genuinely transmitted (the first transmit was
+  // the aborted frame's) and delivered exactly once.
+  EXPECT_EQ(transmissions, 2);
+  ASSERT_EQ(f.apps[1]->received.size(), 1u);
+  EXPECT_EQ(f.apps[1]->received[0].hdr.origin, 9);
+  EXPECT_EQ(f.apps[0]->send_ok, 1);
+  EXPECT_EQ(f.apps[0]->send_fail, 0);
+}
+
+TEST(RadioTest, PowerCycleWithNoNewSendIsInert) {
+  // Kill mid-air with nothing queued afterwards: the stale completion must
+  // retire cleanly (no crash, no delivery, no send-done).
+  Fixture f(ChainTopology(1.0, 1.0));
+  Packet pkt = TestBeacon(0);
+  pkt.hdr.link_dst = 1;
+  SimTime t0 = f.network.now();
+  f.network.queue().ScheduleAt(t0 + Millis(10), [&] { f.network.radio().Send(0, pkt); });
+  f.network.queue().ScheduleAt(t0 + Millis(12),
+                               [&] { f.network.SetNodeAlive(0, false); });
+  f.network.RunUntil(t0 + Seconds(5));
+  EXPECT_TRUE(f.apps[1]->received.empty());
+  EXPECT_EQ(f.apps[0]->send_ok, 0);
+  EXPECT_TRUE(f.network.radio().IsIdle(0));
+}
+
 TEST(RadioTest, DeterministicAcrossRuns) {
   auto run = [] {
     Fixture f(ChainTopology(0.6, 0.6), /*seed=*/123);

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Standing perf harness: runs the radio and event-queue microbenchmarks
+# plus a campaign perf probe (wall-clock / events-per-second), and merges
+# everything into one BENCH_radio.json so the perf trajectory is
+# machine-tracked across PRs.
+#
+# Usage: tools/bench_json.sh [build-dir] [output.json]
+#   build-dir   defaults to build-release (cmake --preset release)
+#   output.json defaults to BENCH_radio.json in the repo root
+# Environment:
+#   BENCH_MIN_TIME  google-benchmark min seconds per bench (default 0.2;
+#                   CI smoke uses 0.05)
+#   BENCH_FILTER    optional --benchmark_filter regex forwarded to both
+#                   microbenchmark binaries
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build-release}"
+out="${2:-${repo_root}/BENCH_radio.json}"
+min_time="${BENCH_MIN_TIME:-0.2}"
+filter="${BENCH_FILTER:-}"
+
+bench_dir="${repo_root}/${build_dir}/bench"
+tools_dir="${repo_root}/${build_dir}/tools"
+for bin in "${bench_dir}/bench_micro_radio" "${bench_dir}/bench_micro_event_queue" \
+           "${tools_dir}/scoop_campaign"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (run: cmake --preset release && cmake --build --preset release)" >&2
+    exit 1
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+bench_args=(--benchmark_min_time="${min_time}" --benchmark_out_format=json)
+[[ -n "${filter}" ]] && bench_args+=(--benchmark_filter="${filter}")
+
+"${bench_dir}/bench_micro_radio" "${bench_args[@]}" \
+    --benchmark_out="${tmp}/micro_radio.json" >&2
+"${bench_dir}/bench_micro_event_queue" "${bench_args[@]}" \
+    --benchmark_out="${tmp}/micro_event_queue.json" >&2
+"${tools_dir}/scoop_campaign" --scenario=smoke_tiny --threads=1 --quiet \
+    --perf-json="${tmp}/campaign_smoke.json"
+
+commit="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+python3 - "${tmp}" "${out}" "${commit}" "${min_time}" <<'EOF'
+import json
+import sys
+
+tmp, out, commit, min_time = sys.argv[1:5]
+doc = {
+    "schema": "scoop-bench-v1",
+    "commit": commit,
+    "benchmark_min_time_seconds": float(min_time),
+    "micro_radio": json.load(open(f"{tmp}/micro_radio.json")),
+    "micro_event_queue": json.load(open(f"{tmp}/micro_event_queue.json")),
+    "campaign_smoke": json.load(open(f"{tmp}/campaign_smoke.json")),
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"wrote {out}")
+EOF

@@ -35,6 +35,7 @@ using scoop::tools::MatchFlag;
                "          [--threads=N]      worker threads (0 = all hardware threads)\n"
                "          [--csv=PATH]       write per-trial + mean rows as CSV\n"
                "          [--json=PATH]      write per-combo JSON-lines\n"
+               "          [--perf-json=PATH] write wall-clock/events-per-second perf report\n"
                "          [--quiet]          suppress the summary table\n"
                "       %s --list             list registered scenarios\n"
                "       %s --print=NAME      dump a registered scenario's .scn text\n",
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
   std::string file_path;
   std::string csv_path;
   std::string json_path;
+  std::string perf_json_path;
   int threads = 0;
   bool quiet = false;
 
@@ -103,6 +105,8 @@ int main(int argc, char** argv) {
       csv_path = value;
     } else if (MatchFlag(arg, "--json", &value) && value != nullptr) {
       json_path = value;
+    } else if (MatchFlag(arg, "--perf-json", &value) && value != nullptr) {
+      perf_json_path = value;
     } else if (MatchFlag(arg, "--quiet", &value)) {
       quiet = true;
     } else {
@@ -139,12 +143,23 @@ int main(int argc, char** argv) {
     for (const scenario::CampaignRow& row : result.rows) total_trials += row.trials.size();
     std::printf("scenario %s: %s\n", result.scenario_name.c_str(),
                 result.description.empty() ? "(no description)" : result.description.c_str());
-    std::printf("%zu combos x trials = %zu runs on %d thread%s\n\n", result.rows.size(),
-                total_trials, result.threads_used, result.threads_used == 1 ? "" : "s");
+    double events = 0;
+    for (const scenario::CampaignRow& row : result.rows) {
+      for (const auto& trial : row.trials) events += trial.sim_events;
+    }
+    std::printf("%zu combos x trials = %zu runs on %d thread%s"
+                " (%.2fs wall, %.0f events/s)\n\n",
+                result.rows.size(), total_trials, result.threads_used,
+                result.threads_used == 1 ? "" : "s", result.wall_seconds,
+                result.wall_seconds > 0 ? events / result.wall_seconds : 0.0);
     std::fputs(scenario::CampaignTable(result).c_str(), stdout);
   }
   if (!csv_path.empty() && !WriteFile(csv_path, scenario::CampaignCsv(result))) return 1;
   if (!json_path.empty() && !WriteFile(json_path, scenario::CampaignJsonLines(result))) {
+    return 1;
+  }
+  if (!perf_json_path.empty() &&
+      !WriteFile(perf_json_path, scenario::CampaignPerfJson(result))) {
     return 1;
   }
   return 0;
