@@ -15,6 +15,7 @@
 
 #include <cmath>
 #include <deque>
+#include <functional>
 #include <map>
 #include <queue>
 #include <utility>

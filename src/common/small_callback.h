@@ -1,10 +1,14 @@
-// Move-only type-erased `void()` callable with inline storage. The
-// discrete-event queue runs one of these per simulated event, so unlike
-// std::function (16-byte small-object buffer in libstdc++) the buffer is
-// sized to hold typical simulator callbacks -- `this` plus a few scalars,
-// or a whole std::function forwarded from the App::Context interface --
-// without touching the allocator. Larger or potentially-throwing-move
-// callables fall back to a single heap box.
+// Move-only type-erased callable with inline storage. The discrete-event
+// queue runs one `void()` of these per simulated event, and the radio
+// invokes one per packet on its observer chain, so unlike std::function
+// (16-byte small-object buffer in libstdc++) the buffer is sized to hold
+// typical simulator callbacks -- `this` plus a few scalars, or a whole
+// std::function forwarded from legacy call sites -- without touching the
+// allocator. Larger or potentially-throwing-move callables fall back to a
+// single heap box.
+//
+// SmallFunction<R(Args...)> is the general template; SmallCallback is the
+// `void()` instance the event queue schedules.
 #ifndef SCOOP_COMMON_SMALL_CALLBACK_H_
 #define SCOOP_COMMON_SMALL_CALLBACK_H_
 
@@ -15,23 +19,27 @@
 
 namespace scoop {
 
-class SmallCallback {
+template <typename Signature>
+class SmallFunction;  // Only the R(Args...) specialization exists.
+
+template <typename R, typename... Args>
+class SmallFunction<R(Args...)> {
  public:
   /// Callables up to this size (and max_align_t alignment, and nothrow move)
   /// are stored inline; anything bigger is heap-boxed.
   static constexpr size_t kInlineBytes = 48;
 
-  SmallCallback() = default;
-  SmallCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     // A null function pointer or empty std::function yields an empty
-    // SmallCallback, so callers' null checks reject it up front instead of
+    // SmallFunction, so callers' null checks reject it up front instead of
     // it exploding at invoke time. (Lambdas are not bool-testable, so this
     // costs the common path nothing.)
     if constexpr (std::is_constructible_v<bool, Fn&>) {
@@ -48,12 +56,12 @@ class SmallCallback {
     }
   }
 
-  SmallCallback(const SmallCallback&) = delete;
-  SmallCallback& operator=(const SmallCallback&) = delete;
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
 
-  SmallCallback(SmallCallback&& other) noexcept { MoveFrom(other); }
+  SmallFunction(SmallFunction&& other) noexcept { MoveFrom(other); }
 
-  SmallCallback& operator=(SmallCallback&& other) noexcept {
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
     if (this != &other) {
       Reset();
       MoveFrom(other);
@@ -61,30 +69,32 @@ class SmallCallback {
     return *this;
   }
 
-  SmallCallback& operator=(std::nullptr_t) {
+  SmallFunction& operator=(std::nullptr_t) {
     Reset();
     return *this;
   }
 
-  ~SmallCallback() { Reset(); }
+  ~SmallFunction() { Reset(); }
 
   /// Invokes the stored callable; undefined if empty.
-  void operator()() { ops_->invoke(buf_); }
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const { return ops_ != nullptr; }
 
-  friend bool operator==(const SmallCallback& f, std::nullptr_t) { return !f; }
-  friend bool operator==(std::nullptr_t, const SmallCallback& f) { return !f; }
-  friend bool operator!=(const SmallCallback& f, std::nullptr_t) {
+  friend bool operator==(const SmallFunction& f, std::nullptr_t) { return !f; }
+  friend bool operator==(std::nullptr_t, const SmallFunction& f) { return !f; }
+  friend bool operator!=(const SmallFunction& f, std::nullptr_t) {
     return static_cast<bool>(f);
   }
-  friend bool operator!=(std::nullptr_t, const SmallCallback& f) {
+  friend bool operator!=(std::nullptr_t, const SmallFunction& f) {
     return static_cast<bool>(f);
   }
 
  private:
   struct Ops {
-    void (*invoke)(void* self);
+    R (*invoke)(void* self, Args&&... args);
     /// Moves the representation from `from` into the raw buffer `to` and
     /// ends `from`'s lifetime; `from` must not be destroyed again.
     void (*relocate)(void* from, void* to);
@@ -93,7 +103,9 @@ class SmallCallback {
 
   template <typename Fn>
   struct InlineOps {
-    static void Invoke(void* self) { (*static_cast<Fn*>(self))(); }
+    static R Invoke(void* self, Args&&... args) {
+      return (*static_cast<Fn*>(self))(std::forward<Args>(args)...);
+    }
     static void Relocate(void* from, void* to) {
       Fn* f = static_cast<Fn*>(from);
       ::new (to) Fn(std::move(*f));
@@ -105,7 +117,9 @@ class SmallCallback {
 
   template <typename Fn>
   struct BoxedOps {
-    static void Invoke(void* self) { (**static_cast<Fn**>(self))(); }
+    static R Invoke(void* self, Args&&... args) {
+      return (**static_cast<Fn**>(self))(std::forward<Args>(args)...);
+    }
     static void Relocate(void* from, void* to) {
       ::new (to) Fn*(*static_cast<Fn**>(from));
     }
@@ -113,7 +127,7 @@ class SmallCallback {
     static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
   };
 
-  void MoveFrom(SmallCallback& other) noexcept {
+  void MoveFrom(SmallFunction& other) noexcept {
     if (other.ops_ != nullptr) {
       ops_ = other.ops_;
       ops_->relocate(other.buf_, buf_);
@@ -131,6 +145,9 @@ class SmallCallback {
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+/// The `void()` instance the event queue schedules.
+using SmallCallback = SmallFunction<void()>;
 
 }  // namespace scoop
 

@@ -72,6 +72,10 @@ void ScoopBaseAgent::HandleSummaryAtBase(const Packet& pkt) {
 }
 
 void ScoopBaseAgent::RebuildXmits() {
+  // Clear + full re-ingest is the estimator's cheap steady-state path:
+  // Clear() keeps the committed graph and distances, and Build() diffs
+  // the re-ingested statistics against them, repairing only the rows the
+  // drift since the last remap actually touched.
   xmits_.Clear();
   for (const auto& [node, record] : latest_) {
     for (const NeighborEntry& nbr : record.summary.neighbors) {

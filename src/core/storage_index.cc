@@ -1,6 +1,7 @@
 #include "core/storage_index.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "common/check.h"
@@ -109,6 +110,54 @@ std::vector<NodeId> StorageIndex::LookupAll(Value v) const {
     if (e.lo <= clamped && clamped <= e.hi) out.push_back(e.owner);
   }
   return out;
+}
+
+int64_t StorageIndex::OwnedValueCount(NodeId owner) const {
+  if (!valid()) return 0;
+  if (!multi_owner_) {
+    // Entries are sorted, non-overlapping, and cover the domain exactly:
+    // the owned count is the summed width of the matching ranges.
+    int64_t owned = 0;
+    for (const RangeEntry& e : entries_) {
+      if (e.owner == owner) {
+        owned += static_cast<int64_t>(e.hi) - static_cast<int64_t>(e.lo) + 1;
+      }
+    }
+    return owned;
+  }
+  // Multi-owner: Lookup() returns the first entry in rank-major insertion
+  // order that covers the value, so sweep the entry boundaries keeping the
+  // set of covering entries; within a segment the winner is the smallest
+  // entry index.
+  std::vector<std::pair<Value, int>> events;  // (boundary, +idx+1 open / -idx-1 close)
+  events.reserve(entries_.size() * 2);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    events.emplace_back(entries_[i].lo, static_cast<int>(i) + 1);
+    SCOOP_CHECK_LT(entries_[i].hi, std::numeric_limits<Value>::max());
+    events.emplace_back(entries_[i].hi + 1, -(static_cast<int>(i) + 1));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::set<int> active;  // Entry indices covering the current segment.
+  int64_t owned = 0;
+  size_t k = 0;
+  while (k < events.size()) {
+    Value at = events[k].first;
+    for (; k < events.size() && events[k].first == at; ++k) {
+      int idx = events[k].second;
+      if (idx > 0) {
+        active.insert(idx - 1);
+      } else {
+        active.erase(-idx - 1);
+      }
+    }
+    if (active.empty() || k == events.size()) continue;
+    Value next = events[k].first;
+    if (entries_[static_cast<size_t>(*active.begin())].owner == owner) {
+      owned += static_cast<int64_t>(next) - static_cast<int64_t>(at);
+    }
+  }
+  return owned;
 }
 
 Value StorageIndex::domain_lo_multi() const {

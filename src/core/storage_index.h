@@ -80,6 +80,12 @@ class StorageIndex {
   /// nullopt if chunks are missing/inconsistent.
   static std::optional<StorageIndex> FromChunks(const std::vector<MappingPayload>& chunks);
 
+  /// Number of integer domain values whose first-choice owner (what
+  /// Lookup() returns) is `owner`. Computed by walking the coalesced range
+  /// entries -- O(entries), not O(domain) -- so metrics collection over
+  /// wide domains stays cheap.
+  int64_t OwnedValueCount(NodeId owner) const;
+
   /// Fraction of integer domain values that map to the same owner in both
   /// indices, evaluated over the union of the two domains (values outside
   /// either domain use that index's clamped lookup). 1.0 = identical

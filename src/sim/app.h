@@ -4,8 +4,6 @@
 #ifndef SCOOP_SIM_APP_H_
 #define SCOOP_SIM_APP_H_
 
-#include <functional>
-
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "common/types.h"
@@ -47,8 +45,10 @@ class Context {
   /// Queues `pkt` for unicast to `dst` with link-layer ACK + retransmit.
   virtual void Unicast(NodeId dst, Packet pkt) = 0;
 
-  /// Runs `fn` after `delay`; returns a handle for Cancel().
-  virtual EventId Schedule(SimTime delay, std::function<void()> fn) = 0;
+  /// Runs `fn` after `delay`; returns a handle for Cancel(). Takes the
+  /// event queue's inline-storage callback type directly, so scheduling a
+  /// small lambda never boxes it through a std::function.
+  virtual EventId Schedule(SimTime delay, SmallCallback fn) = 0;
 
   /// Cancels a pending Schedule() callback.
   virtual void Cancel(EventId id) = 0;

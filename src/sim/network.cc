@@ -33,7 +33,7 @@ class Network::Host : public Context {
     network_->radio_->Send(id_, std::move(pkt));
   }
 
-  EventId Schedule(SimTime delay, std::function<void()> fn) override {
+  EventId Schedule(SimTime delay, SmallCallback fn) override {
     return network_->queue_.ScheduleAfter(delay, std::move(fn));
   }
 

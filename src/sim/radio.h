@@ -18,10 +18,10 @@
 
 #include <array>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "common/node_bitmap.h"
+#include "common/small_callback.h"
 #include "common/rng.h"
 #include "net/wire.h"
 #include "sim/event_queue.h"
@@ -39,14 +39,17 @@ enum class DropReason {
 /// The shared wireless channel. One instance per simulated network.
 class Radio {
  public:
+  /// Hooks are inline-storage SmallFunctions, not std::function: they fire
+  /// per packet (transmit/deliver observers chain into MessageStats), so
+  /// boxing them would put an allocation on the radio hot path.
   /// Observer invoked at each transmission start (the paper's cost unit).
-  using TransmitHook = std::function<void(NodeId src, const Packet&, bool retransmission)>;
+  using TransmitHook = SmallFunction<void(NodeId src, const Packet&, bool retransmission)>;
   /// Observer for successful packet arrival at a node.
-  using DeliverHook = std::function<void(NodeId receiver, const Packet&, bool addressed)>;
+  using DeliverHook = SmallFunction<void(NodeId receiver, const Packet&, bool addressed)>;
   /// Observer for frames abandoned by the MAC.
-  using DropHook = std::function<void(NodeId src, const Packet&, DropReason)>;
+  using DropHook = SmallFunction<void(NodeId src, const Packet&, DropReason)>;
   /// Completion callback toward the sending node's app.
-  using SendDoneHook = std::function<void(NodeId src, const Packet&, bool success)>;
+  using SendDoneHook = SmallFunction<void(NodeId src, const Packet&, bool success)>;
 
   Radio(const Topology* topology, const RadioOptions& options, EventQueue* queue,
         uint64_t seed);

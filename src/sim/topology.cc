@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 
 #include "common/check.h"
@@ -14,35 +15,196 @@ double Distance(const Point& a, const Point& b) {
   return std::hypot(a.x - b.x, a.y - b.y);
 }
 
-}  // namespace
-
-Topology::Topology(std::vector<Point> positions, std::vector<double> delivery)
-    : positions_(std::move(positions)), delivery_(std::move(delivery)) {
-  size_t n = positions_.size();
-  SCOOP_CHECK_EQ(delivery_.size(), n * n);
-  // The radio's CSR delivery walk and interferer sets assume no
-  // self-links: a nonzero diagonal would add a self Bernoulli draw and
-  // break the bit-reproducibility contract.
-  for (size_t i = 0; i < n; ++i) SCOOP_CHECK_EQ(delivery_[i * n + i], 0.0);
-
-  // CSR audible-neighbor lists: links with p > 0, ascending receiver id
-  // within each sender (row order gives that for free).
-  out_offsets_.assign(n + 1, 0);
-  size_t audible = 0;
-  for (size_t i = 0; i < n * n; ++i) {
-    if (delivery_[i] > 0.0) ++audible;
+/// True iff a BFS from node 0 over `row(u)` links with prob >= threshold
+/// reaches every node. The one reachability loop every connectivity check
+/// shares; `row` returns an iterable of Topology::Link.
+template <typename RowFn>
+bool ReachesAllFromBase(size_t n, double threshold, RowFn&& row) {
+  std::vector<bool> seen(n, false);
+  std::queue<int> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  size_t reached = 1;
+  while (!frontier.empty()) {
+    int u = frontier.front();
+    frontier.pop();
+    for (const Topology::Link& link : row(static_cast<size_t>(u))) {
+      if (link.prob < threshold || seen[link.to]) continue;
+      seen[link.to] = true;
+      ++reached;
+      frontier.push(link.to);
+    }
   }
-  out_links_.reserve(audible);
+  return reached == n;
+}
+
+/// Reverse adjacency restricted to links with prob >= threshold.
+template <typename RowFn>
+Topology::SparseLinks TransposeAbove(size_t n, double threshold, RowFn&& row) {
+  Topology::SparseLinks reverse(n);
   for (size_t from = 0; from < n; ++from) {
-    out_offsets_[from] = static_cast<uint32_t>(out_links_.size());
-    const double* row = delivery_.data() + from * n;
-    for (size_t to = 0; to < n; ++to) {
-      if (row[to] > 0.0) {
-        out_links_.push_back(Link{static_cast<NodeId>(to), row[to]});
+    for (const Topology::Link& link : row(from)) {
+      if (link.prob >= threshold) {
+        reverse[link.to].push_back(
+            Topology::Link{static_cast<NodeId>(from), link.prob});
       }
     }
   }
+  return reverse;
+}
+
+/// Delivery probability of the directed pair (from, to) at distance `d`.
+/// The lognormal shadowing draw comes from a generator keyed on
+/// (link_seed, from, to), so any enumeration order produces the same link.
+double PairDelivery(const PropagationOptions& prop, uint64_t link_seed, NodeId from,
+                    NodeId to, double d, double range) {
+  double base = prop.max_delivery * (1.0 - std::pow(d / range, prop.falloff_exp));
+  uint64_t pair_key = (static_cast<uint64_t>(from) << 32) | to;
+  Rng rng(MixSeed(link_seed, pair_key), /*stream=*/pair_key);
+  double noisy = base * std::exp(rng.Gaussian(0.0, prop.shadowing_sigma));
+  noisy = std::min(noisy, prop.max_delivery);
+  return (noisy < prop.min_delivery) ? 0.0 : noisy;
+}
+
+}  // namespace
+
+Topology::SparseLinks Topology::ComputeDelivery(const std::vector<Point>& positions,
+                                                const PropagationOptions& prop,
+                                                double range, uint64_t link_seed) {
+  size_t n = positions.size();
+  SparseLinks links(n);
+  if (n < 2 || range <= 0.0) return links;
+
+  // Uniform grid hash over the bounding box. Cells are at least one radio
+  // range wide, so a node's in-range partners all sit in its 3x3 cell
+  // neighborhood.
+  double min_x = std::numeric_limits<double>::infinity(), min_y = min_x;
+  double max_x = -min_x, max_y = -min_x;
+  for (const Point& p : positions) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  double extent_x = max_x - min_x;
+  double extent_y = max_y - min_y;
+  // Correctness only needs cell >= range (a 3x3 neighborhood then covers
+  // the range); doubling the cell until the grid holds O(N) cells bounds
+  // the allocation for any extent or aspect ratio -- collinear or
+  // kilometer-long deployments with a tiny range included -- at the price
+  // of more candidates per neighborhood. All-double arithmetic: the int
+  // casts below only happen once the per-dimension counts are small.
+  double cell = range;
+  while ((std::floor(extent_x / cell) + 1.0) * (std::floor(extent_y / cell) + 1.0) >
+         4.0 * static_cast<double>(n) + 64.0) {
+    cell *= 2.0;
+  }
+  int grid_w = static_cast<int>(extent_x / cell) + 1;
+  int grid_h = static_cast<int>(extent_y / cell) + 1;
+  auto cell_of = [&](const Point& p) {
+    int cx = std::min(static_cast<int>((p.x - min_x) / cell), grid_w - 1);
+    int cy = std::min(static_cast<int>((p.y - min_y) / cell), grid_h - 1);
+    return static_cast<size_t>(cy) * static_cast<size_t>(grid_w) + static_cast<size_t>(cx);
+  };
+
+  // Counting-sort nodes into cells: start[c] .. start[c+1] indexes items.
+  size_t num_cells = static_cast<size_t>(grid_w) * static_cast<size_t>(grid_h);
+  std::vector<uint32_t> node_cell(n);
+  std::vector<uint32_t> start(num_cells + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    node_cell[i] = static_cast<uint32_t>(cell_of(positions[i]));
+    ++start[node_cell[i] + 1];
+  }
+  for (size_t c = 0; c < num_cells; ++c) start[c + 1] += start[c];
+  std::vector<uint32_t> items(n);
+  std::vector<uint32_t> cursor(start.begin(), start.end() - 1);
+  for (size_t i = 0; i < n; ++i) items[cursor[node_cell[i]]++] = static_cast<uint32_t>(i);
+
+  for (size_t i = 0; i < n; ++i) {
+    int cx = static_cast<int>(node_cell[i] % static_cast<uint32_t>(grid_w));
+    int cy = static_cast<int>(node_cell[i] / static_cast<uint32_t>(grid_w));
+    std::vector<Link>& out = links[i];
+    for (int dy = -1; dy <= 1; ++dy) {
+      int ny = cy + dy;
+      if (ny < 0 || ny >= grid_h) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        int nx = cx + dx;
+        if (nx < 0 || nx >= grid_w) continue;
+        size_t c = static_cast<size_t>(ny) * static_cast<size_t>(grid_w) +
+                   static_cast<size_t>(nx);
+        for (uint32_t k = start[c]; k < start[c + 1]; ++k) {
+          size_t j = items[k];
+          if (j == i) continue;
+          double d = Distance(positions[i], positions[j]);
+          if (d >= range) continue;
+          double p = PairDelivery(prop, link_seed, static_cast<NodeId>(i),
+                                  static_cast<NodeId>(j), d, range);
+          if (p > 0.0) out.push_back(Link{static_cast<NodeId>(j), p});
+        }
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Link& a, const Link& b) { return a.to < b.to; });
+  }
+  return links;
+}
+
+Topology::SparseLinks Topology::ComputeDeliveryDense(const std::vector<Point>& positions,
+                                                     const PropagationOptions& prop,
+                                                     double range, uint64_t link_seed) {
+  size_t n = positions.size();
+  SparseLinks links(n);
+  if (n < 2 || range <= 0.0) return links;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double d = Distance(positions[i], positions[j]);
+      if (d >= range) continue;
+      double p = PairDelivery(prop, link_seed, static_cast<NodeId>(i),
+                              static_cast<NodeId>(j), d, range);
+      if (p > 0.0) links[i].push_back(Link{static_cast<NodeId>(j), p});
+    }
+  }
+  return links;
+}
+
+Topology::Topology(std::vector<Point> positions, SparseLinks links)
+    : positions_(std::move(positions)) {
+  size_t n = positions_.size();
+  SCOOP_CHECK_EQ(links.size(), n);
+
+  // CSR audible-neighbor lists straight from the sparse rows (ascending
+  // receiver, no self-links: a self-link would add a self Bernoulli draw
+  // in the radio's delivery walk and break reproducibility).
+  size_t audible = 0;
+  for (const auto& row : links) audible += row.size();
+  out_offsets_.assign(n + 1, 0);
+  out_links_.reserve(audible);
+  for (size_t from = 0; from < n; ++from) {
+    out_offsets_[from] = static_cast<uint32_t>(out_links_.size());
+    for (size_t k = 0; k < links[from].size(); ++k) {
+      const Link& link = links[from][k];
+      SCOOP_CHECK_NE(static_cast<size_t>(link.to), from);
+      SCOOP_CHECK_LT(static_cast<size_t>(link.to), n);
+      SCOOP_CHECK_GT(link.prob, 0.0);
+      if (k > 0) SCOOP_CHECK_GT(link.to, links[from][k - 1].to);
+      out_links_.push_back(link);
+    }
+  }
   out_offsets_[n] = static_cast<uint32_t>(out_links_.size());
+
+  // Dense matrix for O(1) lookups, scattered from the CSR -- but only up
+  // to the cap: at 10k nodes the 800 MB zero-fill alone would eat the
+  // whole generation budget.
+  if (n <= static_cast<size_t>(kDenseDeliveryMaxNodes)) {
+    delivery_.assign(n * n, 0.0);
+    for (size_t from = 0; from < n; ++from) {
+      double* row = delivery_.data() + from * n;
+      for (const Link& link : audible_from(static_cast<NodeId>(from))) {
+        row[link.to] = link.prob;
+      }
+    }
+  }
 
   interferers_ = BuildInterfererSets(kInterferenceThreshold);
 }
@@ -56,26 +218,6 @@ std::vector<DynamicNodeBitmap> Topology::BuildInterfererSets(double threshold) c
     }
   }
   return sets;
-}
-
-std::vector<double> Topology::ComputeDelivery(const std::vector<Point>& positions,
-                                              const PropagationOptions& prop, double range,
-                                              Rng& rng) {
-  size_t n = positions.size();
-  std::vector<double> delivery(n * n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      double d = Distance(positions[i], positions[j]);
-      if (d >= range) continue;
-      double base = prop.max_delivery * (1.0 - std::pow(d / range, prop.falloff_exp));
-      // Directed lognormal shadowing makes links lossy and asymmetric.
-      double noisy = base * std::exp(rng.Gaussian(0.0, prop.shadowing_sigma));
-      noisy = std::min(noisy, prop.max_delivery);
-      delivery[i * n + j] = (noisy < prop.min_delivery) ? 0.0 : noisy;
-    }
-  }
-  return delivery;
 }
 
 Topology Topology::MakeRandom(const RandomTopologyOptions& options) {
@@ -95,12 +237,13 @@ Topology Topology::MakeRandom(const RandomTopologyOptions& options) {
   // Tune range to the requested mean neighbor fraction, then grow it until
   // the network is connected.
   for (int attempt = 0; attempt < 40; ++attempt) {
-    Rng link_rng(options.seed, /*stream=*/7 + static_cast<uint64_t>(attempt));
-    auto delivery = ComputeDelivery(positions, options.propagation, range, link_rng);
+    uint64_t link_seed = MixSeed(options.seed, 7 + static_cast<uint64_t>(attempt));
+    SparseLinks links =
+        ComputeDelivery(positions, options.propagation, range, link_seed);
     int n = options.num_nodes;
-    bool connected = ConnectedAt(delivery, n, 0.1);
+    bool connected = ConnectedAt(links, n, 0.1);
     if (connected && options.target_neighbor_fraction > 0) {
-      double frac = NeighborFractionAt(delivery, n, 0.1);
+      double frac = NeighborFractionAt(links, n, 0.1);
       if (frac > options.target_neighbor_fraction * 1.25) {
         range *= 0.93;
         continue;
@@ -110,13 +253,14 @@ Topology Topology::MakeRandom(const RandomTopologyOptions& options) {
         continue;
       }
     }
-    if (connected) return Topology(positions, std::move(delivery));
+    if (connected) return Topology(positions, std::move(links));
     range *= 1.12;
   }
   // Last resort: huge range; always connected.
-  Rng link_rng(options.seed, /*stream=*/999);
-  auto delivery = ComputeDelivery(positions, options.propagation, range * 4, link_rng);
-  return Topology(positions, std::move(delivery));
+  uint64_t link_seed = MixSeed(options.seed, 999);
+  SparseLinks links =
+      ComputeDelivery(positions, options.propagation, range * 4, link_seed);
+  return Topology(positions, std::move(links));
 }
 
 Topology Topology::MakeTestbed(const TestbedTopologyOptions& options) {
@@ -145,14 +289,16 @@ Topology Topology::MakeTestbed(const TestbedTopologyOptions& options) {
 
   double range = options.radio_range;
   for (int attempt = 0; attempt < 40; ++attempt) {
-    Rng link_rng(options.seed, /*stream=*/1000 + static_cast<uint64_t>(attempt));
-    auto delivery = ComputeDelivery(positions, options.propagation, range, link_rng);
-    if (ConnectedAt(delivery, n, 0.1)) return Topology(positions, std::move(delivery));
+    uint64_t link_seed = MixSeed(options.seed, 1000 + static_cast<uint64_t>(attempt));
+    SparseLinks links =
+        ComputeDelivery(positions, options.propagation, range, link_seed);
+    if (ConnectedAt(links, n, 0.1)) return Topology(positions, std::move(links));
     range *= 1.12;
   }
-  Rng link_rng(options.seed, /*stream=*/2999);
-  auto delivery = ComputeDelivery(positions, options.propagation, range * 4, link_rng);
-  return Topology(positions, std::move(delivery));
+  uint64_t link_seed = MixSeed(options.seed, 2999);
+  SparseLinks links =
+      ComputeDelivery(positions, options.propagation, range * 4, link_seed);
+  return Topology(positions, std::move(links));
 }
 
 Topology Topology::MakeGrid(const GridTopologyOptions& options) {
@@ -175,45 +321,54 @@ Topology Topology::MakeGrid(const GridTopologyOptions& options) {
 
   double range = options.radio_range;
   for (int attempt = 0; attempt < 40; ++attempt) {
-    Rng link_rng(options.seed, /*stream=*/3000 + static_cast<uint64_t>(attempt));
-    auto delivery = ComputeDelivery(positions, options.propagation, range, link_rng);
-    if (ConnectedAt(delivery, n, 0.1)) return Topology(positions, std::move(delivery));
+    uint64_t link_seed = MixSeed(options.seed, 3000 + static_cast<uint64_t>(attempt));
+    SparseLinks links =
+        ComputeDelivery(positions, options.propagation, range, link_seed);
+    if (ConnectedAt(links, n, 0.1)) return Topology(positions, std::move(links));
     range *= 1.12;
   }
-  Rng link_rng(options.seed, /*stream=*/3999);
-  auto delivery = ComputeDelivery(positions, options.propagation, range * 4, link_rng);
-  return Topology(positions, std::move(delivery));
+  uint64_t link_seed = MixSeed(options.seed, 3999);
+  SparseLinks links =
+      ComputeDelivery(positions, options.propagation, range * 4, link_seed);
+  return Topology(positions, std::move(links));
 }
 
 Topology Topology::FromMatrix(std::vector<Point> positions,
                               std::vector<std::vector<double>> delivery) {
   SCOOP_CHECK_EQ(positions.size(), delivery.size());
   size_t n = positions.size();
-  std::vector<double> flat;
-  flat.reserve(n * n);
-  for (const auto& row : delivery) {
-    SCOOP_CHECK_EQ(row.size(), n);
-    flat.insert(flat.end(), row.begin(), row.end());
+  SparseLinks links(n);
+  for (size_t from = 0; from < n; ++from) {
+    SCOOP_CHECK_EQ(delivery[from].size(), n);
+    SCOOP_CHECK_EQ(delivery[from][from], 0.0);
+    for (size_t to = 0; to < n; ++to) {
+      if (delivery[from][to] > 0.0) {
+        links[from].push_back(Link{static_cast<NodeId>(to), delivery[from][to]});
+      }
+    }
   }
-  return Topology(std::move(positions), std::move(flat));
+  return Topology(std::move(positions), std::move(links));
 }
 
-double Topology::NeighborFractionAt(const std::vector<double>& delivery, int n,
-                                    double threshold) {
+double Topology::NeighborFractionAt(const SparseLinks& links, int n, double threshold) {
   if (n <= 1) return 0;
   long total = 0;
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      if (i != j && delivery[static_cast<size_t>(i) * static_cast<size_t>(n) + j] >= threshold) {
-        ++total;
-      }
+  for (const auto& row : links) {
+    for (const Link& link : row) {
+      if (link.prob >= threshold) ++total;
     }
   }
   return static_cast<double>(total) / (static_cast<double>(n) * (n - 1));
 }
 
 double Topology::AvgNeighborFraction(double threshold) const {
-  return NeighborFractionAt(delivery_, num_nodes(), threshold);
+  int n = num_nodes();
+  if (n <= 1) return 0;
+  long total = 0;
+  for (const Link& link : out_links_) {
+    if (link.prob >= threshold) ++total;
+  }
+  return static_cast<double>(total) / (static_cast<double>(n) * (n - 1));
 }
 
 double Topology::MeanAudibleDelivery() const {
@@ -226,37 +381,27 @@ double Topology::MeanAudibleDelivery() const {
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
-bool Topology::ConnectedAt(const std::vector<double>& delivery, int n, double threshold) {
+bool Topology::ConnectedAt(const SparseLinks& links, int n, double threshold) {
   // `forward` follows edges u->v (base pushes data out); `reverse` follows
-  // v->u (data flows toward the base). Both must span the network.
-  size_t stride = static_cast<size_t>(n);
-  for (bool forward : {true, false}) {
-    std::vector<bool> seen(static_cast<size_t>(n), false);
-    std::queue<int> frontier;
-    frontier.push(0);
-    seen[0] = true;
-    int reached = 1;
-    while (!frontier.empty()) {
-      int u = frontier.front();
-      frontier.pop();
-      for (int v = 0; v < n; ++v) {
-        if (seen[static_cast<size_t>(v)]) continue;
-        double p = forward ? delivery[static_cast<size_t>(u) * stride + static_cast<size_t>(v)]
-                           : delivery[static_cast<size_t>(v) * stride + static_cast<size_t>(u)];
-        if (p >= threshold) {
-          seen[static_cast<size_t>(v)] = true;
-          ++reached;
-          frontier.push(v);
-        }
-      }
-    }
-    if (reached != n) return false;
-  }
-  return true;
+  // v->u (data flows toward the base). Both must span the network; each
+  // BFS is O(links).
+  size_t un = static_cast<size_t>(n);
+  auto forward = [&links](size_t u) -> const std::vector<Link>& { return links[u]; };
+  if (!ReachesAllFromBase(un, threshold, forward)) return false;
+  SparseLinks reverse = TransposeAbove(un, threshold, forward);
+  return ReachesAllFromBase(
+      un, threshold, [&reverse](size_t u) -> const std::vector<Link>& { return reverse[u]; });
 }
 
 bool Topology::IsConnected(double threshold) const {
-  return ConnectedAt(delivery_, num_nodes(), threshold);
+  // Forward pass straight off the CSR; the reverse pass builds the one
+  // adjacency the index lacks.
+  size_t n = positions_.size();
+  auto forward = [this](size_t u) { return audible_from(static_cast<NodeId>(u)); };
+  if (!ReachesAllFromBase(n, threshold, forward)) return false;
+  SparseLinks reverse = TransposeAbove(n, threshold, forward);
+  return ReachesAllFromBase(
+      n, threshold, [&reverse](size_t u) -> const std::vector<Link>& { return reverse[u]; });
 }
 
 double Topology::MeanHopsFrom(NodeId from, double threshold) const {

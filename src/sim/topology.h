@@ -1,19 +1,29 @@
 // Network topologies: node placement plus a directed per-pair delivery
-// probability matrix. Generators reproduce the radio regime the paper
+// probability model. Generators reproduce the radio regime the paper
 // reports for its 62-node testbed and TOSSIM runs (§6): each node hears
 // ~20% of the network, audible pairs lose 25-90% of packets, and links are
 // slightly asymmetric.
 //
-// The regime is sparse, so alongside the flat row-major matrix every
-// topology precomputes neighborhood indexes the radio hot path runs on:
-// CSR-style audible-neighbor lists (per sender, the links with p > 0 in
-// ascending receiver order) and per-receiver interferer sets (a bitmap of
-// senders loud enough to trigger carrier sense or corrupt a reception).
-// This is the TOSSIM-style per-node adjacency indexing that lets one
-// broadcast cost O(degree) instead of O(N).
+// The regime is sparse, so link generation never walks all N^2 pairs:
+// positions are bucketed into a uniform grid hash with range-sized cells
+// and each node tests only its 9-cell neighborhood, making one
+// range-tuning attempt O(N * degree). The lognormal shadowing draw for a
+// directed pair is keyed on (seed, from, to) -- not on scan order -- so
+// the spatial walk produces bit-identical links to a dense all-pairs scan
+// (pinned by the ComputeDelivery equivalence test).
+//
+// Every topology precomputes the neighborhood indexes the radio hot path
+// runs on: CSR-style audible-neighbor lists (per sender, the links with
+// p > 0 in ascending receiver order) and per-receiver interferer sets (a
+// bitmap of senders loud enough to trigger carrier sense or corrupt a
+// reception). A flat row-major delivery matrix backs O(1) delivery_prob()
+// lookups up to kDenseDeliveryMaxNodes; past that (10k-node benchmarks)
+// the matrix would dominate wall time and memory, so lookups fall back to
+// a binary search of the sender's CSR row.
 #ifndef SCOOP_SIM_TOPOLOGY_H_
 #define SCOOP_SIM_TOPOLOGY_H_
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -86,20 +96,31 @@ struct TestbedTopologyOptions {
 /// The generators are size-agnostic: the 128-node `kMaxNodes` cap is a
 /// property of the query-packet wire format, enforced where agents are
 /// installed (harness/scenario layers), not here -- radio-level benchmarks
-/// simulate networks of 1000+ nodes.
+/// simulate networks of 10000+ nodes.
 class Topology {
  public:
   /// One audible directed link in a sender's CSR neighbor list.
   struct Link {
     NodeId to = 0;
     double prob = 0.0;
+
+    friend bool operator==(const Link&, const Link&) = default;
   };
+
+  /// Sparse link sets as produced by ComputeDelivery: links[from] holds
+  /// `from`'s audible out-links (prob > 0) in ascending receiver order.
+  using SparseLinks = std::vector<std::vector<Link>>;
 
   /// Senders whose delivery probability to a receiver is at least this can
   /// interfere there (carrier sense and collisions). Must match the
   /// RadioOptions::interference_threshold default; a radio configured with
   /// a different threshold rebuilds its own sets via BuildInterfererSets.
   static constexpr double kInterferenceThreshold = 0.05;
+
+  /// The flat row-major delivery matrix is materialized only up to this
+  /// many nodes (33 MB at the cap); larger topologies answer
+  /// delivery_prob() from the CSR rows.
+  static constexpr int kDenseDeliveryMaxNodes = 2048;
 
   /// Generates nodes uniformly in a rectangle. Guarantees the audible-link
   /// graph is connected (re-rolls shadowing with growing range if needed).
@@ -115,6 +136,22 @@ class Topology {
   static Topology FromMatrix(std::vector<Point> positions,
                              std::vector<std::vector<double>> delivery);
 
+  /// Computes the audible link set for `positions` at radio range `range`:
+  /// grid-hash bucketed, O(N * degree). The shadowing draw of a directed
+  /// pair is keyed on (link_seed, from, to), so results are independent of
+  /// enumeration order. Public so benches and the equivalence test can
+  /// target it directly.
+  static SparseLinks ComputeDelivery(const std::vector<Point>& positions,
+                                     const PropagationOptions& prop, double range,
+                                     uint64_t link_seed);
+
+  /// Brute-force all-pairs reference for ComputeDelivery: identical output
+  /// (same pair-keyed draws), O(N^2). Kept for the spatial-vs-dense
+  /// equivalence test.
+  static SparseLinks ComputeDeliveryDense(const std::vector<Point>& positions,
+                                          const PropagationOptions& prop, double range,
+                                          uint64_t link_seed);
+
   /// Number of nodes, including the basestation.
   int num_nodes() const { return static_cast<int>(positions_.size()); }
 
@@ -122,13 +159,21 @@ class Topology {
   NodeId base_id() const { return 0; }
 
   /// Delivery probability of a packet sent by `from` arriving at `to`.
+  /// O(1) from the dense matrix up to kDenseDeliveryMaxNodes, else a
+  /// binary search of `from`'s CSR row.
   double delivery_prob(NodeId from, NodeId to) const {
-    return delivery_[static_cast<size_t>(from) * positions_.size() + to];
+    if (!delivery_.empty()) {
+      return delivery_[static_cast<size_t>(from) * positions_.size() + to];
+    }
+    std::span<const Link> row = audible_from(from);
+    auto it = std::lower_bound(row.begin(), row.end(), to,
+                               [](const Link& l, NodeId t) { return l.to < t; });
+    return (it != row.end() && it->to == to) ? it->prob : 0.0;
   }
 
   /// The audible out-links of `from` (delivery probability > 0), in
-  /// ascending receiver id -- the same order the dense matrix walk visited
-  /// them, so replacing the walk preserves RNG draw order exactly.
+  /// ascending receiver id -- the order the radio's delivery walk draws
+  /// its per-link Bernoullis in.
   std::span<const Link> audible_from(NodeId from) const {
     return {out_links_.data() + out_offsets_[from],
             out_links_.data() + out_offsets_[static_cast<size_t>(from) + 1]};
@@ -155,7 +200,7 @@ class Topology {
   const std::vector<Point>& positions() const { return positions_; }
 
   /// Average fraction of the network a node can hear (links with delivery
-  /// probability >= threshold).
+  /// probability >= threshold). O(links).
   double AvgNeighborFraction(double threshold) const;
 
   /// Mean delivery probability over audible links (prob > 0).
@@ -164,7 +209,7 @@ class Topology {
   /// True iff every node is reachable *from* the base and can reach the
   /// base over directed links with delivery >= threshold. (Asymmetric
   /// shadowing can leave clusters with outbound-only links; those are not
-  /// usable networks.)
+  /// usable networks.) O(links).
   bool IsConnected(double threshold) const;
 
   /// Mean hop distance from `from` to all other nodes over audible links
@@ -172,24 +217,19 @@ class Topology {
   double MeanHopsFrom(NodeId from, double threshold) const;
 
  private:
-  /// `delivery` is the flat row-major matrix: delivery[from * n + to].
-  Topology(std::vector<Point> positions, std::vector<double> delivery);
+  Topology(std::vector<Point> positions, SparseLinks links);
 
-  static std::vector<double> ComputeDelivery(const std::vector<Point>& positions,
-                                             const PropagationOptions& prop, double range,
-                                             Rng& rng);
-
-  // Raw-matrix forms of the public queries, so the generators' range-tuning
-  // loops can accept/reject candidate matrices without paying the index
+  // Sparse forms of the public queries, so the generators' range-tuning
+  // loops can accept/reject candidate link sets without paying the index
   // build for topologies they are about to discard.
-  static bool ConnectedAt(const std::vector<double>& delivery, int n, double threshold);
-  static double NeighborFractionAt(const std::vector<double>& delivery, int n,
-                                   double threshold);
+  static bool ConnectedAt(const SparseLinks& links, int n, double threshold);
+  static double NeighborFractionAt(const SparseLinks& links, int n, double threshold);
 
   std::vector<Point> positions_;
-  /// Flat row-major delivery matrix, num_nodes^2 entries.
+  /// Flat row-major delivery matrix, num_nodes^2 entries; empty above
+  /// kDenseDeliveryMaxNodes (delivery_prob then searches the CSR).
   std::vector<double> delivery_;
-  /// CSR audible-neighbor index over delivery_: node i's out-links are
+  /// CSR audible-neighbor index: node i's out-links are
   /// out_links_[out_offsets_[i] .. out_offsets_[i+1]).
   std::vector<uint32_t> out_offsets_;
   std::vector<Link> out_links_;

@@ -1,5 +1,6 @@
 #include "common/small_callback.h"
 
+#include <array>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -105,6 +106,56 @@ TEST(SmallCallbackTest, SelfContainedAfterSourceScopeEnds) {
   }
   cb();
   EXPECT_EQ(out, 42);
+}
+
+// --- SmallFunction with arguments (the radio hook signatures) ---
+
+TEST(SmallFunctionTest, ForwardsArgumentsAndReturnValue) {
+  SmallFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(40, 2), 42);
+}
+
+TEST(SmallFunctionTest, ReferenceArgumentsAreNotCopied) {
+  struct Payload {
+    int value = 7;
+  };
+  SmallFunction<void(const Payload&, bool)> hook;
+  const Payload* seen = nullptr;
+  bool flag = false;
+  hook = [&seen, &flag](const Payload& p, bool f) {
+    seen = &p;
+    flag = f;
+  };
+  Payload payload;
+  hook(payload, true);
+  EXPECT_EQ(seen, &payload);  // Same object: passed by reference, no copy.
+  EXPECT_TRUE(flag);
+}
+
+TEST(SmallFunctionTest, MoveAssignAndNullChecksWithArgs) {
+  SmallFunction<void(int)> sink;
+  EXPECT_FALSE(sink);
+  int total = 0;
+  sink = [&total](int v) { total += v; };
+  SmallFunction<void(int)> moved = std::move(sink);
+  ASSERT_TRUE(moved);
+  moved(5);
+  moved(6);
+  EXPECT_EQ(total, 11);
+
+  // Empty std::function converts to an empty SmallFunction, like the
+  // SmallCallback case above.
+  SmallFunction<void(int)> from_fn = std::function<void(int)>();
+  EXPECT_FALSE(from_fn);
+}
+
+TEST(SmallFunctionTest, LargeCaptureFallsBackToHeapBox) {
+  std::array<int64_t, 16> big{};  // 128 bytes: over the inline buffer.
+  big[15] = 99;
+  SmallFunction<int(int)> f = [big](int i) { return static_cast<int>(big[15]) + i; };
+  EXPECT_EQ(f(1), 100);
+  SmallFunction<int(int)> g = std::move(f);
+  EXPECT_EQ(g(2), 101);
 }
 
 }  // namespace

@@ -191,5 +191,64 @@ TEST(StorageIndexMultiOwnerTest, SingleRankSetsBehaveLikePlainIndex) {
   EXPECT_EQ(index.Lookup(2).value(), 4);
 }
 
+// --- OwnedValueCount: the O(entries) walk the harness teardown uses ---
+
+/// Reference: the old per-value loop OwnedValueCount replaced.
+int64_t OwnedByLookup(const StorageIndex& index, NodeId owner) {
+  int64_t owned = 0;
+  for (Value v = index.domain_lo(); v <= index.domain_hi(); ++v) {
+    if (index.Lookup(v) == std::optional<NodeId>(owner)) ++owned;
+  }
+  return owned;
+}
+
+TEST(StorageIndexTest, OwnedValueCountMatchesPerValueLookup) {
+  std::vector<NodeId> owners;
+  for (int i = 0; i < 200; ++i) {
+    owners.push_back(static_cast<NodeId>((i * 7 + i / 13) % 9));
+  }
+  StorageIndex index = StorageIndex::FromOwnerArray(3, 0, -50, owners);
+  int64_t total = 0;
+  for (NodeId owner = 0; owner < 10; ++owner) {
+    EXPECT_EQ(index.OwnedValueCount(owner), OwnedByLookup(index, owner))
+        << "owner " << owner;
+    total += index.OwnedValueCount(owner);
+  }
+  EXPECT_EQ(total, 200);  // Every domain value has exactly one first owner.
+}
+
+TEST(StorageIndexTest, OwnedValueCountStoreLocalRanges) {
+  std::vector<RangeEntry> entries = {RangeEntry{0, 9, kStoreLocalOwner},
+                                     RangeEntry{10, 19, 2},
+                                     RangeEntry{20, 39, kStoreLocalOwner}};
+  StorageIndex index = StorageIndex::FromRanges(7, 0, entries);
+  EXPECT_EQ(index.OwnedValueCount(kStoreLocalOwner), 30);
+  EXPECT_EQ(index.OwnedValueCount(2), 10);
+  EXPECT_EQ(index.OwnedValueCount(5), 0);
+}
+
+TEST(StorageIndexMultiOwnerTest, OwnedValueCountMatchesPerValueLookup) {
+  // Overlapping rank-major entries with gaps in the higher ranks: the
+  // first-choice owner of a value is whatever Lookup() returns.
+  std::vector<std::vector<NodeId>> sets;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<NodeId> s;
+    s.push_back(static_cast<NodeId>(i / 11));
+    if (i % 3 != 0) s.push_back(static_cast<NodeId>(5 + i / 20));
+    sets.push_back(std::move(s));
+  }
+  StorageIndex index = StorageIndex::FromOwnerSets(4, 0, 100, sets);
+  ASSERT_TRUE(index.multi_owner());
+  for (NodeId owner = 0; owner < 9; ++owner) {
+    EXPECT_EQ(index.OwnedValueCount(owner), OwnedByLookup(index, owner))
+        << "owner " << owner;
+  }
+}
+
+TEST(StorageIndexTest, OwnedValueCountInvalidIndexIsZero) {
+  StorageIndex index;
+  EXPECT_EQ(index.OwnedValueCount(0), 0);
+}
+
 }  // namespace
 }  // namespace scoop::core

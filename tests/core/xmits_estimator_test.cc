@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+
 namespace scoop::core {
 namespace {
 
@@ -108,6 +113,100 @@ TEST(XmitsEstimatorTest, LongChainAccumulates) {
   }
   x.Build();
   EXPECT_NEAR(x.Xmits(0, 9), 18.0, 0.01);  // 9 hops * ETX 2.
+}
+
+// --- Incremental Build ---
+
+TEST(XmitsEstimatorTest, RebuildWithIdenticalEdgesTouchesNoRows) {
+  const int n = 12;
+  XmitsEstimator x(n);
+  auto ingest = [&x] {
+    for (int i = 0; i + 1 < 12; ++i) {
+      x.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 0.5);
+      x.AddLink(static_cast<NodeId>(i + 1), static_cast<NodeId>(i), 0.7);
+    }
+    x.AddTreeEdge(11, 0);
+  };
+  ingest();
+  x.Build();
+  EXPECT_EQ(x.last_build_full_rows(), n);  // First build: everything.
+
+  // The steady-state remap pattern: Clear + byte-identical re-ingest.
+  x.Clear();
+  ingest();
+  x.Build();
+  EXPECT_EQ(x.last_build_full_rows(), 0);
+  EXPECT_EQ(x.last_build_repaired_rows(), 0);
+  EXPECT_NEAR(x.Xmits(0, 11), 2.0, 1e-9);  // Tree shortcut still there.
+}
+
+TEST(XmitsEstimatorTest, ImprovedLinkRepairsInsteadOfRebuilding) {
+  const int n = 16;
+  XmitsEstimator x(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    x.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 0.5);
+  }
+  x.Build();
+  double before = x.Xmits(0, n - 1);
+  // A new shortcut is a pure decrease: no row may pay a full Dijkstra.
+  x.AddLink(0, static_cast<NodeId>(n - 1), 1.0);
+  x.Build();
+  EXPECT_EQ(x.last_build_full_rows(), 0);
+  EXPECT_GE(x.last_build_repaired_rows(), 1);
+  EXPECT_DOUBLE_EQ(x.Xmits(0, n - 1), 1.0);
+  EXPECT_LT(x.Xmits(0, n - 1), before);
+}
+
+TEST(XmitsEstimatorTest, IncrementalBuildMatchesScratchBuildProperty) {
+  Rng rng(2024, /*stream=*/0xE57);
+  const int n = 18;
+  for (int round = 0; round < 30; ++round) {
+    XmitsEstimator incremental(n);
+    // Mutation script: a random interleaving of AddLink / AddTreeEdge /
+    // Clear with Build checkpoints. The scratch estimator replays the
+    // mutations since the last Clear into a fresh instance at every
+    // checkpoint, so any stale incremental state shows up as a mismatch.
+    std::vector<std::tuple<int, NodeId, NodeId, double>> since_clear;
+    int ops = static_cast<int>(rng.UniformInt(5, 60));
+    for (int op = 0; op < ops; ++op) {
+      double roll = rng.UniformDouble();
+      if (roll < 0.06) {
+        incremental.Clear();
+        since_clear.clear();
+      } else if (roll < 0.25) {
+        NodeId a = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+        NodeId b = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+        incremental.AddTreeEdge(a, b);
+        since_clear.emplace_back(1, a, b, 0.5);
+      } else {
+        NodeId a = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+        NodeId b = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+        double q = rng.UniformDouble();
+        incremental.AddLink(a, b, q);
+        since_clear.emplace_back(0, a, b, q);
+      }
+      if (rng.UniformDouble() < 0.30 || op + 1 == ops) {
+        incremental.Build();
+        XmitsEstimator scratch(n);
+        for (const auto& [kind, a, b, q] : since_clear) {
+          if (kind == 0) {
+            scratch.AddLink(a, b, q);
+          } else {
+            scratch.AddTreeEdge(a, b);
+          }
+        }
+        scratch.Build();
+        for (int x = 0; x < n; ++x) {
+          for (int y = 0; y < n; ++y) {
+            ASSERT_DOUBLE_EQ(
+                incremental.Xmits(static_cast<NodeId>(x), static_cast<NodeId>(y)),
+                scratch.Xmits(static_cast<NodeId>(x), static_cast<NodeId>(y)))
+                << "round " << round << " op " << op << " pair " << x << "->" << y;
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -142,6 +142,68 @@ TEST(TopologyTest, GridDeterministicForSeed) {
   }
 }
 
+// The spatial-hash link walk must be an exact optimization: identical link
+// sets and qualities to the brute-force all-pairs reference, because the
+// shadowing draw of a directed pair is keyed on (seed, from, to) rather
+// than scan order.
+TEST(TopologyTest, SpatialDeliveryMatchesDenseReference) {
+  Rng rng(77, /*stream=*/0xCE11);
+  for (int trial = 0; trial < 4; ++trial) {
+    int n = 40 + trial * 60;
+    std::vector<Point> positions(static_cast<size_t>(n));
+    for (auto& p : positions) {
+      p = Point{rng.UniformDouble() * 120.0, rng.UniformDouble() * 80.0};
+    }
+    PropagationOptions prop;
+    double range = 10.0 + trial * 9.0;
+    uint64_t link_seed = MixSeed(1234, static_cast<uint64_t>(trial));
+    Topology::SparseLinks spatial =
+        Topology::ComputeDelivery(positions, prop, range, link_seed);
+    Topology::SparseLinks dense =
+        Topology::ComputeDeliveryDense(positions, prop, range, link_seed);
+    ASSERT_EQ(spatial.size(), dense.size());
+    for (size_t i = 0; i < spatial.size(); ++i) {
+      ASSERT_EQ(spatial[i].size(), dense[i].size()) << "node " << i;
+      for (size_t k = 0; k < spatial[i].size(); ++k) {
+        EXPECT_EQ(spatial[i][k].to, dense[i][k].to) << "node " << i;
+        EXPECT_EQ(spatial[i][k].prob, dense[i][k].prob)
+            << "link " << i << "->" << spatial[i][k].to;
+      }
+    }
+  }
+}
+
+// Degenerate geometries must not break (or bloat) the grid hash: all
+// nodes in one cell (range larger than the extent), ranges far smaller
+// than the extent, and collinear / kilometer-long deployments whose naive
+// cell count would dwarf N (the doubling guard caps it at O(N)).
+TEST(TopologyTest, SpatialDeliveryDegenerateRanges) {
+  Rng rng(5, /*stream=*/0xDE6);
+  std::vector<Point> positions(30);
+  for (auto& p : positions) {
+    p = Point{rng.UniformDouble() * 500.0, rng.UniformDouble() * 2.0};
+  }
+  PropagationOptions prop;
+  for (double range : {0.05, 1.0, 5000.0}) {
+    Topology::SparseLinks spatial =
+        Topology::ComputeDelivery(positions, prop, range, /*link_seed=*/9);
+    Topology::SparseLinks dense =
+        Topology::ComputeDeliveryDense(positions, prop, range, /*link_seed=*/9);
+    EXPECT_EQ(spatial, dense) << "range " << range;
+  }
+
+  // Perfectly collinear million-meter line, centimeter range: zero area,
+  // extent/range ~ 1e8. Must complete (and agree with dense) rather than
+  // allocate an extent-sized grid.
+  std::vector<Point> line(40);
+  for (size_t i = 0; i < line.size(); ++i) {
+    line[i] = Point{static_cast<double>(i) * 25000.0, 0.0};
+  }
+  line[1] = Point{0.005, 0.0};  // One in-range pair so links exist.
+  EXPECT_EQ(Topology::ComputeDelivery(line, prop, 0.01, /*link_seed=*/3),
+            Topology::ComputeDeliveryDense(line, prop, 0.01, /*link_seed=*/3));
+}
+
 TEST(TopologyTest, MeanHopsFromBasePositive) {
   RandomTopologyOptions opts;
   opts.num_nodes = 63;

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Standing perf harness: runs the radio and event-queue microbenchmarks
-# plus a campaign perf probe (wall-clock / events-per-second), and merges
-# everything into one BENCH_radio.json so the perf trajectory is
-# machine-tracked across PRs.
+# Standing perf harness: runs the radio, event-queue, xmits-estimator, and
+# topology microbenchmarks plus two campaign perf probes (wall-clock /
+# events-per-second), and merges everything into one BENCH_radio.json so
+# the perf trajectory is machine-tracked across PRs. Compare two points
+# with tools/bench_compare.py.
 #
 # Usage: tools/bench_json.sh [build-dir] [output.json]
 #   build-dir   defaults to build-release (cmake --preset release)
@@ -10,7 +11,7 @@
 # Environment:
 #   BENCH_MIN_TIME  google-benchmark min seconds per bench (default 0.2;
 #                   CI smoke uses 0.05)
-#   BENCH_FILTER    optional --benchmark_filter regex forwarded to both
+#   BENCH_FILTER    optional --benchmark_filter regex forwarded to all
 #                   microbenchmark binaries
 set -euo pipefail
 
@@ -22,13 +23,17 @@ filter="${BENCH_FILTER:-}"
 
 bench_dir="${repo_root}/${build_dir}/bench"
 tools_dir="${repo_root}/${build_dir}/tools"
-for bin in "${bench_dir}/bench_micro_radio" "${bench_dir}/bench_micro_event_queue" \
-           "${tools_dir}/scoop_campaign"; do
-  if [[ ! -x "${bin}" ]]; then
-    echo "error: ${bin} not built (run: cmake --preset release && cmake --build --preset release)" >&2
+micro_benches=(micro_radio micro_event_queue micro_xmits micro_topology)
+for name in "${micro_benches[@]}"; do
+  if [[ ! -x "${bench_dir}/bench_${name}" ]]; then
+    echo "error: ${bench_dir}/bench_${name} not built (run: cmake --preset release && cmake --build --preset release)" >&2
     exit 1
   fi
 done
+if [[ ! -x "${tools_dir}/scoop_campaign" ]]; then
+  echo "error: ${tools_dir}/scoop_campaign not built" >&2
+  exit 1
+fi
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "${tmp}"' EXIT
@@ -36,12 +41,17 @@ trap 'rm -rf "${tmp}"' EXIT
 bench_args=(--benchmark_min_time="${min_time}" --benchmark_out_format=json)
 [[ -n "${filter}" ]] && bench_args+=(--benchmark_filter="${filter}")
 
-"${bench_dir}/bench_micro_radio" "${bench_args[@]}" \
-    --benchmark_out="${tmp}/micro_radio.json" >&2
-"${bench_dir}/bench_micro_event_queue" "${bench_args[@]}" \
-    --benchmark_out="${tmp}/micro_event_queue.json" >&2
+for name in "${micro_benches[@]}"; do
+  "${bench_dir}/bench_${name}" "${bench_args[@]}" \
+      --benchmark_out="${tmp}/${name}.json" >&2
+done
+# Campaign probes: smoke_tiny (2 nodes, seconds of sim time) keeps the old
+# trajectory comparable; grid_dense (121-node lattice, three policies, the
+# largest deployment the query bitmap admits) is the campaign-scale probe.
 "${tools_dir}/scoop_campaign" --scenario=smoke_tiny --threads=1 --quiet \
     --perf-json="${tmp}/campaign_smoke.json"
+"${tools_dir}/scoop_campaign" --scenario=grid_dense --threads=1 --quiet \
+    --perf-json="${tmp}/campaign_grid_dense.json"
 
 commit="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
@@ -56,7 +66,10 @@ doc = {
     "benchmark_min_time_seconds": float(min_time),
     "micro_radio": json.load(open(f"{tmp}/micro_radio.json")),
     "micro_event_queue": json.load(open(f"{tmp}/micro_event_queue.json")),
+    "micro_xmits": json.load(open(f"{tmp}/micro_xmits.json")),
+    "micro_topology": json.load(open(f"{tmp}/micro_topology.json")),
     "campaign_smoke": json.load(open(f"{tmp}/campaign_smoke.json")),
+    "campaign_grid_dense": json.load(open(f"{tmp}/campaign_grid_dense.json")),
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=1)
