@@ -1,0 +1,127 @@
+// Microbenchmarks of the NodeSet query-set codec (the variadic wire format
+// that replaced the fixed 16-byte / 128-node query bitmap): encode and
+// decode throughput plus the query-path membership matching, across the
+// set shapes that matter -- contiguous owner runs (Scoop's common case,
+// §5.5), scattered ids, alternating ids (the dense form's worst-friendly
+// shape), and the all-nodes flood -- at universes from the legacy 128
+// through 10000 nodes. Every bench also reports the encoded size in bytes
+// (`wire_bytes`), which is what the airtime accounting charges per query.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/node_bitmap.h"
+#include "common/node_set.h"
+#include "common/rng.h"
+
+namespace scoop {
+namespace {
+
+enum Shape : int64_t {
+  kOwnerRun = 0,    // One contiguous quarter of the universe.
+  kScattered = 1,   // Every 7th id.
+  kAlternating = 2, // Every other id.
+  kAllNodes = 3,    // The flood set.
+};
+
+const char* ShapeName(int64_t shape) {
+  switch (shape) {
+    case kOwnerRun: return "owner_run";
+    case kScattered: return "scattered";
+    case kAlternating: return "alternating";
+    case kAllNodes: return "all_nodes";
+  }
+  return "?";
+}
+
+NodeSet MakeShape(int64_t shape, int universe) {
+  NodeSet set(universe);
+  switch (shape) {
+    case kOwnerRun:
+      for (int id = universe / 4; id < universe / 2; ++id) {
+        set.Set(static_cast<NodeId>(id));
+      }
+      break;
+    case kScattered:
+      for (int id = 0; id < universe; id += 7) set.Set(static_cast<NodeId>(id));
+      break;
+    case kAlternating:
+      for (int id = 0; id < universe; id += 2) set.Set(static_cast<NodeId>(id));
+      break;
+    case kAllNodes:
+      for (int id = 0; id < universe; ++id) set.Set(static_cast<NodeId>(id));
+      break;
+  }
+  return set;
+}
+
+void SetLabel(benchmark::State& state) {
+  state.SetLabel(std::string(ShapeName(state.range(0))) + "/N=" +
+                 std::to_string(state.range(1)));
+}
+
+void BM_NodeSetEncode(benchmark::State& state) {
+  NodeSet set = MakeShape(state.range(0), static_cast<int>(state.range(1)));
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    set.EncodeTo(&out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["wire_bytes"] = static_cast<double>(out.size());
+  SetLabel(state);
+}
+
+void BM_NodeSetDecode(benchmark::State& state) {
+  int universe = static_cast<int>(state.range(1));
+  NodeSet set = MakeShape(state.range(0), universe);
+  std::vector<uint8_t> encoded = set.Encode();
+  for (auto _ : state) {
+    auto decoded = NodeSet::Decode(encoded.data(), encoded.size(), universe);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["wire_bytes"] = static_cast<double>(encoded.size());
+  SetLabel(state);
+}
+
+// The per-received-query match: does any of the target set's members fall
+// in this node's descendant/neighbor sets? Modeled by an AnyOf walk probing
+// a bitmap, early-exiting on the first hit, like
+// AgentBase::ShouldRebroadcastQuery.
+void BM_NodeSetMatch(benchmark::State& state) {
+  int universe = static_cast<int>(state.range(1));
+  NodeSet set = MakeShape(state.range(0), universe);
+  // Descendants of a mid-tree router: a contiguous-ish clump of ~32 ids
+  // around 3/4 of the universe, hit late in ascending AnyOf order.
+  DynamicNodeBitmap descendants(universe);
+  Rng rng(0x5E7, 0);
+  for (int k = 0; k < 32; ++k) {
+    int id = universe * 3 / 4 + static_cast<int>(rng.NextU64() % (universe / 8 + 1));
+    if (id < universe) descendants.Set(static_cast<NodeId>(id));
+  }
+  bool hit = false;
+  for (auto _ : state) {
+    hit = set.AnyOf([&](NodeId id) { return descendants.Test(id); });
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["wire_bytes"] = static_cast<double>(set.WireSize());
+  SetLabel(state);
+}
+
+const std::vector<std::vector<int64_t>> kShapeByUniverse = {
+    {kOwnerRun, kScattered, kAlternating, kAllNodes},
+    {128, 1024, 10000},
+};
+
+BENCHMARK(BM_NodeSetEncode)->ArgsProduct(kShapeByUniverse);
+BENCHMARK(BM_NodeSetDecode)->ArgsProduct(kShapeByUniverse);
+BENCHMARK(BM_NodeSetMatch)->ArgsProduct(kShapeByUniverse);
+
+}  // namespace
+}  // namespace scoop
+
+BENCHMARK_MAIN();

@@ -1,9 +1,11 @@
-// Fixed-size bitmap over node ids, matching the query-packet header bitmap
-// of §5.5 (hence the 128-node network cap).
+// Simulator-internal node-id sets: the heap-backed DynamicNodeBitmap and
+// the density-adaptive InterfererSet the radio's channel model runs on.
+// (The query-packet wire format lives in node_set.h; the old fixed 128-bit
+// NodeBitmap it replaced is gone.)
 #ifndef SCOOP_COMMON_NODE_BITMAP_H_
 #define SCOOP_COMMON_NODE_BITMAP_H_
 
-#include <array>
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -13,85 +15,10 @@
 
 namespace scoop {
 
-/// A set of node ids encoded as 128 bits, as carried in query packets.
-class NodeBitmap {
- public:
-  NodeBitmap() : words_{} {}
-
-  /// Builds a bitmap containing exactly `ids`.
-  static NodeBitmap Of(const std::vector<NodeId>& ids) {
-    NodeBitmap bm;
-    for (NodeId id : ids) bm.Set(id);
-    return bm;
-  }
-
-  /// Marks `id` as a member. `id` must be < kMaxNodes.
-  void Set(NodeId id) {
-    SCOOP_CHECK_LT(id, kMaxNodes);
-    words_[id / 64] |= (uint64_t{1} << (id % 64));
-  }
-
-  /// Removes `id` from the set.
-  void Clear(NodeId id) {
-    SCOOP_CHECK_LT(id, kMaxNodes);
-    words_[id / 64] &= ~(uint64_t{1} << (id % 64));
-  }
-
-  /// True iff `id` is a member (ids >= kMaxNodes are never members).
-  bool Test(NodeId id) const {
-    if (id >= kMaxNodes) return false;
-    return (words_[id / 64] >> (id % 64)) & 1;
-  }
-
-  /// Number of member ids.
-  int Count() const {
-    return std::popcount(words_[0]) + std::popcount(words_[1]);
-  }
-
-  /// True iff no ids are members.
-  bool Empty() const { return words_[0] == 0 && words_[1] == 0; }
-
-  /// True iff this set shares at least one id with `other`.
-  bool Intersects(const NodeBitmap& other) const {
-    return (words_[0] & other.words_[0]) != 0 || (words_[1] & other.words_[1]) != 0;
-  }
-
-  /// Set union, in place.
-  void UnionWith(const NodeBitmap& other) {
-    words_[0] |= other.words_[0];
-    words_[1] |= other.words_[1];
-  }
-
-  /// Member ids in ascending order.
-  std::vector<NodeId> ToVector() const {
-    std::vector<NodeId> out;
-    out.reserve(static_cast<size_t>(Count()));
-    for (int w = 0; w < 2; ++w) {
-      uint64_t bits = words_[w];
-      while (bits != 0) {
-        int b = std::countr_zero(bits);
-        out.push_back(static_cast<NodeId>(w * 64 + b));
-        bits &= bits - 1;
-      }
-    }
-    return out;
-  }
-
-  friend bool operator==(const NodeBitmap& a, const NodeBitmap& b) {
-    return a.words_ == b.words_;
-  }
-
-  /// Serialized size in bytes when carried in a packet header.
-  static constexpr int kWireSize = 16;
-
- private:
-  std::array<uint64_t, 2> words_;
-};
-
 /// Heap-backed bitmap over node ids, for simulator-internal sets (per-node
-/// interferer sets, the active-transmitter set). Unlike NodeBitmap this is
-/// not a wire format: it has no 128-node cap, so the radio layer can model
-/// networks far beyond the query-packet limit (benchmarks run 1000 nodes).
+/// interferer sets, the active-transmitter set). This is not a wire format:
+/// it has no node cap, so the radio layer can model networks of any size
+/// (benchmarks run 10000 nodes).
 class DynamicNodeBitmap {
  public:
   DynamicNodeBitmap() = default;
@@ -182,6 +109,79 @@ class DynamicNodeBitmap {
 
  private:
   std::vector<uint64_t> words_;
+};
+
+/// A per-receiver interferer set, stored in whichever form is smaller for
+/// its density: a sorted sparse NodeId list when few senders are audible
+/// (O(links) memory across all receivers -- grids and other constant-degree
+/// regimes at large N), or a DynamicNodeBitmap above the density threshold
+/// (the paper's ~20%-audible regime, where the bitmap is more compact and
+/// word-parallel). Both forms answer the same queries with identical
+/// ascending-id visitation order, so the radio's channel model is
+/// bit-for-bit independent of the representation (equivalence-tested).
+class InterfererSet {
+ public:
+  InterfererSet() = default;
+
+  /// Sparse form wins on memory once fewer than 1/kSparseDensityDivisor of
+  /// the universe is audible (2-byte entries vs. universe/8 bitmap bytes).
+  static constexpr int kSparseDensityDivisor = 16;
+
+  /// Builds from `ids` (strictly ascending) over [0, universe), picking the
+  /// form by density.
+  static InterfererSet Of(std::vector<NodeId> ids, int universe) {
+    bool dense = static_cast<size_t>(universe) <
+                 ids.size() * static_cast<size_t>(kSparseDensityDivisor);
+    return OfForm(std::move(ids), universe, dense);
+  }
+
+  /// Forces a specific form regardless of density (equivalence tests).
+  static InterfererSet OfForm(std::vector<NodeId> ids, int universe, bool dense) {
+    InterfererSet set;
+    if (dense) {
+      set.dense_ = DynamicNodeBitmap(universe);
+      for (NodeId id : ids) set.dense_.Set(id);
+      set.dense_form_ = true;
+    } else {
+      set.sparse_ = std::move(ids);
+    }
+    return set;
+  }
+
+  bool is_dense() const { return dense_form_; }
+
+  /// True iff `id` is a member.
+  bool Test(NodeId id) const {
+    if (dense_form_) return dense_.Test(id);
+    return std::binary_search(sparse_.begin(), sparse_.end(), id);
+  }
+
+  /// Number of member ids.
+  int Count() const {
+    return dense_form_ ? dense_.Count() : static_cast<int>(sparse_.size());
+  }
+
+  /// Calls `fn(id)` for each member that is also set in `active`, in
+  /// ascending id order, stopping early as soon as a call returns true.
+  /// Returns true iff some call did (the radio's carrier sense).
+  template <typename Fn>
+  bool AnyActive(const DynamicNodeBitmap& active, Fn&& fn) const {
+    if (dense_form_) return active.AnyOfIntersection(dense_, fn);
+    for (NodeId id : sparse_) {
+      if (active.Test(id) && fn(id)) return true;
+    }
+    return false;
+  }
+
+  /// Member ids in ascending order.
+  std::vector<NodeId> ToVector() const {
+    return dense_form_ ? dense_.ToVector() : sparse_;
+  }
+
+ private:
+  std::vector<NodeId> sparse_;  ///< Sorted ascending; the default form.
+  DynamicNodeBitmap dense_;
+  bool dense_form_ = false;
 };
 
 }  // namespace scoop

@@ -1,0 +1,367 @@
+#include "common/node_set.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace scoop {
+
+namespace {
+
+/// LEB128. Node ids and run lengths fit 16 bits, so varints here are at
+/// most 3 bytes; the helpers still handle the full 32-bit range.
+int VarintSize(uint32_t v) {
+  int n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+void PutVarint(std::vector<uint8_t>* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const uint8_t** p, const uint8_t* end, uint32_t* v) {
+  uint32_t out = 0;
+  for (int shift = 0; shift < 35; shift += 7) {
+    if (*p == end) return false;
+    uint8_t byte = *(*p)++;
+    // The 5th byte may only carry bits 28..31; anything higher would wrap
+    // past 32 bits and alias a smaller value -- malformed, not accepted.
+    if (shift == 28 && (byte & 0x70) != 0) return false;
+    out |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = out;
+      return true;
+    }
+  }
+  return false;  // Over-long varint.
+}
+
+}  // namespace
+
+NodeSet::NodeSet(int universe) : universe_(universe) {
+  SCOOP_CHECK_GE(universe, 1);
+  SCOOP_CHECK_LE(universe, static_cast<int>(kInvalidNodeId) - 1);
+}
+
+NodeSet NodeSet::Of(const std::vector<NodeId>& ids, int universe) {
+  NodeSet set(universe);
+  for (NodeId id : ids) set.Set(id);
+  return set;
+}
+
+void NodeSet::Set(NodeId id) {
+  SCOOP_CHECK_LT(static_cast<int>(id), universe_);
+  ids_.push_back(id);
+  dirty_ = true;
+  cached_wire_size_ = -1;
+}
+
+void NodeSet::Clear(NodeId id) {
+  Normalize();
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) {
+    ids_.erase(it);
+    cached_wire_size_ = -1;
+  }
+}
+
+void NodeSet::Normalize() const {
+  if (!dirty_) return;
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  dirty_ = false;
+}
+
+bool NodeSet::Test(NodeId id) const {
+  if (static_cast<int>(id) >= universe_) return false;
+  Normalize();
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+int NodeSet::Count() const {
+  Normalize();
+  return static_cast<int>(ids_.size());
+}
+
+bool NodeSet::Empty() const {
+  Normalize();
+  return ids_.empty();
+}
+
+std::vector<NodeId> NodeSet::ToVector() const {
+  Normalize();
+  return ids_;
+}
+
+std::vector<NodeSet::Run> NodeSet::Runs() const {
+  Normalize();
+  std::vector<Run> runs;
+  for (NodeId id : ids_) {
+    if (!runs.empty() && id == runs.back().last + 1) {
+      runs.back().last = id;
+    } else {
+      runs.push_back(Run{id, id});
+    }
+  }
+  return runs;
+}
+
+int NodeSet::EncodedSizeAs(Form form) const {
+  SCOOP_CHECK_GT(universe_, kLegacyUniverse);
+  Normalize();
+  switch (form) {
+    case Form::kDense: {
+      // Tag + chunk count + per non-empty 64-bit chunk: index delta + bits.
+      int size = 1;
+      int chunks = 0;
+      uint32_t prev_chunk = 0;
+      uint32_t current = UINT32_MAX;
+      for (NodeId id : ids_) {
+        uint32_t chunk = id / 64;
+        if (chunk != current) {
+          size += VarintSize(chunks == 0 ? chunk : chunk - prev_chunk) + 8;
+          prev_chunk = chunk;
+          current = chunk;
+          ++chunks;
+        }
+      }
+      return size + VarintSize(static_cast<uint32_t>(chunks));
+    }
+    case Form::kDeltaList: {
+      int size = 1 + VarintSize(static_cast<uint32_t>(ids_.size()));
+      NodeId prev = 0;
+      for (size_t i = 0; i < ids_.size(); ++i) {
+        size += VarintSize(i == 0 ? ids_[i] : static_cast<uint32_t>(ids_[i] - prev));
+        prev = ids_[i];
+      }
+      return size;
+    }
+    case Form::kRuns:
+      return RunsWireSize(Runs());
+  }
+  return 0;
+}
+
+int NodeSet::RunsWireSize(const std::vector<Run>& runs) {
+  int size = 1 + VarintSize(static_cast<uint32_t>(runs.size()));
+  NodeId prev_last = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    size += VarintSize(i == 0 ? runs[i].start
+                              : static_cast<uint32_t>(runs[i].start - prev_last));
+    size += VarintSize(static_cast<uint32_t>(runs[i].last - runs[i].start));
+    prev_last = runs[i].last;
+  }
+  return size;
+}
+
+NodeSet::Form NodeSet::WireForm() const {
+  if (universe_ <= kLegacyUniverse) return Form::kDense;
+  // Smallest wins; ties prefer runs (the Scoop-common case), then deltas.
+  int runs = EncodedSizeAs(Form::kRuns);
+  int deltas = EncodedSizeAs(Form::kDeltaList);
+  int dense = EncodedSizeAs(Form::kDense);
+  if (runs <= deltas && runs <= dense) return Form::kRuns;
+  if (deltas <= dense) return Form::kDeltaList;
+  return Form::kDense;
+}
+
+int NodeSet::WireSize() const {
+  if (universe_ <= kLegacyUniverse) return kLegacyWireSize;
+  if (cached_wire_size_ < 0) cached_wire_size_ = EncodedSizeAs(WireForm());
+  return cached_wire_size_;
+}
+
+void NodeSet::EncodeAs(Form form, std::vector<uint8_t>* out) const {
+  SCOOP_CHECK_GT(universe_, kLegacyUniverse);
+  Normalize();
+  out->push_back(static_cast<uint8_t>(form));
+  switch (form) {
+    case Form::kDense: {
+      // Gather non-empty 64-bit chunks in ascending order.
+      std::vector<std::pair<uint32_t, uint64_t>> chunks;
+      for (NodeId id : ids_) {
+        uint32_t chunk = id / 64;
+        if (chunks.empty() || chunks.back().first != chunk) chunks.push_back({chunk, 0});
+        chunks.back().second |= uint64_t{1} << (id % 64);
+      }
+      PutVarint(out, static_cast<uint32_t>(chunks.size()));
+      uint32_t prev = 0;
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        PutVarint(out, i == 0 ? chunks[i].first : chunks[i].first - prev);
+        prev = chunks[i].first;
+        uint64_t bits = chunks[i].second;
+        for (int b = 0; b < 8; ++b) out->push_back(static_cast<uint8_t>(bits >> (8 * b)));
+      }
+      break;
+    }
+    case Form::kDeltaList: {
+      PutVarint(out, static_cast<uint32_t>(ids_.size()));
+      NodeId prev = 0;
+      for (size_t i = 0; i < ids_.size(); ++i) {
+        PutVarint(out, i == 0 ? ids_[i] : static_cast<uint32_t>(ids_[i] - prev));
+        prev = ids_[i];
+      }
+      break;
+    }
+    case Form::kRuns: {
+      std::vector<Run> runs = Runs();
+      PutVarint(out, static_cast<uint32_t>(runs.size()));
+      NodeId prev_last = 0;
+      for (size_t i = 0; i < runs.size(); ++i) {
+        PutVarint(out, i == 0 ? runs[i].start
+                              : static_cast<uint32_t>(runs[i].start - prev_last));
+        PutVarint(out, static_cast<uint32_t>(runs[i].last - runs[i].start));
+        prev_last = runs[i].last;
+      }
+      break;
+    }
+  }
+}
+
+void NodeSet::EncodeTo(std::vector<uint8_t>* out) const {
+  if (universe_ <= kLegacyUniverse) {
+    // Legacy §5.5 bitmap: 16 bytes, bit (id % 8) of byte (id / 8) -- the
+    // little-endian image of the old two-word NodeBitmap, untagged.
+    Normalize();
+    size_t base = out->size();
+    out->resize(base + kLegacyWireSize, 0);
+    for (NodeId id : ids_) (*out)[base + id / 8] |= static_cast<uint8_t>(1u << (id % 8));
+    return;
+  }
+  EncodeAs(WireForm(), out);
+}
+
+std::vector<uint8_t> NodeSet::Encode() const {
+  std::vector<uint8_t> out;
+  out.reserve(static_cast<size_t>(WireSize()));
+  EncodeTo(&out);
+  return out;
+}
+
+std::optional<NodeSet> NodeSet::Decode(const uint8_t* data, size_t size, int universe) {
+  if (universe < 1 || universe > static_cast<int>(kInvalidNodeId) - 1) return std::nullopt;
+  NodeSet set(universe);
+  if (universe <= kLegacyUniverse) {
+    if (size != kLegacyWireSize) return std::nullopt;
+    for (int byte = 0; byte < kLegacyWireSize; ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        if ((data[byte] >> bit) & 1) {
+          int id = byte * 8 + bit;
+          if (id >= universe) return std::nullopt;
+          set.Set(static_cast<NodeId>(id));
+        }
+      }
+    }
+    return set;
+  }
+
+  const uint8_t* p = data;
+  const uint8_t* end = data + size;
+  if (p == end) return std::nullopt;
+  uint8_t tag = *p++;
+  switch (static_cast<Form>(tag)) {
+    case Form::kDense: {
+      uint32_t nchunks = 0;
+      if (!GetVarint(&p, end, &nchunks)) return std::nullopt;
+      // 64-bit accumulator: a crafted delta must not wrap past the
+      // ascending-chunk check (the id range check below catches it).
+      uint64_t chunk = 0;
+      for (uint32_t i = 0; i < nchunks; ++i) {
+        uint32_t delta = 0;
+        if (!GetVarint(&p, end, &delta)) return std::nullopt;
+        if (i > 0 && delta == 0) return std::nullopt;  // Chunks strictly ascend.
+        chunk = (i == 0) ? delta : chunk + delta;
+        if (end - p < 8) return std::nullopt;
+        uint64_t bits = 0;
+        for (int b = 0; b < 8; ++b) bits |= static_cast<uint64_t>(*p++) << (8 * b);
+        if (bits == 0) return std::nullopt;  // Empty chunks are not emitted.
+        while (bits != 0) {
+          int b = std::countr_zero(bits);
+          uint64_t id = chunk * 64 + static_cast<uint64_t>(b);
+          if (id >= static_cast<uint64_t>(universe)) return std::nullopt;
+          set.Set(static_cast<NodeId>(id));
+          bits &= bits - 1;
+        }
+      }
+      break;
+    }
+    case Form::kDeltaList: {
+      uint32_t count = 0;
+      if (!GetVarint(&p, end, &count)) return std::nullopt;
+      uint64_t id = 0;
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t delta = 0;
+        if (!GetVarint(&p, end, &delta)) return std::nullopt;
+        if (i > 0 && delta == 0) return std::nullopt;  // Ids strictly ascend.
+        id = (i == 0) ? delta : id + delta;
+        if (id >= static_cast<uint64_t>(universe)) return std::nullopt;
+        set.Set(static_cast<NodeId>(id));
+      }
+      break;
+    }
+    case Form::kRuns: {
+      uint32_t nruns = 0;
+      if (!GetVarint(&p, end, &nruns)) return std::nullopt;
+      uint64_t last = 0;
+      for (uint32_t i = 0; i < nruns; ++i) {
+        uint32_t gap = 0, len = 0;
+        if (!GetVarint(&p, end, &gap)) return std::nullopt;
+        if (!GetVarint(&p, end, &len)) return std::nullopt;
+        if (i > 0 && gap < 2) return std::nullopt;  // Runs are maximal.
+        uint64_t start = (i == 0) ? gap : last + gap;
+        uint64_t stop = start + len;
+        if (stop >= static_cast<uint64_t>(universe)) return std::nullopt;
+        for (uint64_t id = start; id <= stop; ++id) set.Set(static_cast<NodeId>(id));
+        last = stop;
+      }
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (p != end) return std::nullopt;  // Trailing bytes.
+  return set;
+}
+
+NodeSet NodeSet::CoarsenedToFit(int max_bytes, NodeId exclude) const {
+  if (WireSize() <= max_bytes) return *this;
+
+  std::vector<Run> runs = Runs();
+  while (RunsWireSize(runs) > max_bytes && runs.size() > 1) {
+    // Merge the adjacent pair with the smallest gap; never bridge a gap
+    // holding `exclude` (the basestation must not target itself).
+    size_t best = runs.size();
+    uint32_t best_gap = UINT32_MAX;
+    for (size_t i = 0; i + 1 < runs.size(); ++i) {
+      if (exclude != kInvalidNodeId && exclude > runs[i].last &&
+          exclude < runs[i + 1].start) {
+        continue;
+      }
+      uint32_t gap = static_cast<uint32_t>(runs[i + 1].start - runs[i].last);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    if (best == runs.size()) break;  // Only excluded gaps remain.
+    runs[best].last = runs[best + 1].last;
+    runs.erase(runs.begin() + static_cast<ptrdiff_t>(best) + 1);
+  }
+
+  NodeSet out(universe_);
+  for (const Run& run : runs) {
+    for (uint32_t id = run.start; id <= run.last; ++id) out.Set(static_cast<NodeId>(id));
+  }
+  return out;
+}
+
+}  // namespace scoop

@@ -1,0 +1,158 @@
+// Variadic node-set wire codec for query packets (§5.5).
+//
+// The paper ships the set of nodes that must answer a query as a fixed
+// 128-bit header bitmap, which caps deployments at 128 nodes. NodeSet
+// replaces that with a self-describing codec over a per-experiment universe
+// (`num_nodes`): the encoder measures three candidate forms and emits the
+// smallest, the decoder dispatches on a one-byte form tag. Scoop's owner
+// sets are contiguous value-range owners, so the run-length form is the
+// common case; scattered sets fall back to sorted varint deltas, and
+// near-dense sets to a chunked bitmap.
+//
+// Backward compatibility: for universes of up to kLegacyUniverse (128)
+// nodes the codec is pinned to the legacy fixed 16-byte bitmap -- no tag,
+// byte-for-byte the old §5.5 encoding -- so every packet-size (and hence
+// airtime) account at small N is unchanged and the fixed-seed campaign
+// goldens hold. Form selection only kicks in above 128 nodes, where no
+// legacy encoding exists.
+#ifndef SCOOP_COMMON_NODE_SET_H_
+#define SCOOP_COMMON_NODE_SET_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scoop {
+
+/// A set of node ids carried in query packets, over a fixed universe
+/// [0, universe()). Members are kept as a sorted id list; mutation is
+/// cheap-append with lazy normalization, so building a target set is
+/// O(n log n) once rather than O(n) per insert.
+class NodeSet {
+ public:
+  /// Wire forms, in tag order. Tags only appear on the wire for universes
+  /// above kLegacyUniverse.
+  enum class Form : uint8_t {
+    kDense = 0,      ///< Chunked 64-bit bitmap (non-empty chunks only).
+    kDeltaList = 1,  ///< Sorted ids as varint deltas.
+    kRuns = 2,       ///< Run-length [start, len] pairs as varints.
+  };
+
+  /// Universe size at or below which the encoding is the legacy fixed
+  /// 16-byte §5.5 bitmap (and WireSize() is constant 16).
+  static constexpr int kLegacyUniverse = 128;
+  /// Encoded size of the legacy form.
+  static constexpr int kLegacyWireSize = 16;
+
+  /// Empty set over the legacy 128-node universe (the default keeps
+  /// default-constructed query payloads byte-compatible with the paper).
+  NodeSet() = default;
+
+  /// Empty set over [0, universe). `universe` must be in [1, 65534].
+  explicit NodeSet(int universe);
+
+  /// Builds a set containing exactly `ids` (duplicates collapse).
+  static NodeSet Of(const std::vector<NodeId>& ids, int universe = kLegacyUniverse);
+
+  /// Adds `id`. Must be < universe().
+  void Set(NodeId id);
+
+  /// Removes `id` if present. O(n); not on any hot path.
+  void Clear(NodeId id);
+
+  /// True iff `id` is a member (ids outside the universe are never members).
+  bool Test(NodeId id) const;
+
+  /// Number of member ids.
+  int Count() const;
+
+  /// True iff no ids are members.
+  bool Empty() const;
+
+  /// The universe size this set encodes against.
+  int universe() const { return universe_; }
+
+  /// Member ids in ascending order.
+  std::vector<NodeId> ToVector() const;
+
+  /// Calls `fn(id)` for each member in ascending order, stopping early as
+  /// soon as a call returns true. Returns true iff some call did. The
+  /// query-rebroadcast filter runs on this instead of materializing the
+  /// member vector per received query.
+  template <typename Fn>
+  bool AnyOf(Fn&& fn) const {
+    Normalize();
+    for (NodeId id : ids_) {
+      if (fn(id)) return true;
+    }
+    return false;
+  }
+
+  /// Encoded size in bytes when carried in a packet header: 16 for legacy
+  /// universes, else 1 (tag) + the smallest form's payload. Cached until
+  /// the next mutation.
+  int WireSize() const;
+
+  /// The form WireSize()/Encode() would pick (always kDense -- the legacy
+  /// bitmap -- for legacy universes).
+  Form WireForm() const;
+
+  /// Serializes to exactly WireSize() bytes, appended to `out`.
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  std::vector<uint8_t> Encode() const;
+
+  /// Serializes a specific form (tagged), regardless of which is smallest.
+  /// Only valid for universes above kLegacyUniverse, where tagged forms
+  /// exist; the cross-form decoder tests run on this.
+  void EncodeAs(Form form, std::vector<uint8_t>* out) const;
+
+  /// Encoded size of a specific (tagged) form; universe > kLegacyUniverse.
+  int EncodedSizeAs(Form form) const;
+
+  /// Parses an encoding produced for `universe`. Returns nullopt on
+  /// malformed input (bad tag, unsorted or out-of-universe ids, trailing
+  /// or missing bytes).
+  static std::optional<NodeSet> Decode(const uint8_t* data, size_t size, int universe);
+
+  /// Best-effort smallest superset whose WireSize() fits `max_bytes`:
+  /// merges the closest-gap pairs of adjacent id runs (never across
+  /// `exclude`) until the run-length form fits or only one mergeable run
+  /// remains. A set that already fits is returned unchanged. The result
+  /// can still exceed a very small `max_bytes` (a single run needs up to
+  /// 8 bytes, more when `exclude` splits it) -- callers that must fit a
+  /// frame re-check WireSize() on the result.
+  NodeSet CoarsenedToFit(int max_bytes, NodeId exclude = kInvalidNodeId) const;
+
+  friend bool operator==(const NodeSet& a, const NodeSet& b) {
+    a.Normalize();
+    b.Normalize();
+    return a.universe_ == b.universe_ && a.ids_ == b.ids_;
+  }
+
+ private:
+  /// Sorts and dedups ids_ (mutation marks the list dirty instead of
+  /// paying an ordered insert per Set()).
+  void Normalize() const;
+
+  /// [start, last] inclusive id runs of the normalized set.
+  struct Run {
+    NodeId start = 0;
+    NodeId last = 0;
+  };
+  std::vector<Run> Runs() const;
+
+  /// Encoded size of `runs` in the tagged kRuns form (the one size formula
+  /// both EncodedSizeAs and CoarsenedToFit trust).
+  static int RunsWireSize(const std::vector<Run>& runs);
+
+  mutable std::vector<NodeId> ids_;
+  mutable bool dirty_ = false;
+  mutable int cached_wire_size_ = -1;
+  int universe_ = kLegacyUniverse;
+};
+
+}  // namespace scoop
+
+#endif  // SCOOP_COMMON_NODE_SET_H_

@@ -8,15 +8,17 @@
 namespace scoop {
 
 /// Identifier of a node in the network. The basestation is a regular node
-/// (conventionally id 0). The paper's query bitmap caps deployments at 128
-/// nodes; `kMaxNodes` mirrors that limit.
+/// (conventionally id 0).
 using NodeId = uint16_t;
 
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNodeId = std::numeric_limits<NodeId>::max();
 
-/// Upper bound on network size imposed by the query-packet bitmap (§5.5).
-inline constexpr int kMaxNodes = 128;
+/// Hard ceiling on network size from the 16-bit NodeId space (0xFFFF is
+/// kInvalidNodeId and 0xFFFE the link-layer broadcast address). The paper's
+/// old 128-node query-bitmap cap is gone: network size is the per-experiment
+/// `num_nodes`, and query packets carry a variadic NodeSet (node_set.h).
+inline constexpr int kMaxSupportedNodes = 65534;
 
 /// A sensor reading value. The paper indexes integer attribute values
 /// (12-bit ADC readings, vibration classes, etc.).

@@ -316,11 +316,13 @@ void AgentBase::HandleMappingPacket(const Packet& pkt) {
 
 bool AgentBase::ShouldRebroadcastQuery(const QueryPayload& query) const {
   if (cfg_.is_base()) return false;  // The base originated it.
-  for (NodeId target : query.targets.ToVector()) {
-    if (target == cfg_.self) continue;
-    if (descendants_.Contains(target) || neighbors_.Contains(target)) return true;
-  }
-  return false;
+  // Early-exit walk over the target set -- no per-packet materialization of
+  // the member vector (at 1000+ nodes a flood query names the whole
+  // network).
+  return query.targets.AnyOf([this](NodeId target) {
+    if (target == cfg_.self) return false;
+    return descendants_.Contains(target) || neighbors_.Contains(target);
+  });
 }
 
 void AgentBase::HandleQueryPacket(const Packet& pkt) {
@@ -387,6 +389,11 @@ void AgentBase::HandleReplyPacket(const Packet& pkt) {
   auto it = pending_.find(reply.query_id);
   if (it == pending_.end()) return;  // Late reply; query already closed.
   PendingQuery& pending = it->second;
+  // Replies from nodes the planner never asked for (they were swept into
+  // the wire set by MTU coarsening) don't count and don't contribute
+  // tuples -- the outcome reflects the requested set exactly. This also
+  // bounds reply.responder: Test() past num_nodes is false.
+  if (!pending.requested.Test(reply.responder)) return;
   if (!pending.responded.Test(reply.responder)) {
     pending.responded.Set(reply.responder);
     ++pending.outcome.responders;
@@ -409,14 +416,41 @@ uint32_t AgentBase::IssueQueryToTargets(const Query& query,
   payload.time_lo = query.time_lo;
   payload.time_hi = query.time_hi;
   payload.ranges = query.ranges;
+  payload.targets = NodeSet(cfg_.num_nodes);
+  PendingQuery pending;
+  pending.requested = DynamicNodeBitmap(cfg_.num_nodes);
   for (NodeId t : targets) {
-    if (t != cfg_.base) payload.targets.Set(t);
+    if (t != cfg_.base) {
+      payload.targets.Set(t);
+      pending.requested.Set(t);
+    }
+  }
+  // The §5.5 flood is a single packet, so the wire target set must fit one
+  // frame. Above the legacy 128-node regime an adversarially scattered set
+  // can exceed the MTU even in its smallest form; coarsen it to a covering
+  // superset of id runs (never across the base). The extra nodes reply,
+  // but HandleReplyPacket drops them against `requested`, so coarsening is
+  // purely a wire-level concession -- outcomes are unchanged.
+  int set_budget = ctx_->radio_options().max_packet_bytes - PacketHeader::kWireSize -
+                   (payload.WireSize() - payload.targets.WireSize());
+  if (payload.targets.WireSize() > set_budget) {
+    payload.targets = payload.targets.CoarsenedToFit(set_budget, cfg_.base);
+    if (payload.targets.WireSize() > set_budget) {
+      // Even a single covering run cannot sit beside this many value
+      // ranges (only reachable via hand-built queries; the workloads emit
+      // 0-1 ranges). Answer from the base's own store instead of emitting
+      // an unsendable frame, and count it so experiments can tell these
+      // local-only outcomes from real network successes.
+      payload.targets = NodeSet(cfg_.num_nodes);
+      pending.requested = DynamicNodeBitmap(cfg_.num_nodes);
+      ++telemetry_->queries_target_set_unsendable;
+    }
   }
 
-  PendingQuery pending;
   pending.outcome.query_id = id;
   pending.outcome.query = query;
-  pending.outcome.targets = payload.targets.Count();
+  pending.outcome.targets = pending.requested.Count();
+  pending.responded = DynamicNodeBitmap(cfg_.num_nodes);
   // The base's own store answers for free (fallback data + values the
   // index mapped to the base).
   pending.outcome.tuples = flash_.Scan(payload);

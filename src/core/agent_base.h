@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/node_bitmap.h"
 #include "core/agent_config.h"
 #include "core/index_store.h"
 #include "core/query.h"
@@ -169,7 +170,14 @@ class AgentBase : public sim::App {
 
   struct PendingQuery {
     QueryOutcome outcome;
-    NodeBitmap responded;
+    /// The targets the planner actually asked for. The wire set may be a
+    /// coarsened superset (MTU fitting); replies from the extra nodes are
+    /// dropped so outcomes and selectivity metrics only ever reflect the
+    /// requested set.
+    DynamicNodeBitmap requested;
+    /// Which requested targets have answered; sized to the experiment's
+    /// num_nodes (the old fixed 128-bit bitmap capped deployments).
+    DynamicNodeBitmap responded;
   };
 
   std::unique_ptr<trickle::TrickleDriver> gossip_;

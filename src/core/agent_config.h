@@ -70,6 +70,17 @@ struct AgentConfig {
   /// Recent-readings buffer feeding summaries (§5.2; paper: 30).
   int recent_readings_capacity = 30;
 
+  // --- Summary history at the base (§5.5 historical queries) ---
+  /// Verbatim SummaryRecords older than this are folded into a compact
+  /// per-epoch digest (value extremes + coverage per epoch), bounding the
+  /// base's memory on long runs at large N. Aggregate queries whose time
+  /// range lies inside the window answer exactly as before; older ranges
+  /// answer from the epoch extremes (a conservative widening). 0 keeps
+  /// every record forever -- the paper's "never discards" behavior.
+  SimTime summary_history_window = Minutes(20);
+  /// Epoch granularity of the aged digest.
+  SimTime summary_history_epoch = Minutes(4);
+
   // --- Query dissemination (modified Trickle, §5.5) ---
   /// Suppress a pending query rebroadcast after hearing it this many times.
   int query_redundancy_k = 2;

@@ -59,15 +59,51 @@ void ScoopBaseAgent::HandleSummaryAtBase(const Packet& pkt) {
   tracker.has_prev = true;
 
   // The base always keeps the *last* histogram per node (tolerates summary
-  // loss) and never discards history (historical/aggregate queries, §5.5).
+  // loss) and keeps verbatim history across the configured window;
+  // anything older folds into the per-epoch digest so long campaigns at
+  // large N stay bounded (historical/aggregate queries, §5.5).
   latest_[node] = SummaryRecord{now, summary};
   history_[node].push_back(SummaryRecord{now, summary});
+  AgeSummaryHistory(node, now);
 
   // Early first dissemination: once most nodes have reported, build the
   // first index immediately instead of waiting out the remap interval.
   if (index_history_.empty() &&
       static_cast<int>(latest_.size()) * 5 >= (cfg_.num_nodes - 1) * 3) {
     RemapNow();
+  }
+}
+
+void ScoopBaseAgent::AgeSummaryHistory(NodeId node, SimTime now) {
+  if (cfg_.summary_history_window <= 0) return;  // Never-discard mode.
+  // A non-positive epoch (only reachable from hand-built configs; the
+  // scenario parser rejects it) degenerates to one digest entry per tick
+  // rather than dividing by zero.
+  SimTime epoch_len = std::max<SimTime>(cfg_.summary_history_epoch, 1);
+  std::deque<SummaryRecord>& records = history_[node];
+  SimTime horizon = now - cfg_.summary_history_window;
+  while (!records.empty() && records.front().received_at < horizon) {
+    const SummaryRecord& record = records.front();
+    // Records without histogram content never carry extremes (the answer
+    // path skips them), so they age out without a digest entry.
+    if (!record.summary.bins.empty()) {
+      int64_t epoch = record.received_at / epoch_len;
+      SimTime cover_lo = SummaryCoverLo(record);
+      SimTime cover_hi = record.received_at;
+      std::vector<SummaryEpochDigest>& digest = digests_[node];
+      if (digest.empty() || digest.back().epoch != epoch) {
+        digest.push_back(SummaryEpochDigest{epoch, cover_lo, cover_hi,
+                                            record.summary.vmin, record.summary.vmax, 1});
+      } else {
+        SummaryEpochDigest& d = digest.back();
+        d.cover_lo = std::min(d.cover_lo, cover_lo);
+        d.cover_hi = std::max(d.cover_hi, cover_hi);
+        d.vmin = std::min(d.vmin, record.summary.vmin);
+        d.vmax = std::max(d.vmax, record.summary.vmax);
+        ++d.records;
+      }
+    }
+    records.pop_front();
   }
 }
 
@@ -235,24 +271,33 @@ bool ScoopBaseAgent::TryAnswerFromSummaries(const Query& query,
   if (!query.ranges.empty()) return false;  // Range-restricted aggregates need tuples.
   bool found = false;
   Value best = 0;
+  auto consider = [&](Value candidate) {
+    if (!found) {
+      best = candidate;
+      found = true;
+    } else {
+      best = query.kind == Query::Kind::kMax ? std::max(best, candidate)
+                                             : std::min(best, candidate);
+    }
+  };
   for (const auto& [node, records] : history_) {
     for (const SummaryRecord& record : records) {
       // A summary covers (roughly) the recent-readings window before its
-      // arrival: capacity readings at one per sample interval.
-      SimTime cover_lo =
-          record.received_at - cfg_.sample_interval * cfg_.recent_readings_capacity;
+      // arrival.
+      SimTime cover_lo = SummaryCoverLo(record);
       SimTime cover_hi = record.received_at;
       if (cover_hi < query.time_lo || cover_lo > query.time_hi) continue;
       if (record.summary.bins.empty()) continue;
-      Value candidate =
-          query.kind == Query::Kind::kMax ? record.summary.vmax : record.summary.vmin;
-      if (!found) {
-        best = candidate;
-        found = true;
-      } else {
-        best = query.kind == Query::Kind::kMax ? std::max(best, candidate)
-                                               : std::min(best, candidate);
-      }
+      consider(query.kind == Query::Kind::kMax ? record.summary.vmax
+                                               : record.summary.vmin);
+    }
+  }
+  // Records beyond the history window live on as per-epoch digests: same
+  // overlap rule at epoch granularity, answering with the epoch extremes.
+  for (const auto& [node, digest] : digests_) {
+    for (const SummaryEpochDigest& d : digest) {
+      if (d.cover_hi < query.time_lo || d.cover_lo > query.time_hi) continue;
+      consider(query.kind == Query::Kind::kMax ? d.vmax : d.vmin);
     }
   }
   if (!found) return false;

@@ -52,6 +52,8 @@ AgentConfig MakeAgentConfig(const ExperimentConfig& config, NodeId self,
   agent.summary_interval = config.summary_interval;
   agent.remap_interval = config.remap_interval;
   agent.sampling_start = config.stabilization;
+  agent.summary_history_window = config.summary_history_window;
+  agent.summary_history_epoch = config.summary_history_epoch;
   agent.max_batch = config.max_batch;
   agent.enable_neighbor_shortcut = config.enable_neighbor_shortcut;
   agent.enable_descendant_routing = config.enable_descendant_routing;
@@ -255,7 +257,7 @@ const char* PolicyName(Policy policy) {
 ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   SCOOP_CHECK(config.policy != Policy::kHashAnalytical);
   SCOOP_CHECK_GE(config.num_nodes, 2);
-  SCOOP_CHECK_LE(config.num_nodes, kMaxNodes);
+  SCOOP_CHECK_LE(config.num_nodes, kMaxSupportedNodes);
 
   sim::Topology topology = MakeTopology(config, seed);
   sim::NetworkOptions net_opts;

@@ -77,6 +77,11 @@ struct ExperimentConfig {
   /// recent readings).
   SimTime query_history_window = Seconds(60);
 
+  /// Summary records older than this age into a compact per-epoch digest
+  /// at the base (0 = the paper's never-discard behavior); see AgentConfig.
+  SimTime summary_history_window = Minutes(20);
+  SimTime summary_history_epoch = Minutes(4);
+
   int trials = 3;
   uint64_t seed = 42;
 

@@ -42,6 +42,10 @@ struct Telemetry {
   uint64_t tuples_returned = 0;
   /// Queries answered without network traffic, from stored summaries (§5.5).
   uint64_t queries_answered_from_summaries = 0;
+  /// Queries whose target set could not fit one frame even fully coarsened
+  /// (value-range-heavy hand-built queries): answered from the base's own
+  /// store only, so a nonzero count flags results that skipped the network.
+  uint64_t queries_target_set_unsendable = 0;
 
   // --- Index lifecycle (basestation) ---
   uint64_t indices_built = 0;

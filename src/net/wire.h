@@ -14,7 +14,7 @@
 #include <variant>
 #include <vector>
 
-#include "common/node_bitmap.h"
+#include "common/node_set.h"
 #include "common/sim_time.h"
 #include "common/types.h"
 
@@ -208,17 +208,19 @@ struct ValueRange {
 struct QueryPayload {
   uint32_t query_id = 0;
   AttrId attr = 0;
-  /// Nodes that must answer (the §5.5 header bitmap; caps networks at 128).
-  NodeBitmap targets;
+  /// Nodes that must answer: the §5.5 header node set, carried as the
+  /// smallest of the NodeSet codec's forms. For universes of <= 128 nodes
+  /// this is byte-for-byte the paper's fixed 16-byte bitmap.
+  NodeSet targets;
   /// Time range of interest, inclusive.
   SimTime time_lo = 0;
   SimTime time_hi = 0;
   /// Value ranges of interest; empty means "all values" (pure node query).
   std::vector<ValueRange> ranges;
 
-  /// id(4) + attr(1) + bitmap(16) + time(8) + nranges(1) + ranges(4 each).
+  /// id(4) + attr(1) + time(8) + nranges(1) + node set + ranges(4 each).
   int WireSize() const {
-    return 30 + 4 * static_cast<int>(ranges.size());
+    return 14 + targets.WireSize() + 4 * static_cast<int>(ranges.size());
   }
 };
 

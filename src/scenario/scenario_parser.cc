@@ -225,7 +225,7 @@ const KeyInfo kKeys[] = {
      }},
     {"nodes",
      [](ExperimentConfig* c, std::string_view v) {
-       return StoreInt(v, &c->num_nodes, 2, kMaxNodes, "nodes");
+       return StoreInt(v, &c->num_nodes, 2, kMaxSupportedNodes, "nodes");
      },
      [](const ExperimentConfig& c) { return std::to_string(c.num_nodes); }},
     {"duration_minutes",
@@ -316,6 +316,22 @@ const KeyInfo kKeys[] = {
      [](const ExperimentConfig& c) {
        return FormatNumber(ToSeconds(c.query_history_window));
      }},
+    {"summary_history_window_minutes",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->summary_history_window, /*allow_zero=*/true,
+                           "summary_history_window_minutes");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToMinutes(c.summary_history_window));
+     }},
+    {"summary_history_epoch_minutes",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->summary_history_epoch, /*allow_zero=*/false,
+                           "summary_history_epoch_minutes");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToMinutes(c.summary_history_epoch));
+     }},
     {"trials",
      [](ExperimentConfig* c, std::string_view v) {
        return StoreInt(v, &c->trials, 1, 10000, "trials");
@@ -379,7 +395,7 @@ const KeyInfo kKeys[] = {
      [](const ExperimentConfig& c) { return FormatBool(c.builder.consider_store_local); }},
     {"owner_set",
      [](ExperimentConfig* c, std::string_view v) {
-       return StoreInt(v, &c->builder.owner_set_size, 1, kMaxNodes, "owner_set");
+       return StoreInt(v, &c->builder.owner_set_size, 1, kMaxSupportedNodes, "owner_set");
      },
      [](const ExperimentConfig& c) { return std::to_string(c.builder.owner_set_size); }},
     {"range_granularity",

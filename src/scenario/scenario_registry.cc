@@ -62,12 +62,24 @@ sweep.nodes = 25, 50, 63, 100
 
 constexpr const char kGridDense[] = R"(
 name = grid_dense
-description = Dense 11x11 lattice (121 nodes, the largest deployment the §5.5 query bitmap admits), REAL trace
+description = Dense 11x11 lattice (121 nodes), REAL trace
 source = real
 topology = grid
 nodes = 121
 trials = 2
 sweep.policy = scoop, local, base
+)";
+
+constexpr const char kGrid1024[] = R"(
+name = grid_1024
+description = 32x32 lattice (1024 nodes, past the old 128-node query-bitmap cap; NodeSet query codec), REAL trace, Scoop policy
+policy = scoop
+source = real
+topology = grid
+nodes = 1024
+duration_minutes = 10
+stabilization_minutes = 3
+trials = 1
 )";
 
 constexpr const char kBurstyQueries[] = R"(
@@ -119,6 +131,7 @@ const RegistryEntry kRegistry[] = {
     {"fig5_query_interval", kFig5QueryInterval},
     {"tbl_scalability", kTblScalability},
     {"grid_dense", kGridDense},
+    {"grid_1024", kGrid1024},
     {"bursty_queries", kBurstyQueries},
     {"failure_waves", kFailureWaves},
     {"gaussian_skew", kGaussianSkew},

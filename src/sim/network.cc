@@ -12,7 +12,12 @@ namespace scoop::sim {
 class Network::Host : public Context {
  public:
   Host(Network* network, NodeId id, uint64_t seed)
-      : network_(network), id_(id), rng_(MixSeed(seed, id), /*stream=*/id) {}
+      : network_(network), id_(id), rng_(MixSeed(seed, id), /*stream=*/id) {
+    int n = network->topology_.num_nodes();
+    if (n <= kFlatSeqMaxNodes) {
+      last_seq_flat_.assign(static_cast<size_t>(n), -1);
+    }
+  }
 
   void set_app(std::unique_ptr<App> app) { app_ = std::move(app); }
   App* app() { return app_.get(); }
@@ -63,10 +68,26 @@ class Network::Host : public Context {
   }
 
  private:
+  /// Up to this many nodes, per-sender slots are a flat array indexed by
+  /// NodeId: one array load per received packet instead of a hash probe.
+  /// The flat form is 4*N bytes per host -- O(N^2) across the network --
+  /// so past this bound (where 4*N^2 would outgrow every other structure,
+  /// the same tradeoff as the topology's dense delivery matrix) hosts fall
+  /// back to a map that grows only with senders actually heard.
+  static constexpr int kFlatSeqMaxNodes = 4096;
+
   /// Link-layer duplicate: same sequence number as the previous packet from
   /// this link sender (an ACK was lost and the frame was retransmitted).
+  /// -1 = nothing heard yet (distinct from every 16-bit sequence number,
+  /// including a wrapped seq of 0).
   bool IsDuplicate(const Packet& pkt) {
-    auto [it, inserted] = last_seq_.try_emplace(pkt.hdr.link_src, pkt.hdr.seq);
+    if (!last_seq_flat_.empty()) {
+      int32_t& slot = last_seq_flat_[pkt.hdr.link_src];
+      bool dup = (slot == pkt.hdr.seq);
+      slot = pkt.hdr.seq;
+      return dup;
+    }
+    auto [it, inserted] = last_seq_map_.try_emplace(pkt.hdr.link_src, pkt.hdr.seq);
     if (inserted) return false;
     bool dup = (it->second == pkt.hdr.seq);
     it->second = pkt.hdr.seq;
@@ -77,7 +98,8 @@ class Network::Host : public Context {
   NodeId id_;
   Rng rng_;
   std::unique_ptr<App> app_;
-  std::unordered_map<NodeId, uint16_t> last_seq_;
+  std::vector<int32_t> last_seq_flat_;  ///< Non-empty iff n <= kFlatSeqMaxNodes.
+  std::unordered_map<NodeId, uint16_t> last_seq_map_;
 };
 
 Network::Network(Topology topology, NetworkOptions options)

@@ -102,15 +102,15 @@ bool Radio::ChannelBusy(NodeId node) const {
   if (node_tx_[node][0].end > now) return true;
   // Audible foreign transmissions: only active transmitters that are in
   // this node's interferer set can trip carrier sense.
-  const DynamicNodeBitmap& audible = (*interferers_)[node];
-  return active_tx_.AnyOfIntersection(
-      audible, [&](NodeId a) { return node_tx_[a][0].end > now; });
+  const InterfererSet& audible = (*interferers_)[node];
+  return audible.AnyActive(active_tx_,
+                           [&](NodeId a) { return node_tx_[a][0].end > now; });
 }
 
 bool Radio::Collided(NodeId receiver, NodeId sender, SimTime start, SimTime end) const {
   if (!options_.model_collisions) return false;
   double signal = topology_->delivery_prob(sender, receiver);
-  const DynamicNodeBitmap& audible = (*interferers_)[receiver];
+  const InterfererSet& audible = (*interferers_)[receiver];
   // Ring entries are in start order; anything whose start is more than one
   // max airtime before the window cannot reach into it.
   for (size_t i = ring_.size(); i-- > ring_head_;) {

@@ -153,9 +153,10 @@ class Radio {
   // --- Neighborhood-indexed channel state ---
   /// Per-receiver interferer sets, resolved once at construction: the
   /// topology's precomputed sets when options_.interference_threshold
-  /// matches their threshold, else own_interferers_.
-  const std::vector<DynamicNodeBitmap>* interferers_ = nullptr;
-  std::vector<DynamicNodeBitmap> own_interferers_;
+  /// matches their threshold, else own_interferers_. Sparse-list or bitmap
+  /// form per receiver (InterfererSet), with identical query semantics.
+  const std::vector<InterfererSet>* interferers_ = nullptr;
+  std::vector<InterfererSet> own_interferers_;
   /// Nodes with a transmission currently on the air.
   DynamicNodeBitmap active_tx_;
   /// Each node's last two transmission spans, most recent first. Two

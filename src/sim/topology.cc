@@ -209,13 +209,20 @@ Topology::Topology(std::vector<Point> positions, SparseLinks links)
   interferers_ = BuildInterfererSets(kInterferenceThreshold);
 }
 
-std::vector<DynamicNodeBitmap> Topology::BuildInterfererSets(double threshold) const {
+std::vector<InterfererSet> Topology::BuildInterfererSets(double threshold) const {
   size_t n = positions_.size();
-  std::vector<DynamicNodeBitmap> sets(n, DynamicNodeBitmap(static_cast<int>(n)));
+  // Walking senders in ascending id keeps every receiver's list sorted
+  // without a per-receiver sort.
+  std::vector<std::vector<NodeId>> lists(n);
   for (size_t from = 0; from < n; ++from) {
     for (const Link& link : audible_from(static_cast<NodeId>(from))) {
-      if (link.prob >= threshold) sets[link.to].Set(static_cast<NodeId>(from));
+      if (link.prob >= threshold) lists[link.to].push_back(static_cast<NodeId>(from));
     }
+  }
+  std::vector<InterfererSet> sets;
+  sets.reserve(n);
+  for (size_t to = 0; to < n; ++to) {
+    sets.push_back(InterfererSet::Of(std::move(lists[to]), static_cast<int>(n)));
   }
   return sets;
 }

@@ -14,9 +14,10 @@
 //
 // Every topology precomputes the neighborhood indexes the radio hot path
 // runs on: CSR-style audible-neighbor lists (per sender, the links with
-// p > 0 in ascending receiver order) and per-receiver interferer sets (a
-// bitmap of senders loud enough to trigger carrier sense or corrupt a
-// reception). A flat row-major delivery matrix backs O(1) delivery_prob()
+// p > 0 in ascending receiver order) and per-receiver interferer sets (the
+// senders loud enough to trigger carrier sense or corrupt a reception --
+// a sorted sparse list below the audible-density threshold, a bitmap
+// above it). A flat row-major delivery matrix backs O(1) delivery_prob()
 // lookups up to kDenseDeliveryMaxNodes; past that (10k-node benchmarks)
 // the matrix would dominate wall time and memory, so lookups fall back to
 // a binary search of the sender's CSR row.
@@ -93,10 +94,10 @@ struct TestbedTopologyOptions {
 /// Immutable topology: positions, directed delivery probabilities, and the
 /// precomputed neighborhood indexes the radio hot path runs on.
 ///
-/// The generators are size-agnostic: the 128-node `kMaxNodes` cap is a
-/// property of the query-packet wire format, enforced where agents are
-/// installed (harness/scenario layers), not here -- radio-level benchmarks
-/// simulate networks of 10000+ nodes.
+/// The generators are size-agnostic up to the 16-bit NodeId space
+/// (kMaxSupportedNodes) -- radio-level benchmarks simulate networks of
+/// 10000+ nodes, and since the query wire format moved to the variadic
+/// NodeSet codec the agent layers scale with them.
 class Topology {
  public:
   /// One audible directed link in a sender's CSR neighbor list.
@@ -181,17 +182,18 @@ class Topology {
 
   /// Senders whose delivery probability to `to` clears
   /// kInterferenceThreshold: the only nodes whose transmissions `to` can
-  /// carrier-sense or be corrupted by.
-  const DynamicNodeBitmap& interferers(NodeId to) const { return interferers_[to]; }
+  /// carrier-sense or be corrupted by. Sparse-list form below the audible
+  /// density threshold, bitmap form above it (InterfererSet picks).
+  const InterfererSet& interferers(NodeId to) const { return interferers_[to]; }
 
   /// All precomputed interferer sets, indexed by receiver (the radio keeps
   /// one pointer to whichever vector -- this or a custom-threshold rebuild
   /// -- it runs on).
-  const std::vector<DynamicNodeBitmap>& interferer_sets() const { return interferers_; }
+  const std::vector<InterfererSet>& interferer_sets() const { return interferers_; }
 
   /// Per-receiver interferer sets for a non-default threshold (the
   /// precomputed `interferers()` cover the default).
-  std::vector<DynamicNodeBitmap> BuildInterfererSets(double threshold) const;
+  std::vector<InterfererSet> BuildInterfererSets(double threshold) const;
 
   /// Position of `id` in meters.
   const Point& position(NodeId id) const { return positions_[id]; }
@@ -234,7 +236,7 @@ class Topology {
   std::vector<uint32_t> out_offsets_;
   std::vector<Link> out_links_;
   /// Per-receiver interferer sets at kInterferenceThreshold.
-  std::vector<DynamicNodeBitmap> interferers_;
+  std::vector<InterfererSet> interferers_;
 };
 
 }  // namespace scoop::sim

@@ -2,67 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace scoop {
 namespace {
-
-TEST(NodeBitmapTest, StartsEmpty) {
-  NodeBitmap bm;
-  EXPECT_TRUE(bm.Empty());
-  EXPECT_EQ(bm.Count(), 0);
-  for (NodeId id = 0; id < kMaxNodes; ++id) EXPECT_FALSE(bm.Test(id));
-}
-
-TEST(NodeBitmapTest, SetTestClear) {
-  NodeBitmap bm;
-  bm.Set(0);
-  bm.Set(63);
-  bm.Set(64);
-  bm.Set(127);
-  EXPECT_TRUE(bm.Test(0));
-  EXPECT_TRUE(bm.Test(63));
-  EXPECT_TRUE(bm.Test(64));
-  EXPECT_TRUE(bm.Test(127));
-  EXPECT_FALSE(bm.Test(1));
-  EXPECT_EQ(bm.Count(), 4);
-  bm.Clear(63);
-  EXPECT_FALSE(bm.Test(63));
-  EXPECT_EQ(bm.Count(), 3);
-}
-
-TEST(NodeBitmapTest, TestOutOfRangeIsFalse) {
-  NodeBitmap bm;
-  bm.Set(5);
-  EXPECT_FALSE(bm.Test(kMaxNodes));
-  EXPECT_FALSE(bm.Test(kInvalidNodeId));
-}
-
-TEST(NodeBitmapTest, OfVectorRoundTrip) {
-  std::vector<NodeId> ids = {3, 7, 64, 100};
-  NodeBitmap bm = NodeBitmap::Of(ids);
-  EXPECT_EQ(bm.ToVector(), ids);
-}
-
-TEST(NodeBitmapTest, Intersects) {
-  NodeBitmap a = NodeBitmap::Of({1, 2, 3});
-  NodeBitmap b = NodeBitmap::Of({3, 4});
-  NodeBitmap c = NodeBitmap::Of({70, 80});
-  EXPECT_TRUE(a.Intersects(b));
-  EXPECT_FALSE(a.Intersects(c));
-  EXPECT_FALSE(c.Intersects(a));
-  EXPECT_TRUE(c.Intersects(c));
-}
-
-TEST(NodeBitmapTest, UnionWith) {
-  NodeBitmap a = NodeBitmap::Of({1, 2});
-  NodeBitmap b = NodeBitmap::Of({2, 90});
-  a.UnionWith(b);
-  EXPECT_EQ(a.ToVector(), (std::vector<NodeId>{1, 2, 90}));
-}
-
-TEST(NodeBitmapTest, Equality) {
-  EXPECT_EQ(NodeBitmap::Of({5, 6}), NodeBitmap::Of({6, 5}));
-  EXPECT_FALSE(NodeBitmap::Of({5}) == NodeBitmap::Of({6}));
-}
 
 TEST(DynamicNodeBitmapTest, StartsEmptyAndScalesPastWireFormatCap) {
   DynamicNodeBitmap bm(1000);
@@ -131,6 +74,82 @@ TEST(DynamicNodeBitmapTest, Equality) {
   EXPECT_EQ(a, b);
   b.Set(78);
   EXPECT_FALSE(a == b);
+}
+
+TEST(InterfererSetTest, PicksSparseFormBelowDensityThreshold) {
+  // 4 of 1000 audible: far under universe / kSparseDensityDivisor.
+  InterfererSet sparse = InterfererSet::Of({1, 5, 900, 999}, 1000);
+  EXPECT_FALSE(sparse.is_dense());
+  EXPECT_EQ(sparse.Count(), 4);
+  EXPECT_TRUE(sparse.Test(900));
+  EXPECT_FALSE(sparse.Test(901));
+  EXPECT_FALSE(sparse.Test(kInvalidNodeId));
+}
+
+TEST(InterfererSetTest, PicksDenseFormAboveDensityThreshold) {
+  std::vector<NodeId> ids;
+  for (NodeId id = 0; id < 40; id += 2) ids.push_back(id);  // 20 of 100.
+  InterfererSet dense = InterfererSet::Of(ids, 100);
+  EXPECT_TRUE(dense.is_dense());
+  EXPECT_EQ(dense.Count(), 20);
+  EXPECT_TRUE(dense.Test(38));
+  EXPECT_FALSE(dense.Test(39));
+}
+
+TEST(InterfererSetTest, FormsAnswerIdentically) {
+  // Randomized equivalence: both forms of the same member list must agree
+  // on Test/Count/ToVector and visit AnyActive in the same ascending order.
+  Rng rng(0xD1CE, 0);
+  for (int trial = 0; trial < 50; ++trial) {
+    int universe = 64 + static_cast<int>(rng.NextU64() % 1000);
+    std::vector<NodeId> ids;
+    for (int id = 0; id < universe; ++id) {
+      if (rng.UniformDouble() < 0.05) ids.push_back(static_cast<NodeId>(id));
+    }
+    InterfererSet sparse = InterfererSet::OfForm(ids, universe, /*dense=*/false);
+    InterfererSet dense = InterfererSet::OfForm(ids, universe, /*dense=*/true);
+    EXPECT_FALSE(sparse.is_dense());
+    EXPECT_TRUE(dense.is_dense());
+    EXPECT_EQ(sparse.Count(), dense.Count());
+    EXPECT_EQ(sparse.ToVector(), dense.ToVector());
+    for (int probe = 0; probe < universe; ++probe) {
+      ASSERT_EQ(sparse.Test(static_cast<NodeId>(probe)),
+                dense.Test(static_cast<NodeId>(probe)));
+    }
+
+    DynamicNodeBitmap active(universe);
+    for (int id = 0; id < universe; ++id) {
+      if (rng.UniformDouble() < 0.5) active.Set(static_cast<NodeId>(id));
+    }
+    std::vector<NodeId> sparse_visited, dense_visited;
+    bool sparse_hit = sparse.AnyActive(active, [&](NodeId id) {
+      sparse_visited.push_back(id);
+      return false;
+    });
+    bool dense_hit = dense.AnyActive(active, [&](NodeId id) {
+      dense_visited.push_back(id);
+      return false;
+    });
+    EXPECT_EQ(sparse_hit, dense_hit);
+    ASSERT_EQ(sparse_visited, dense_visited);
+  }
+}
+
+TEST(InterfererSetTest, AnyActiveStopsEarlyInBothForms) {
+  std::vector<NodeId> ids = {2, 10, 20, 30};
+  DynamicNodeBitmap active(64);
+  active.Set(10);
+  active.Set(20);
+  for (bool dense : {false, true}) {
+    InterfererSet set = InterfererSet::OfForm(ids, 64, dense);
+    std::vector<NodeId> visited;
+    bool hit = set.AnyActive(active, [&](NodeId id) {
+      visited.push_back(id);
+      return true;  // Stop at the first active interferer.
+    });
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(visited, (std::vector<NodeId>{10}));
+  }
 }
 
 }  // namespace

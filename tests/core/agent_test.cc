@@ -41,7 +41,8 @@ sim::Topology LineTopology(double q = 0.95) {
 
 struct ScoopFixture {
   ScoopFixture(sim::Topology topo, std::function<Value(NodeId, SimTime)> sample_fn,
-               SimTime sampling_start = Seconds(30), uint64_t seed = 11)
+               SimTime sampling_start = Seconds(30), uint64_t seed = 11,
+               std::function<void(AgentConfig&)> tweak = nullptr)
       : network(std::move(topo), MakeOptions(seed)) {
     int n = network.topology().num_nodes();
     for (int i = 0; i < n; ++i) {
@@ -55,6 +56,7 @@ struct ScoopFixture {
       cfg.remap_interval = Seconds(40);
       cfg.telemetry = &telemetry;
       cfg.sample_fn = sample_fn;
+      if (tweak) tweak(cfg);
       if (i == 0) {
         auto app = std::make_unique<ScoopBaseAgent>(cfg);
         base = app.get();
@@ -222,6 +224,91 @@ TEST(ScoopAgentTest, SuppressionSkipsUnchangedIndices) {
   EXPECT_GE(f.telemetry.indices_built, 3u);
   EXPECT_GT(f.telemetry.indices_suppressed, 0u);
   EXPECT_LT(f.telemetry.indices_disseminated, f.telemetry.indices_built);
+}
+
+TEST(ScoopAgentTest, SummaryHistoryAgesIntoBoundedDigest) {
+  // An aggressive window forces aging during a short run: verbatim records
+  // stay bounded to the window while aged epochs land in the digest.
+  const SimTime kWindow = Minutes(2);
+  ScoopFixture f(
+      DenseTopology(),
+      [](NodeId n, SimTime t) { return static_cast<Value>(n * 10 + t % 7); },
+      Seconds(30), /*seed=*/11, [&](AgentConfig& cfg) {
+        cfg.summary_history_window = kWindow;
+        cfg.summary_history_epoch = Seconds(30);
+      });
+  f.network.RunUntil(Minutes(10));
+
+  ASSERT_FALSE(f.base->summary_history().empty());
+  ASSERT_FALSE(f.base->summary_digests().empty());
+  for (const auto& [node, records] : f.base->summary_history()) {
+    // Aging runs on receipt, so the oldest surviving record is at most one
+    // summary interval older than the window.
+    if (!records.empty()) {
+      EXPECT_GE(records.front().received_at,
+                f.network.now() - kWindow - Seconds(20) - Seconds(1))
+          << "node " << node;
+    }
+  }
+  for (const auto& [node, digest] : f.base->summary_digests()) {
+    for (size_t i = 0; i < digest.size(); ++i) {
+      EXPECT_GE(digest[i].records, 1u);
+      EXPECT_LE(digest[i].vmin, digest[i].vmax);
+      if (i > 0) {
+        EXPECT_LT(digest[i - 1].epoch, digest[i].epoch);
+      }
+    }
+  }
+}
+
+TEST(ScoopAgentTest, HistoricalAnswersInsideWindowUnchangedByAging) {
+  // The same seed with and without aging: a historical aggregate whose time
+  // range lies inside the window must answer identically, and a full-range
+  // aggregate still sees the aged extremes through the digest.
+  auto sample = [](NodeId n, SimTime t) {
+    return static_cast<Value>(n * 10 + (t < Minutes(2) ? 5 : 0));
+  };
+  auto run_one = [&](SimTime window) {
+    auto f = std::make_unique<ScoopFixture>(
+        DenseTopology(), sample, Seconds(30), /*seed=*/11, [&](AgentConfig& cfg) {
+          cfg.summary_history_window = window;
+          cfg.summary_history_epoch = Seconds(30);
+        });
+    f->network.RunUntil(Minutes(10));
+    return f;
+  };
+  auto keep_all = run_one(/*window=*/0);  // The paper's never-discard mode.
+  auto aged = run_one(Minutes(2));
+  EXPECT_TRUE(keep_all->base->summary_digests().empty());
+  EXPECT_FALSE(aged->base->summary_digests().empty());
+
+  auto answer = [](ScoopFixture& f, SimTime lo, SimTime hi) {
+    Query query;
+    query.kind = Query::Kind::kMax;
+    query.time_lo = lo;
+    query.time_hi = hi;
+    uint32_t id = 0;
+    f.network.queue().ScheduleAfter(Seconds(1), [&] { id = f.base->IssueQuery(query); });
+    f.network.RunUntil(f.network.now() + Seconds(5));
+    const QueryOutcome* outcome = f.base->outcome(id);
+    EXPECT_NE(outcome, nullptr);
+    if (outcome == nullptr || !outcome->aggregate.has_value()) return Value{-1};
+    EXPECT_TRUE(outcome->answered_from_summaries);
+    return *outcome->aggregate;
+  };
+
+  // In-window historical range: verbatim records answer on both sides.
+  SimTime now = aged->network.now();
+  Value in_window_aged = answer(*aged, now - Minutes(1), now);
+  Value in_window_all = answer(*keep_all, now - Minutes(1), now);
+  EXPECT_EQ(in_window_aged, in_window_all);
+  EXPECT_EQ(in_window_aged, 30);  // Node 3's steady value.
+
+  // Full-range: the early +5 spike survives only via the digest extremes.
+  Value full_aged = answer(*aged, 0, now);
+  Value full_all = answer(*keep_all, 0, now);
+  EXPECT_EQ(full_aged, full_all);
+  EXPECT_EQ(full_aged, 35);
 }
 
 TEST(ScoopAgentTest, RemapNowWithoutStatsIsNoop) {

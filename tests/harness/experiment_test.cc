@@ -47,6 +47,22 @@ TEST(HarnessTest, HashAnalysisAsResultFillsBreakdown) {
   EXPECT_DOUBLE_EQ(r.total, r.data() + r.query_reply());
 }
 
+TEST(HarnessTest, TrialRunsPastTheLegacyQueryBitmapCap) {
+  // The old fixed 128-bit query bitmap capped agent experiments at 128
+  // nodes; the NodeSet codec lifts that. A 144-node lattice exercises the
+  // tagged wire forms through the full query path (issue, flood, reply).
+  ExperimentConfig config;
+  config.preset = TopologyPreset::kGrid;
+  config.num_nodes = 144;
+  config.duration = Minutes(6);
+  config.stabilization = Minutes(2);
+  config.trials = 1;
+  ExperimentResult r = RunTrial(config, /*seed=*/9);
+  EXPECT_GT(r.total, 0);
+  EXPECT_GT(r.queries_issued, 0.0);
+  EXPECT_GT(r.query_success, 0.0);
+}
+
 TEST(HarnessTest, TrialAveragingIsMeanOfTrials) {
   ExperimentConfig config;
   config.num_nodes = 16;

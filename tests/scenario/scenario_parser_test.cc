@@ -71,6 +71,8 @@ TEST(ScenarioParserTest, RoundTripEveryKey) {
       {"query_width_hi", "0.07"},
       {"node_list_fraction", "0.33"},
       {"history_window_seconds", "45"},
+      {"summary_history_window_minutes", "6.5"},
+      {"summary_history_epoch_minutes", "1.5"},
       {"trials", "5"},
       {"seed", "123456789"},
       {"failure_fraction", "0.25"},
@@ -184,9 +186,9 @@ TEST(ScenarioParserTest, BadValueReportsValueColumn) {
 
 TEST(ScenarioParserTest, OutOfRangeValueIsRejected) {
   std::string err = ErrorOf("name = t\nnodes = 1\n");
-  EXPECT_NE(err.find("nodes must be in [2, 128]"), std::string::npos) << err;
-  err = ErrorOf("name = t\nnodes = 500\n");
-  EXPECT_NE(err.find("nodes must be in [2, 128]"), std::string::npos) << err;
+  EXPECT_NE(err.find("nodes must be in [2, 65534]"), std::string::npos) << err;
+  err = ErrorOf("name = t\nnodes = 70000\n");
+  EXPECT_NE(err.find("nodes must be in [2, 65534]"), std::string::npos) << err;
 }
 
 TEST(ScenarioParserTest, BadSweepValueFailsAtParseTime) {

@@ -29,7 +29,7 @@ TEST(ScenarioRegistryTest, EveryRegisteredScenarioParsesAndExpands) {
     EXPECT_GE(runs.value().size(), 1u);
     for (const ExpandedRun& run : runs.value()) {
       EXPECT_GE(run.config.num_nodes, 2);
-      EXPECT_LE(run.config.num_nodes, kMaxNodes);
+      EXPECT_LE(run.config.num_nodes, kMaxSupportedNodes);
       EXPECT_GE(run.config.trials, 1);
     }
   }

@@ -45,7 +45,7 @@ void ExpectIndexesMatchMatrix(const Topology& topo) {
 
   // A custom-threshold rebuild must agree with the matrix the same way.
   constexpr double kCustom = 0.35;
-  std::vector<DynamicNodeBitmap> custom = topo.BuildInterfererSets(kCustom);
+  std::vector<InterfererSet> custom = topo.BuildInterfererSets(kCustom);
   for (int from = 0; from < n; ++from) {
     for (int to = 0; to < n; ++to) {
       double p = topo.delivery_prob(static_cast<NodeId>(from), static_cast<NodeId>(to));
@@ -96,14 +96,40 @@ TEST(TopologyIndexTest, FromMatrixIndexesMatchMatrix) {
 }
 
 TEST(TopologyIndexTest, GeneratorsScalePastTheWireFormatNodeCap) {
-  // The 128-node kMaxNodes cap belongs to the query-packet bitmap, not the
-  // simulator: radio-level benchmarks build 500+-node topologies.
+  // The old 128-node cap came from the query-packet bitmap, now gone:
+  // radio-level benchmarks build 500+-node topologies and the NodeSet codec
+  // carries the query sets above them.
   GridTopologyOptions opts;
   opts.num_nodes = 500;
   opts.seed = 2;
   Topology topo = Topology::MakeGrid(opts);
   EXPECT_EQ(topo.num_nodes(), 500);
   ExpectIndexesMatchMatrix(topo);
+}
+
+TEST(TopologyIndexTest, InterfererFormTracksAudibleDensity) {
+  // The equivalence checks above run against whichever form the density
+  // heuristic picks; this pins that the corpus actually exercises both.
+  // A 500-node grid hears a constant-degree neighborhood -> sparse lists.
+  GridTopologyOptions grid;
+  grid.num_nodes = 500;
+  grid.seed = 2;
+  Topology sparse_topo = Topology::MakeGrid(grid);
+  int sparse_count = 0;
+  for (const InterfererSet& set : sparse_topo.interferer_sets()) {
+    if (!set.is_dense()) ++sparse_count;
+  }
+  EXPECT_GT(sparse_count, 400);
+
+  // A fully-connected strong-link matrix is maximally dense -> bitmaps.
+  const int n = 32;
+  std::vector<Point> positions(n);
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.9));
+  for (int i = 0; i < n; ++i) m[i][i] = 0.0;
+  Topology dense_topo = Topology::FromMatrix(positions, m);
+  for (const InterfererSet& set : dense_topo.interferer_sets()) {
+    EXPECT_TRUE(set.is_dense());
+  }
 }
 
 }  // namespace

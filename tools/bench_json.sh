@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Standing perf harness: runs the radio, event-queue, xmits-estimator, and
-# topology microbenchmarks plus two campaign perf probes (wall-clock /
-# events-per-second), and merges everything into one BENCH_radio.json so
-# the perf trajectory is machine-tracked across PRs. Compare two points
-# with tools/bench_compare.py.
+# Standing perf harness: runs the radio, event-queue, xmits-estimator,
+# topology, and node-set-codec microbenchmarks plus three campaign perf
+# probes (wall-clock / events-per-second), and merges everything into one
+# BENCH_radio.json so the perf trajectory is machine-tracked across PRs.
+# Compare two points with tools/bench_compare.py.
 #
 # Usage: tools/bench_json.sh [build-dir] [output.json]
 #   build-dir   defaults to build-release (cmake --preset release)
@@ -23,7 +23,7 @@ filter="${BENCH_FILTER:-}"
 
 bench_dir="${repo_root}/${build_dir}/bench"
 tools_dir="${repo_root}/${build_dir}/tools"
-micro_benches=(micro_radio micro_event_queue micro_xmits micro_topology)
+micro_benches=(micro_radio micro_event_queue micro_xmits micro_topology micro_nodeset)
 for name in "${micro_benches[@]}"; do
   if [[ ! -x "${bench_dir}/bench_${name}" ]]; then
     echo "error: ${bench_dir}/bench_${name} not built (run: cmake --preset release && cmake --build --preset release)" >&2
@@ -46,12 +46,15 @@ for name in "${micro_benches[@]}"; do
       --benchmark_out="${tmp}/${name}.json" >&2
 done
 # Campaign probes: smoke_tiny (2 nodes, seconds of sim time) keeps the old
-# trajectory comparable; grid_dense (121-node lattice, three policies, the
-# largest deployment the query bitmap admits) is the campaign-scale probe.
+# trajectory comparable; grid_dense (121-node lattice, three policies) is
+# the mid-scale probe; grid_1024 (32x32 lattice, Scoop policy) is the
+# first agent-level point past the old 128-node query-bitmap cap.
 "${tools_dir}/scoop_campaign" --scenario=smoke_tiny --threads=1 --quiet \
     --perf-json="${tmp}/campaign_smoke.json"
 "${tools_dir}/scoop_campaign" --scenario=grid_dense --threads=1 --quiet \
     --perf-json="${tmp}/campaign_grid_dense.json"
+"${tools_dir}/scoop_campaign" --scenario=grid_1024 --threads=1 --quiet \
+    --perf-json="${tmp}/campaign_grid_1024.json"
 
 commit="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
@@ -68,8 +71,10 @@ doc = {
     "micro_event_queue": json.load(open(f"{tmp}/micro_event_queue.json")),
     "micro_xmits": json.load(open(f"{tmp}/micro_xmits.json")),
     "micro_topology": json.load(open(f"{tmp}/micro_topology.json")),
+    "micro_nodeset": json.load(open(f"{tmp}/micro_nodeset.json")),
     "campaign_smoke": json.load(open(f"{tmp}/campaign_smoke.json")),
     "campaign_grid_dense": json.load(open(f"{tmp}/campaign_grid_dense.json")),
+    "campaign_grid_1024": json.load(open(f"{tmp}/campaign_grid_1024.json")),
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=1)
