@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -13,6 +14,7 @@
 #include "core/scoop_node_agent.h"
 #include "metrics/message_stats.h"
 #include "sim/network.h"
+#include "sim/sharded_engine.h"
 #include "sim/topology.h"
 
 namespace scoop::harness {
@@ -72,80 +74,73 @@ struct BaseHandle {
   std::function<uint32_t(const Query&)> issue;
 };
 
-BaseHandle InstallAgents(sim::Network* network, const ExperimentConfig& config,
-                         metrics::Telemetry* telemetry, workload::DataSource* source) {
+/// Installs one base agent (node 0) plus num_nodes-1 node agents through
+/// `set_app(id, app)`, pulling each agent's telemetry sink from
+/// `telemetry_for(id)` (one global sink for the sequential engine, the
+/// owning shard's sink for the sharded one).
+template <typename BaseT, typename NodeT, typename SetApp, typename TelemetryFor>
+BaseHandle InstallPolicy(const ExperimentConfig& config, SetApp&& set_app,
+                         TelemetryFor&& telemetry_for, workload::DataSource* source) {
   BaseHandle handle;
-  int n = config.num_nodes;
-  switch (config.policy) {
-    case Policy::kScoop: {
-      auto base =
-          std::make_unique<core::ScoopBaseAgent>(MakeAgentConfig(config, 0, telemetry, source));
-      auto* base_ptr = base.get();
-      handle.agent = base_ptr;
-      handle.issue = [base_ptr](const Query& q) { return base_ptr->IssueQuery(q); };
-      network->SetApp(0, std::move(base));
-      for (int i = 1; i < n; ++i) {
-        network->SetApp(static_cast<NodeId>(i),
-                        std::make_unique<core::ScoopNodeAgent>(MakeAgentConfig(
-                            config, static_cast<NodeId>(i), telemetry, source)));
-      }
-      break;
-    }
-    case Policy::kLocal: {
-      auto base =
-          std::make_unique<core::LocalBaseAgent>(MakeAgentConfig(config, 0, telemetry, source));
-      auto* base_ptr = base.get();
-      handle.agent = base_ptr;
-      handle.issue = [base_ptr](const Query& q) { return base_ptr->IssueQuery(q); };
-      network->SetApp(0, std::move(base));
-      for (int i = 1; i < n; ++i) {
-        network->SetApp(static_cast<NodeId>(i),
-                        std::make_unique<core::LocalNodeAgent>(MakeAgentConfig(
-                            config, static_cast<NodeId>(i), telemetry, source)));
-      }
-      break;
-    }
-    case Policy::kBase: {
-      auto base = std::make_unique<core::BasePolicyBaseAgent>(
-          MakeAgentConfig(config, 0, telemetry, source));
-      auto* base_ptr = base.get();
-      handle.agent = base_ptr;
-      handle.issue = [base_ptr](const Query& q) { return base_ptr->IssueQuery(q); };
-      network->SetApp(0, std::move(base));
-      for (int i = 1; i < n; ++i) {
-        network->SetApp(static_cast<NodeId>(i),
-                        std::make_unique<core::BasePolicyNodeAgent>(MakeAgentConfig(
-                            config, static_cast<NodeId>(i), telemetry, source)));
-      }
-      break;
-    }
-    case Policy::kHashSim: {
-      auto base =
-          std::make_unique<core::HashBaseAgent>(MakeAgentConfig(config, 0, telemetry, source));
-      auto* base_ptr = base.get();
-      handle.agent = base_ptr;
-      handle.issue = [base_ptr](const Query& q) { return base_ptr->IssueQuery(q); };
-      network->SetApp(0, std::move(base));
-      for (int i = 1; i < n; ++i) {
-        network->SetApp(static_cast<NodeId>(i),
-                        std::make_unique<core::HashNodeAgent>(MakeAgentConfig(
-                            config, static_cast<NodeId>(i), telemetry, source)));
-      }
-      break;
-    }
-    case Policy::kHashAnalytical:
-      SCOOP_CHECK(false);  // Handled by HashAnalysisAsResult, not simulation.
+  auto base = std::make_unique<BaseT>(MakeAgentConfig(config, 0, telemetry_for(0), source));
+  auto* base_ptr = base.get();
+  handle.agent = base_ptr;
+  handle.issue = [base_ptr](const Query& q) { return base_ptr->IssueQuery(q); };
+  set_app(0, std::move(base));
+  for (int i = 1; i < config.num_nodes; ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    set_app(id, std::make_unique<NodeT>(MakeAgentConfig(config, id, telemetry_for(id), source)));
   }
   return handle;
 }
+
+template <typename SetApp, typename TelemetryFor>
+BaseHandle InstallAgentsGeneric(const ExperimentConfig& config, SetApp set_app,
+                                TelemetryFor telemetry_for, workload::DataSource* source) {
+  switch (config.policy) {
+    case Policy::kScoop:
+      return InstallPolicy<core::ScoopBaseAgent, core::ScoopNodeAgent>(
+          config, set_app, telemetry_for, source);
+    case Policy::kLocal:
+      return InstallPolicy<core::LocalBaseAgent, core::LocalNodeAgent>(
+          config, set_app, telemetry_for, source);
+    case Policy::kBase:
+      return InstallPolicy<core::BasePolicyBaseAgent, core::BasePolicyNodeAgent>(
+          config, set_app, telemetry_for, source);
+    case Policy::kHashSim:
+      return InstallPolicy<core::HashBaseAgent, core::HashNodeAgent>(
+          config, set_app, telemetry_for, source);
+    case Policy::kHashAnalytical:
+      SCOOP_CHECK(false);  // Handled by HashAnalysisAsResult, not simulation.
+  }
+  return {};
+}
+
+BaseHandle InstallAgents(sim::Network* network, const ExperimentConfig& config,
+                         metrics::Telemetry* telemetry, workload::DataSource* source) {
+  return InstallAgentsGeneric(
+      config,
+      [network](NodeId id, std::unique_ptr<sim::App> app) {
+        network->SetApp(id, std::move(app));
+      },
+      [telemetry](NodeId) { return telemetry; }, source);
+}
+
+/// The two engine hooks QueryDriver needs, so one driver serves both the
+/// sequential Network and the sharded engine (where its events run on the
+/// shard that owns the basestation).
+struct DriverOps {
+  std::function<SimTime()> now;
+  std::function<void(SimTime, SmallCallback)> schedule_at;
+};
 
 /// Generates the §6 query workload: every query_interval, a value-range
 /// query over 1-5% of the domain, about the recent past.
 class QueryDriver {
  public:
-  QueryDriver(sim::Network* network, const ExperimentConfig& config, BaseHandle handle,
+  QueryDriver(DriverOps ops, const ExperimentConfig& config, BaseHandle handle,
               ValueRange domain, uint64_t seed)
-      : network_(network),
+      : ops_(std::move(ops)),
         config_(config),
         handle_(std::move(handle)),
         domain_(domain),
@@ -163,7 +158,7 @@ class QueryDriver {
  private:
   void ScheduleNext(SimTime at) {
     if (at > config_.duration - Seconds(2)) return;
-    network_->queue().ScheduleAt(at, [this, at] {
+    ops_.schedule_at(at, [this, at] {
       IssueOne();
       // Burst mode: the remaining burst_size-1 queries follow at
       // burst-spacing offsets (burst_size == 1 schedules nothing extra, so
@@ -171,14 +166,14 @@ class QueryDriver {
       for (int k = 1; k < config_.query_burst_size; ++k) {
         SimTime burst_at = at + k * config_.query_burst_spacing;
         if (burst_at > config_.duration - Seconds(2)) break;
-        network_->queue().ScheduleAt(burst_at, [this] { IssueOne(); });
+        ops_.schedule_at(burst_at, [this] { IssueOne(); });
       }
       ScheduleNext(at + config_.query_interval);
     });
   }
 
   void IssueOne() {
-    SimTime now = network_->now();
+    SimTime now = ops_.now();
     Query query;
     query.time_lo = std::max<SimTime>(0, now - config_.query_history_window);
     query.time_hi = now;
@@ -214,7 +209,7 @@ class QueryDriver {
     }
   }
 
-  sim::Network* network_;
+  DriverOps ops_;
   ExperimentConfig config_;
   BaseHandle handle_;
   ValueRange domain_;
@@ -224,93 +219,44 @@ class QueryDriver {
   uint64_t last_targets_total_ = 0;
 };
 
-}  // namespace
+/// One failure-injection wave: these victims lose their radios at `at`.
+struct FailureWave {
+  SimTime at;
+  std::vector<NodeId> victims;
+};
 
-const char* TopologyPresetName(TopologyPreset preset) {
-  switch (preset) {
-    case TopologyPreset::kTestbed:
-      return "testbed";
-    case TopologyPreset::kRandom:
-      return "random";
-    case TopologyPreset::kGrid:
-      return "grid";
+/// Computes the failure waves for (config, seed). Victims are drawn without
+/// replacement from one shuffled order, so wave 0 kills exactly the set the
+/// single-event configuration always killed.
+std::vector<FailureWave> BuildFailureWaves(const ExperimentConfig& config, uint64_t seed) {
+  std::vector<FailureWave> waves;
+  if (config.node_failure_fraction <= 0) return waves;
+  Rng failure_rng(MixSeed(seed, 0xDEAD));
+  std::vector<NodeId> victims;
+  for (int i = 1; i < config.num_nodes; ++i) victims.push_back(static_cast<NodeId>(i));
+  failure_rng.Shuffle(victims.begin(), victims.end());
+  int per_wave = static_cast<int>(config.node_failure_fraction * (config.num_nodes - 1));
+  per_wave = std::clamp(per_wave, 0, config.num_nodes - 1);
+  size_t begin = 0;
+  for (int w = 0; w < std::max(1, config.failure_wave_count); ++w) {
+    size_t end = std::min(victims.size(), begin + static_cast<size_t>(per_wave));
+    if (begin >= end) break;
+    waves.push_back(
+        FailureWave{config.failure_time + w * config.failure_wave_interval,
+                    std::vector<NodeId>(victims.begin() + static_cast<ptrdiff_t>(begin),
+                                        victims.begin() + static_cast<ptrdiff_t>(end))});
+    begin = end;
   }
-  return "?";
+  return waves;
 }
 
-const char* PolicyName(Policy policy) {
-  switch (policy) {
-    case Policy::kScoop:
-      return "scoop";
-    case Policy::kLocal:
-      return "local";
-    case Policy::kBase:
-      return "base";
-    case Policy::kHashAnalytical:
-      return "hash";
-    case Policy::kHashSim:
-      return "hash-sim";
-  }
-  return "?";
-}
-
-ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
-  SCOOP_CHECK(config.policy != Policy::kHashAnalytical);
-  SCOOP_CHECK_GE(config.num_nodes, 2);
-  SCOOP_CHECK_LE(config.num_nodes, kMaxSupportedNodes);
-
-  sim::Topology topology = MakeTopology(config, seed);
-  sim::NetworkOptions net_opts;
-  net_opts.seed = seed;
-  sim::Network network(topology, net_opts);
-
-  metrics::MessageStats stats(config.num_nodes);
-  network.set_transmit_observer(
-      [&stats](NodeId src, const Packet& pkt, bool retx) { stats.OnTransmit(src, pkt, retx); });
-  network.set_deliver_observer(
-      [&stats](NodeId dst, const Packet& pkt, bool addressed) {
-        stats.OnDeliver(dst, pkt, addressed);
-      });
-  network.set_drop_observer(
-      [&stats](NodeId src, const Packet& pkt, sim::DropReason) { stats.OnDrop(src, pkt); });
-
-  metrics::Telemetry telemetry;
-  std::unique_ptr<workload::DataSource> source = workload::MakeDataSource(
-      config.source, config.source_options, topology.positions(), seed);
-  BaseHandle handle = InstallAgents(&network, config, &telemetry, source.get());
-
-  QueryDriver queries(&network, config, handle, source->domain(), seed);
-  network.Start();
-  queries.Start();
-
-  // Failure injection: kill random subsets of sensor nodes mid-run, in one
-  // or more waves. Victims are drawn without replacement from one shuffled
-  // order, so wave 0 kills exactly the set the single-event configuration
-  // always killed.
-  if (config.node_failure_fraction > 0) {
-    Rng failure_rng(MixSeed(seed, 0xDEAD));
-    std::vector<NodeId> victims;
-    for (int i = 1; i < config.num_nodes; ++i) victims.push_back(static_cast<NodeId>(i));
-    failure_rng.Shuffle(victims.begin(), victims.end());
-    int per_wave = static_cast<int>(config.node_failure_fraction * (config.num_nodes - 1));
-    per_wave = std::clamp(per_wave, 0, config.num_nodes - 1);
-    size_t begin = 0;
-    for (int w = 0; w < std::max(1, config.failure_wave_count); ++w) {
-      size_t end = std::min(victims.size(), begin + static_cast<size_t>(per_wave));
-      if (begin >= end) break;
-      std::vector<NodeId> wave(victims.begin() + static_cast<ptrdiff_t>(begin),
-                               victims.begin() + static_cast<ptrdiff_t>(end));
-      network.queue().ScheduleAt(config.failure_time + w * config.failure_wave_interval,
-                                 [&network, wave] {
-                                   for (NodeId v : wave) network.SetNodeAlive(v, false);
-                                 });
-      begin = end;
-    }
-  }
-
-  network.RunUntil(config.duration);
-
-  // --- Collect ---
+/// Post-run metric collection shared by the sequential and sharded trial
+/// paths. `processed` is the engine's total executed-event count.
+ExperimentResult CollectResult(const ExperimentConfig& config,
+                               const metrics::MessageStats& stats,
+                               const metrics::Telemetry& telemetry,
+                               double avg_pct_nodes_queried, AgentBase* base_agent,
+                               uint64_t processed) {
   ExperimentResult r;
   for (int t = 0; t < kNumPacketTypes; ++t) {
     const metrics::TypeCounters& c = stats.ByType(static_cast<PacketType>(t));
@@ -331,10 +277,10 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   r.indices_built = static_cast<double>(telemetry.indices_built);
   r.indices_disseminated = static_cast<double>(telemetry.indices_disseminated);
   r.indices_suppressed = static_cast<double>(telemetry.indices_suppressed);
-  r.avg_pct_nodes_queried = queries.AvgPctNodesQueried();
+  r.avg_pct_nodes_queried = avg_pct_nodes_queried;
 
   if (config.policy == Policy::kScoop) {
-    auto* scoop_base = dynamic_cast<core::ScoopBaseAgent*>(handle.agent);
+    auto* scoop_base = dynamic_cast<core::ScoopBaseAgent*>(base_agent);
     if (scoop_base != nullptr && !scoop_base->index_history().empty()) {
       const core::StorageIndex& index = scoop_base->index_history().back().index;
       int64_t domain =
@@ -371,8 +317,165 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   r.avg_node_lifetime_days = sum_lifetime / std::max(1, config.num_nodes - 1);
   double root_joules = energy.RadioEnergyJ(stats.WorkloadBytesBy(0), 0);
   r.root_lifetime_days = energy.LifetimeDays(root_joules, config.duration);
-  r.sim_events = static_cast<double>(network.queue().processed());
+  r.sim_events = static_cast<double>(processed);
   return r;
+}
+
+}  // namespace
+
+const char* TopologyPresetName(TopologyPreset preset) {
+  switch (preset) {
+    case TopologyPreset::kTestbed:
+      return "testbed";
+    case TopologyPreset::kRandom:
+      return "random";
+    case TopologyPreset::kGrid:
+      return "grid";
+  }
+  return "?";
+}
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kScoop:
+      return "scoop";
+    case Policy::kLocal:
+      return "local";
+    case Policy::kBase:
+      return "base";
+    case Policy::kHashAnalytical:
+      return "hash";
+    case Policy::kHashSim:
+      return "hash-sim";
+  }
+  return "?";
+}
+
+ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
+  if (config.shards != 1) return RunShardedTrial(config, seed, ResolvedShards(config));
+  SCOOP_CHECK(config.policy != Policy::kHashAnalytical);
+  SCOOP_CHECK_GE(config.num_nodes, 2);
+  SCOOP_CHECK_LE(config.num_nodes, kMaxSupportedNodes);
+
+  sim::Topology topology = MakeTopology(config, seed);
+  sim::NetworkOptions net_opts;
+  net_opts.seed = seed;
+  sim::Network network(topology, net_opts);
+
+  metrics::MessageStats stats(config.num_nodes);
+  network.set_transmit_observer(
+      [&stats](NodeId src, const Packet& pkt, bool retx) { stats.OnTransmit(src, pkt, retx); });
+  network.set_deliver_observer(
+      [&stats](NodeId dst, const Packet& pkt, bool addressed) {
+        stats.OnDeliver(dst, pkt, addressed);
+      });
+  network.set_drop_observer(
+      [&stats](NodeId src, const Packet& pkt, sim::DropReason) { stats.OnDrop(src, pkt); });
+
+  metrics::Telemetry telemetry;
+  std::unique_ptr<workload::DataSource> source = workload::MakeDataSource(
+      config.source, config.source_options, topology.positions(), seed);
+  BaseHandle handle = InstallAgents(&network, config, &telemetry, source.get());
+
+  DriverOps ops;
+  ops.now = [&network] { return network.now(); };
+  ops.schedule_at = [&network](SimTime at, SmallCallback fn) {
+    network.queue().ScheduleAt(at, std::move(fn));
+  };
+  QueryDriver queries(std::move(ops), config, handle, source->domain(), seed);
+  network.Start();
+  queries.Start();
+
+  // Failure injection: kill random subsets of sensor nodes mid-run, in one
+  // or more waves.
+  for (const FailureWave& wave : BuildFailureWaves(config, seed)) {
+    std::vector<NodeId> victims = wave.victims;
+    network.queue().ScheduleAt(wave.at, [&network, victims = std::move(victims)] {
+      for (NodeId v : victims) network.SetNodeAlive(v, false);
+    });
+  }
+
+  network.RunUntil(config.duration);
+
+  return CollectResult(config, stats, telemetry, queries.AvgPctNodesQueried(), handle.agent,
+                       network.queue().processed());
+}
+
+int ResolvedShards(const ExperimentConfig& config) {
+  if (config.shards != 0) return std::clamp(config.shards, 1, 64);
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw == 0 ? 1 : static_cast<int>(hw), 1, 8);
+}
+
+ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, int shards) {
+  SCOOP_CHECK(config.policy != Policy::kHashAnalytical);
+  SCOOP_CHECK_GE(config.num_nodes, 2);
+  SCOOP_CHECK_LE(config.num_nodes, kMaxSupportedNodes);
+  SCOOP_CHECK_GE(shards, 1);
+
+  sim::ShardedEngineOptions opts;
+  opts.seed = seed;
+  opts.shards = shards;
+  sim::ShardedEngine engine(MakeTopology(config, seed), opts);
+  const int k = engine.num_shards();
+
+  // One MessageStats/Telemetry per shard -- observers and agents touch only
+  // their own shard's sink, so shards never contend -- merged after the run.
+  // Every counter is a sum, so the merged totals are K-invariant even
+  // though the split across sinks is not.
+  std::vector<metrics::MessageStats> shard_stats;
+  shard_stats.reserve(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) shard_stats.emplace_back(config.num_nodes);
+  std::vector<metrics::Telemetry> shard_telemetry(static_cast<size_t>(k));
+
+  for (int s = 0; s < k; ++s) {
+    metrics::MessageStats* ms = &shard_stats[static_cast<size_t>(s)];
+    engine.set_transmit_observer(s, [ms](NodeId src, const Packet& pkt, bool retx) {
+      ms->OnTransmit(src, pkt, retx);
+    });
+    engine.set_deliver_observer(s, [ms](NodeId dst, const Packet& pkt, bool addressed) {
+      ms->OnDeliver(dst, pkt, addressed);
+    });
+    engine.set_drop_observer(s, [ms](NodeId src, const Packet& pkt, sim::DropReason) {
+      ms->OnDrop(src, pkt);
+    });
+  }
+
+  std::unique_ptr<workload::DataSource> source = workload::MakeKeyedDataSource(
+      config.source, config.source_options, engine.topology().positions(), seed);
+  BaseHandle handle = InstallAgentsGeneric(
+      config,
+      [&engine](NodeId id, std::unique_ptr<sim::App> app) { engine.SetApp(id, std::move(app)); },
+      [&engine, &shard_telemetry](NodeId id) {
+        return &shard_telemetry[static_cast<size_t>(engine.shard_of(id))];
+      },
+      source.get());
+
+  DriverOps ops;
+  ops.now = [&engine] { return engine.DriverNow(); };
+  ops.schedule_at = [&engine](SimTime at, SmallCallback fn) {
+    engine.ScheduleDriver(at, std::move(fn));
+  };
+  QueryDriver queries(std::move(ops), config, handle, source->domain(), seed);
+
+  // Failure waves go through the engine's alive-event channel, which must
+  // be primed before Start() so every shard knows its next power toggle
+  // (the lookahead floor that makes aborts conservative).
+  for (const FailureWave& wave : BuildFailureWaves(config, seed)) {
+    for (NodeId v : wave.victims) engine.ScheduleAlive(wave.at, v, false);
+  }
+
+  engine.Start();
+  queries.Start();
+  engine.RunUntil(config.duration);
+
+  metrics::MessageStats stats = std::move(shard_stats[0]);
+  for (int s = 1; s < k; ++s) stats.MergeFrom(shard_stats[static_cast<size_t>(s)]);
+  metrics::Telemetry telemetry = shard_telemetry[0];
+  for (int s = 1; s < k; ++s) telemetry.MergeFrom(shard_telemetry[static_cast<size_t>(s)]);
+
+  return CollectResult(config, stats, telemetry, queries.AvgPctNodesQueried(), handle.agent,
+                       engine.processed());
 }
 
 ExperimentResult RunAnyTrial(const ExperimentConfig& config, uint64_t seed) {

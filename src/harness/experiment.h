@@ -85,6 +85,15 @@ struct ExperimentConfig {
   int trials = 3;
   uint64_t seed = 42;
 
+  /// Shards (threads) one trial is split across by the conservative
+  /// parallel engine (sim/sharded_engine.h). 1 = the sequential Network
+  /// engine (the long-standing golden-pinned path); >= 2 = the sharded
+  /// engine at that K; 0 = auto (sharded engine, K from the hardware).
+  /// Sharded results are identical for every K >= 1, but the sharded
+  /// engine's keyed-RNG MAC is a (deliberate) different random universe
+  /// than the sequential engine, so 1 and 2 differ numerically.
+  int shards = 1;
+
   /// Failure injection: this fraction of non-base nodes loses its radio at
   /// `failure_time` (0 = no failures). Models the §2.1 observation that
   /// nodes fail or move out of range mid-deployment.
@@ -170,8 +179,19 @@ struct ExperimentResult {
 /// Runs `config.trials` trials (seeds derived from config.seed) and averages.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
-/// Runs a single trial with an explicit seed.
+/// Runs a single trial with an explicit seed. Dispatches to the sharded
+/// engine when config.shards != 1 (see ExperimentConfig::shards).
 ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed);
+
+/// Runs a single trial on the sharded engine with an explicit shard count
+/// (>= 1). Produces identical results for every `shards` value; the K=1
+/// run is the determinism reference the equivalence suite pins against.
+ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed,
+                                 int shards);
+
+/// The shard count `config.shards` resolves to: the value itself, or the
+/// hardware concurrency (clamped to [1, 8]) when 0 (auto).
+int ResolvedShards(const ExperimentConfig& config);
 
 /// Runs one trial of any policy with an explicit seed: simulation for the
 /// simulated policies, the closed-form model for kHashAnalytical. Reentrant

@@ -50,6 +50,31 @@ void MessageStats::OnDrop(NodeId src, const Packet& packet) {
   ++by_type_[static_cast<size_t>(packet.hdr.type)].dropped;
 }
 
+void MessageStats::MergeFrom(const MessageStats& other) {
+  SCOOP_CHECK_EQ(num_nodes(), other.num_nodes());
+  for (size_t t = 0; t < by_type_.size(); ++t) {
+    TypeCounters& a = by_type_[t];
+    const TypeCounters& b = other.by_type_[t];
+    a.sent += b.sent;
+    a.retransmissions += b.retransmissions;
+    a.delivered += b.delivered;
+    a.snooped += b.snooped;
+    a.dropped += b.dropped;
+    a.bytes_sent += b.bytes_sent;
+  }
+  for (size_t i = 0; i < per_node_sent_.size(); ++i) {
+    per_node_sent_[i] += other.per_node_sent_[i];
+    per_node_recv_[i] += other.per_node_recv_[i];
+    per_node_bytes_sent_[i] += other.per_node_bytes_sent_[i];
+    per_node_bytes_recv_[i] += other.per_node_bytes_recv_[i];
+    per_node_workload_bytes_[i] += other.per_node_workload_bytes_[i];
+    for (size_t t = 0; t < per_node_sent_by_type_[i].size(); ++t) {
+      per_node_sent_by_type_[i][t] += other.per_node_sent_by_type_[i][t];
+      per_node_recv_by_type_[i][t] += other.per_node_recv_by_type_[i][t];
+    }
+  }
+}
+
 uint64_t MessageStats::TotalSent() const {
   uint64_t total = 0;
   for (const TypeCounters& c : by_type_) total += c.sent;

@@ -79,6 +79,11 @@ class MessageStats {
 
   int num_nodes() const { return static_cast<int>(per_node_sent_.size()); }
 
+  /// Accumulates another instance's counters into this one (elementwise
+  /// sums; both must cover the same node count). Sharded trials keep one
+  /// MessageStats per shard and merge after the run.
+  void MergeFrom(const MessageStats& other);
+
   /// Multi-line human-readable report.
   std::string ToString() const;
 

@@ -58,6 +58,33 @@ struct Telemetry {
   uint64_t summaries_sent = 0;
   uint64_t summaries_received_at_base = 0;
 
+  /// Accumulates another run's (or another shard's) counters into this
+  /// one. Sharded trials keep one Telemetry per shard (each mutated only
+  /// by its shard's thread) and merge after the run.
+  void MergeFrom(const Telemetry& other) {
+    readings_produced += other.readings_produced;
+    readings_stored += other.readings_stored;
+    stored_at_owner += other.stored_at_owner;
+    stored_at_base_fallback += other.stored_at_base_fallback;
+    stored_local_no_index += other.stored_local_no_index;
+    readings_lost += other.readings_lost;
+    data_packets_originated += other.data_packets_originated;
+    data_packets_forwarded += other.data_packets_forwarded;
+    readings_sent_remote += other.readings_sent_remote;
+    queries_issued += other.queries_issued;
+    query_targets_total += other.query_targets_total;
+    replies_received += other.replies_received;
+    tuples_returned += other.tuples_returned;
+    queries_answered_from_summaries += other.queries_answered_from_summaries;
+    queries_target_set_unsendable += other.queries_target_set_unsendable;
+    indices_built += other.indices_built;
+    indices_disseminated += other.indices_disseminated;
+    indices_suppressed += other.indices_suppressed;
+    store_local_decisions += other.store_local_decisions;
+    summaries_sent += other.summaries_sent;
+    summaries_received_at_base += other.summaries_received_at_base;
+  }
+
   /// Fraction of produced readings that were durably stored.
   double StorageSuccessRate() const {
     return readings_produced == 0

@@ -111,6 +111,14 @@ Result<CampaignResult> RunCampaign(const Scenario& scenario, const CampaignOptio
 
   int threads = options.threads;
   if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  // A sharded trial spins up its own ResolvedShards worker threads, so
+  // divide the worker budget by the widest trial in the grid to keep the
+  // total thread count near the requested budget.
+  int widest = 1;
+  for (const ExpandedRun& run : runs) {
+    widest = std::max(widest, harness::ResolvedShards(run.config));
+  }
+  threads = std::max(1, threads / widest);
   threads = std::clamp(threads, 1, static_cast<int>(units.size()));
 
   auto wall_start = std::chrono::steady_clock::now();

@@ -345,6 +345,11 @@ const KeyInfo kKeys[] = {
        return Status::OK();
      },
      [](const ExperimentConfig& c) { return std::to_string(c.seed); }},
+    {"shards",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreInt(v, &c->shards, 0, 64, "shards");
+     },
+     [](const ExperimentConfig& c) { return std::to_string(c.shards); }},
     {"failure_fraction",
      [](ExperimentConfig* c, std::string_view v) {
        return StoreDouble(v, &c->node_failure_fraction, 0.0, 1.0, "failure_fraction");

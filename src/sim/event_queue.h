@@ -35,6 +35,17 @@ inline constexpr EventId kInvalidEventId = 0;
 
 /// Min-heap of timed callbacks. Ties in time are broken by scheduling order,
 /// making runs bit-reproducible.
+///
+/// ORDERING INVARIANT (load-bearing; regression-tested): events with equal
+/// timestamps run strictly in the order they were scheduled -- FIFO by
+/// (time, schedule sequence). This covers zero-delay events too: a handler
+/// that schedules at the current time runs that event after every
+/// already-queued event at the same instant, never before, and never
+/// starves later-scheduled peers. Cancel/re-schedule assigns a fresh
+/// sequence number, moving the event to the back of its timestamp class.
+/// Protocol code (Trickle suppression windows, MAC backoff expiry, ack
+/// timeouts) and the sharded engine's K=1 reference both lean on this;
+/// changing the tie-break silently changes every golden.
 class EventQueue {
  public:
   using Callback = SmallCallback;

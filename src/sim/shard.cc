@@ -1,0 +1,483 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scoop::sim {
+
+// ---------------------------------------------------------------------------
+// ShardQueue
+// ---------------------------------------------------------------------------
+
+ShardQueue::ShardQueue(uint32_t num_origins) : counters_(num_origins, 0) {
+  SCOOP_CHECK(num_origins <= (1u << 18));  // Origin field is 18 bits wide.
+}
+
+EventId ShardQueue::ScheduleInternal(SimTime at, uint64_t ord, NodeId sender,
+                                     uint32_t gen, Callback fn) {
+  SCOOP_CHECK(at >= now_);
+  uint32_t slot = AcquireSlot();
+  uint64_t key = (++next_seq_ << kSlotBits) | slot;
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.key = key;
+  s.sender = sender;
+  s.gen = gen;
+  heap_.push_back(HeapEntry{at, ord, key});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return key;
+}
+
+uint32_t ShardQueue::AcquireSlot() {
+  if (free_head_ != kNilSlot) {
+    uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  SCOOP_CHECK(slots_.size() < kSlotMask);  // kNilSlot stays reserved.
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void ShardQueue::ReleaseSlot(uint32_t index) {
+  Slot& s = slots_[index];
+  s.fn = nullptr;
+  s.key = 0;
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+void ShardQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  uint32_t slot = static_cast<uint32_t>(id & kSlotMask);
+  if (slot >= slots_.size() || slots_[slot].key != id) return;  // Stale handle.
+  ReleaseSlot(slot);
+  --live_;
+  ++stale_;
+  MaybeCompact();
+}
+
+void ShardQueue::SkimStale() {
+  while (!heap_.empty() && !IsLive(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    --stale_;
+  }
+}
+
+void ShardQueue::MaybeCompact() {
+  // Amortized O(1) per cancel, same policy as EventQueue.
+  if (stale_ < 64 || stale_ * 2 <= heap_.size()) return;
+  size_t out = 0;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (IsLive(heap_[i])) heap_[out++] = heap_[i];
+  }
+  heap_.resize(out);
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  stale_ = 0;
+}
+
+SimTime ShardQueue::HeadTime() {
+  SkimStale();
+  return heap_.empty() ? kSimTimeHorizon : heap_.front().at;
+}
+
+bool ShardQueue::HeadFinishInfo(NodeId* sender, uint32_t* gen) {
+  SkimStale();
+  if (heap_.empty() || (heap_.front().ord >> 62) != 1) return false;
+  const Slot& s = slots_[heap_.front().key & kSlotMask];
+  *sender = s.sender;
+  *gen = s.gen;
+  return true;
+}
+
+bool ShardQueue::RunOne() {
+  SkimStale();
+  if (heap_.empty()) return false;
+  HeapEntry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
+  Callback fn = std::move(slots_[slot].fn);
+  ReleaseSlot(slot);
+  --live_;
+  now_ = top.at;
+  ++processed_;
+  fn();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ShardRadio
+// ---------------------------------------------------------------------------
+
+ShardRadio::ShardRadio(const Topology* topology, const RadioOptions& options,
+                       ShardQueue* queue, uint64_t seed,
+                       const std::vector<int>* owner, int self_shard)
+    : topology_(topology),
+      options_(options),
+      queue_(queue),
+      owner_(owner),
+      self_shard_(self_shard),
+      link_key_(MixSeed(seed, /*entity_id=*/0x117C)),
+      ack_key_(MixSeed(seed, /*entity_id=*/0xACDC)),
+      mac_(static_cast<size_t>(topology->num_nodes())),
+      alive_(static_cast<size_t>(topology->num_nodes()), true),
+      active_tx_(topology->num_nodes()),
+      node_tx_(static_cast<size_t>(topology->num_nodes())) {
+  SCOOP_CHECK(topology != nullptr);
+  SCOOP_CHECK(queue != nullptr);
+  SCOOP_CHECK(owner != nullptr);
+  max_airtime_ = Airtime(options_.max_packet_bytes);
+  if (options_.interference_threshold == Topology::kInterferenceThreshold) {
+    interferers_ = &topology->interferer_sets();
+  } else {
+    own_interferers_ = topology->BuildInterfererSets(options_.interference_threshold);
+    interferers_ = &own_interferers_;
+  }
+  // Per-node backoff streams: draws depend only on the node's own attempt
+  // sequence, which is identical for every partitioning.
+  uint64_t backoff_key = MixSeed(seed, /*entity_id=*/0xAD10);
+  mac_rng_.reserve(mac_.size());
+  for (NodeId u = 0; u < topology->num_nodes(); ++u) {
+    mac_rng_.emplace_back(MixSeed(backoff_key, u), /*stream=*/u);
+  }
+}
+
+SimTime ShardRadio::Airtime(int wire_size) const {
+  double bits = static_cast<double>(options_.link_header_bytes + wire_size) * 8.0;
+  return static_cast<SimTime>(bits / options_.bitrate_bps * kSecond);
+}
+
+void ShardRadio::Send(NodeId src, Packet pkt) {
+  SCOOP_CHECK_LT(src, mac_.size());
+  SCOOP_CHECK_LE(pkt.WireSize(), options_.max_packet_bytes);
+  SCOOP_DCHECK(Owned(src));
+  if (!alive_[src]) return;  // Dead radios transmit nothing.
+  pkt.hdr.link_src = src;
+  OutFrame frame;
+  frame.airtime = Airtime(pkt.WireSize());
+  frame.pkt = std::move(pkt);
+  frame.retries_left =
+      (frame.pkt.hdr.link_dst == kBroadcastId) ? 0 : options_.unicast_retries;
+  mac_[src].queue.push_back(std::move(frame));
+  TryStart(src);
+}
+
+void ShardRadio::SetNodeAlive(NodeId id, bool alive) {
+  SCOOP_CHECK_LT(static_cast<size_t>(id), alive_.size());
+  SCOOP_DCHECK(Owned(id));
+  alive_[id] = alive;
+  if (alive) return;
+  PdesMac& mac = mac_[id];
+  mac.queue.clear();
+  if (mac.cca_scheduled) {
+    // The armed carrier sense dies with the node; record its time so
+    // MacFloor can annihilate the now-dangling heap entry.
+    queue_->Cancel(mac.cca_event);
+    mac.cca_scheduled = false;
+    mac_cancelled_.push(mac.cca_at);
+  }
+  if (mac.transmitting) {
+    // Abort the in-flight frame. Remote shards mirroring it must learn the
+    // destination never latched it; the abort is emitted before the
+    // generation bump so it names the transmission the mirrors know.
+    if (abort_fn_) abort_fn_(id, mac.tx_gen);
+    mac.transmitting = false;
+    ++mac.tx_gen;
+  }
+}
+
+bool ShardRadio::ChannelBusy(NodeId node) const {
+  SimTime now = queue_->now();
+  // Strict visibility both ways: a span starting exactly now is not yet
+  // sensed (it may be a boundary announcement whose arrival at this
+  // instant is not guaranteed -- excluding it uniformly keeps every K
+  // identical), and local spans always have start <= now, so the extra
+  // predicate only removes the same-instant case.
+  const TxSpan& own = node_tx_[node][0];
+  if (own.start < now && own.end > now) return true;
+  const InterfererSet& audible = (*interferers_)[node];
+  return audible.AnyActive(active_tx_, [&](NodeId a) {
+    // Mirrored nodes can hold a future-start span in [0] while an earlier
+    // one is still on the air in [1]; check both.
+    for (const TxSpan& t : node_tx_[a]) {
+      if (t.start < now && t.end > now) return true;
+    }
+    return false;
+  });
+}
+
+bool ShardRadio::Collided(NodeId receiver, NodeId sender, SimTime start,
+                          SimTime end) const {
+  if (!options_.model_collisions) return false;
+  double signal = topology_->delivery_prob(sender, receiver);
+  const InterfererSet& audible = (*interferers_)[receiver];
+  for (size_t i = ring_.size(); i-- > ring_head_;) {
+    const Transmission& tx = ring_[i];
+    if (tx.start + max_airtime_ <= start) break;
+    if (tx.src == sender || tx.src == receiver) continue;
+    if (tx.end <= start || tx.start >= end) continue;  // No time overlap.
+    if (!audible.Test(tx.src)) continue;               // Too weak to interfere.
+    double interference = topology_->delivery_prob(tx.src, receiver);
+    if (interference >= options_.capture_ratio * signal) return true;
+  }
+  return false;
+}
+
+bool ShardRadio::WasTransmitting(NodeId node, SimTime start, SimTime end) const {
+  for (const TxSpan& t : node_tx_[node]) {
+    if (t.start < end && t.end > start) return true;
+  }
+  return false;
+}
+
+void ShardRadio::InsertRing(Transmission tx) {
+  // Local transmissions start at now() (monotone), but a boundary
+  // announcement can carry a start behind the newest local entry; insert
+  // from the tail to keep the ring start-ordered for the collision walk.
+  size_t pos = ring_.size();
+  ring_.push_back(tx);
+  while (pos > ring_head_ && ring_[pos - 1].start > tx.start) {
+    ring_[pos] = ring_[pos - 1];
+    --pos;
+  }
+  ring_[pos] = tx;
+}
+
+void ShardRadio::PruneRing() {
+  SimTime horizon = queue_->now() - 4 * max_airtime_;
+  while (ring_head_ < ring_.size() && ring_[ring_head_].start + max_airtime_ < horizon) {
+    ++ring_head_;
+  }
+  if (ring_head_ >= 64 && ring_head_ * 2 >= ring_.size()) {
+    ring_.erase(ring_.begin(), ring_.begin() + static_cast<ptrdiff_t>(ring_head_));
+    ring_head_ = 0;
+  }
+}
+
+void ShardRadio::ScheduleCca(NodeId src, SimTime delay) {
+  PdesMac& mac = mac_[src];
+  SimTime at = queue_->now() + delay;
+  mac.cca_scheduled = true;
+  mac.cca_at = at;
+  mac.cca_event = queue_->ScheduleRegular(at, src, [this, src] {
+    mac_[src].cca_scheduled = false;
+    CcaFire(src);
+  });
+  mac_times_.push(at);
+}
+
+void ShardRadio::TryStart(NodeId src) {
+  PdesMac& mac = mac_[src];
+  if (mac.transmitting || mac.cca_scheduled || mac.queue.empty()) return;
+  // Unlike the sequential radio, the channel is never sensed inline: every
+  // acquisition is a scheduled carrier-sense event at least backoff_min
+  // out. That bound is the engine's cross-shard lookahead -- a neighbor
+  // shard that has heard about everything up to t knows no new frame can
+  // start before t + backoff_min.
+  SimTime delay =
+      options_.backoff_min + mac_rng_[src].UniformInt(0, options_.backoff_min - 1);
+  ScheduleCca(src, delay);
+}
+
+void ShardRadio::CcaFire(NodeId src) {
+  PdesMac& mac = mac_[src];
+  if (mac.transmitting || mac.queue.empty()) return;
+  OutFrame& frame = mac.queue.front();
+  if (!ChannelBusy(src)) {
+    StartTx(src);
+    return;
+  }
+  ++frame.channel_attempts;
+  if (frame.channel_attempts >= options_.max_channel_attempts) {
+    OutFrame dropped = std::move(mac.queue.front());
+    mac.queue.pop_front();
+    if (drop_hook_) drop_hook_(src, dropped.pkt, DropReason::kChannelBusy);
+    if (send_done_hook_) send_done_hook_(src, dropped.pkt, false);
+    TryStart(src);
+    return;
+  }
+  SimTime window = Radio::BackoffWindow(options_, frame.channel_attempts);
+  SimTime delay = 1 + mac_rng_[src].UniformInt(0, window - 1);
+  ScheduleCca(src, delay);
+}
+
+void ShardRadio::StartTx(NodeId src) {
+  PdesMac& mac = mac_[src];
+  OutFrame& frame = mac.queue.front();
+  if (!frame.seq_assigned) {
+    frame.pkt.hdr.seq = mac.next_seq++;
+    frame.seq_assigned = true;
+  }
+  bool is_retx = frame.retries_left < options_.unicast_retries &&
+                 frame.pkt.hdr.link_dst != kBroadcastId;
+  if (transmit_hook_) transmit_hook_(src, frame.pkt, is_retx);
+
+  SimTime start = queue_->now();
+  SimTime end = start + frame.airtime;
+  InsertRing(Transmission{src, start, end});
+  node_tx_[src][1] = node_tx_[src][0];
+  node_tx_[src][0] = TxSpan{start, end};
+  active_tx_.Set(src);
+  mac.transmitting = true;
+  uint32_t gen = ++mac.tx_gen;
+  if (announce_fn_) announce_fn_(src, gen, start, end, frame.pkt);
+  queue_->ScheduleEval(end, src, gen,
+                       [this, src, gen, start, end] { EvalLocal(src, gen, start, end); });
+  queue_->ScheduleFinish(end, src, gen, [this, src, gen] { FinishCont(src, gen); });
+  mac_times_.push(end);
+}
+
+void ShardRadio::EvalLocal(NodeId src, uint32_t gen, SimTime start, SimTime end) {
+  const PdesMac& mac = mac_[src];
+  // An aborted local frame needs no evaluation: the generation bump at the
+  // power-down makes it stale here, exactly like the sequential radio's
+  // stale FinishTx branch.
+  if (gen != mac.tx_gen || !mac.transmitting) return;
+  EvalTx(src, gen, start, end, mac.queue.front().pkt, /*aborted=*/false);
+}
+
+void ShardRadio::EvalRemote(NodeId src, uint32_t gen) {
+  uint64_t key = TxKey(src, gen);
+  auto it = remote_tx_.find(key);
+  SCOOP_CHECK(it != remote_tx_.end());
+  bool aborted = aborted_.erase(key) > 0;
+  EvalTx(src, gen, it->second.start, it->second.end, it->second.pkt, aborted);
+  // Retire the mirror's active bit unless a newer announced span of this
+  // node is still (or not yet) on the air.
+  if (node_tx_[src][0].end <= queue_->now()) active_tx_.Clear(src);
+  remote_tx_.erase(it);
+  PruneRing();
+}
+
+void ShardRadio::EvalTx(NodeId src, uint32_t gen, SimTime start, SimTime end,
+                        const Packet& pkt, bool aborted) {
+  NodeId dst = pkt.hdr.link_dst;
+  bool dst_received = false;
+  if (!aborted) {
+    // Walk the sender's audible out-neighbors in ascending id, but only
+    // deliver to receivers this shard owns; the other shards run the same
+    // walk over their own nodes with identical keyed draws.
+    for (const Topology::Link& link : topology_->audible_from(src)) {
+      NodeId r = link.to;
+      if (!Owned(r)) continue;
+      if (!alive_[r]) continue;                            // Dead radios hear nothing.
+      if (!LinkLossDraw(src, gen, r, link.prob)) continue;  // Link loss.
+      if (WasTransmitting(r, start, end)) continue;        // Half duplex.
+      if (Collided(r, src, start, end)) continue;          // Corrupted.
+      bool addressed = (dst == kBroadcastId) || (dst == r);
+      if (dst == r) dst_received = true;
+      if (deliver_hook_) deliver_hook_(r, pkt, addressed);
+    }
+    // The destination's shard resolves the ACK verdict (it alone knows the
+    // receiver's state) and reports it to the sender's completion.
+    if (dst != kBroadcastId && Owned(dst) && topology_->delivery_prob(src, dst) > 0) {
+      if (Owned(src)) {
+        acks_[TxKey(src, gen)] = dst_received;
+      } else if (ack_fn_) {
+        ack_fn_(src, gen, dst_received);
+      }
+    }
+  }
+}
+
+bool ShardRadio::AckBlocked(NodeId src, uint32_t gen) const {
+  const PdesMac& mac = mac_[src];
+  if (gen != mac.tx_gen || !mac.transmitting) return false;  // Stale: no-op finish.
+  NodeId dst = mac.queue.front().pkt.hdr.link_dst;
+  if (dst == kBroadcastId) return false;
+  if (Owned(dst)) return false;  // Local evaluation already ran (phase 0 < 1).
+  if (topology_->delivery_prob(src, dst) <= 0) return false;  // No verdict coming.
+  return acks_.find(TxKey(src, gen)) == acks_.end();
+}
+
+void ShardRadio::FinishCont(NodeId src, uint32_t gen) {
+  PdesMac& mac = mac_[src];
+  if (gen != mac.tx_gen) {
+    if (!mac.transmitting) active_tx_.Clear(src);
+    return;
+  }
+  SCOOP_CHECK(mac.transmitting);
+  mac.transmitting = false;
+  active_tx_.Clear(src);
+  SCOOP_CHECK(!mac.queue.empty());
+
+  OutFrame& frame = mac.queue.front();
+  NodeId dst = frame.pkt.hdr.link_dst;
+  if (dst == kBroadcastId) {
+    Packet sent = std::move(mac.queue.front().pkt);
+    mac.queue.pop_front();
+    if (send_done_hook_) send_done_hook_(src, sent, true);
+  } else {
+    auto ack_it = acks_.find(TxKey(src, gen));
+    bool dst_received = ack_it != acks_.end() && ack_it->second;
+    if (ack_it != acks_.end()) acks_.erase(ack_it);
+    double p_ack = std::pow(topology_->delivery_prob(dst, src),
+                            options_.ack_shortness_exponent);
+    bool acked = dst_received && AckDraw(src, gen, p_ack);
+    if (acked) {
+      Packet sent = std::move(mac.queue.front().pkt);
+      mac.queue.pop_front();
+      if (send_done_hook_) send_done_hook_(src, sent, true);
+    } else if (frame.retries_left > 0) {
+      --frame.retries_left;
+      frame.channel_attempts = 0;  // Fresh CSMA round for the retransmission.
+    } else {
+      Packet sent = std::move(mac.queue.front().pkt);
+      mac.queue.pop_front();
+      if (drop_hook_) drop_hook_(src, sent, DropReason::kNoAck);
+      if (send_done_hook_) send_done_hook_(src, sent, false);
+    }
+  }
+
+  PruneRing();
+  TryStart(src);
+}
+
+void ShardRadio::HandleAnnounce(NodeId src, uint32_t gen, SimTime start, SimTime end,
+                                Packet pkt) {
+  SCOOP_DCHECK(!Owned(src));
+  node_tx_[src][1] = node_tx_[src][0];
+  node_tx_[src][0] = TxSpan{start, end};
+  active_tx_.Set(src);
+  InsertRing(Transmission{src, start, end});
+  uint64_t key = TxKey(src, gen);
+  remote_tx_.emplace(key, RemoteTx{std::move(pkt), start, end});
+  queue_->ScheduleEval(end, src, gen, [this, src, gen] { EvalRemote(src, gen); });
+}
+
+void ShardRadio::HandleAbort(NodeId src, uint32_t gen) {
+  // Aborts always precede the mirrored frame's end (the owner only emits
+  // one while the frame is mid-air), so the evaluation is still pending.
+  aborted_.insert(TxKey(src, gen));
+}
+
+void ShardRadio::HandleAckResult(NodeId src, uint32_t gen, bool received) {
+  acks_[TxKey(src, gen)] = received;
+}
+
+SimTime ShardRadio::MacFloor(SimTime clock, bool head_past_clock) {
+  for (;;) {
+    // Annihilate cancelled entries as they surface (multiset semantics:
+    // one cancellation removes one instance of its time).
+    if (!mac_times_.empty() && !mac_cancelled_.empty() &&
+        mac_times_.top() == mac_cancelled_.top()) {
+      mac_times_.pop();
+      mac_cancelled_.pop();
+      continue;
+    }
+    if (!mac_times_.empty() &&
+        (mac_times_.top() < clock || (head_past_clock && mac_times_.top() <= clock))) {
+      mac_times_.pop();
+      continue;
+    }
+    break;
+  }
+  return mac_times_.empty() ? kSimTimeHorizon : mac_times_.top();
+}
+
+}  // namespace scoop::sim

@@ -1,0 +1,462 @@
+#include "sim/sharded_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace scoop::sim {
+
+/// Per-node container on its owner shard: implements Context for the
+/// hosted app and performs (link_src, seq) duplicate detection on
+/// delivery. Byte-for-byte the same behavior as Network::Host, but wired
+/// to the owner shard's queue and radio.
+class ShardedEngine::Host : public Context {
+ public:
+  Host(ShardedEngine* engine, Shard* shard, NodeId id, uint64_t seed)
+      : engine_(engine), shard_(shard), id_(id), rng_(MixSeed(seed, id), /*stream=*/id) {
+    int n = engine->topology_.num_nodes();
+    if (n <= kFlatSeqMaxNodes) {
+      last_seq_flat_.assign(static_cast<size_t>(n), -1);
+    }
+  }
+
+  void set_app(std::unique_ptr<App> app) { app_ = std::move(app); }
+  App* app() { return app_.get(); }
+
+  // --- Context ---
+  NodeId self() const override { return id_; }
+  SimTime now() const override;
+  Rng& rng() override { return rng_; }
+  void Broadcast(Packet pkt) override;
+  void Unicast(NodeId dst, Packet pkt) override;
+  EventId Schedule(SimTime delay, SmallCallback fn) override;
+  void Cancel(EventId id) override;
+  const RadioOptions& radio_options() const override { return engine_->options_.radio; }
+
+  // --- Delivery path (called by the shard's radio hooks) ---
+  void Deliver(const Packet& pkt, bool addressed) {
+    if (app_ == nullptr) return;
+    if (addressed) {
+      ReceiveInfo info;
+      info.addressed_to_me = true;
+      info.duplicate = IsDuplicate(pkt);
+      app_->OnReceive(*this, pkt, info);
+    } else {
+      app_->OnSnoop(*this, pkt);
+    }
+  }
+
+  void SendDone(const Packet& pkt, bool success) {
+    if (app_ != nullptr) app_->OnSendDone(*this, pkt, success);
+  }
+
+  void Boot() {
+    if (app_ != nullptr) app_->OnBoot(*this);
+  }
+
+ private:
+  static constexpr int kFlatSeqMaxNodes = 4096;
+
+  bool IsDuplicate(const Packet& pkt) {
+    if (!last_seq_flat_.empty()) {
+      int32_t& slot = last_seq_flat_[pkt.hdr.link_src];
+      bool dup = (slot == pkt.hdr.seq);
+      slot = pkt.hdr.seq;
+      return dup;
+    }
+    auto [it, inserted] = last_seq_map_.try_emplace(pkt.hdr.link_src, pkt.hdr.seq);
+    if (inserted) return false;
+    bool dup = (it->second == pkt.hdr.seq);
+    it->second = pkt.hdr.seq;
+    return dup;
+  }
+
+  ShardedEngine* engine_;
+  Shard* shard_;
+  NodeId id_;
+  Rng rng_;
+  std::unique_ptr<App> app_;
+  std::vector<int32_t> last_seq_flat_;
+  std::unordered_map<NodeId, uint16_t> last_seq_map_;
+};
+
+/// One shard: a deterministic queue, the radio for its nodes, and the
+/// hosts it owns. Everything in here is touched only by the shard's own
+/// thread while a run is in flight.
+struct ShardedEngine::Shard {
+  explicit Shard(uint32_t num_origins) : queue(num_origins) {}
+
+  int index = 0;
+  ShardQueue queue;
+  std::unique_ptr<ShardRadio> radio;
+  std::vector<std::unique_ptr<Host>> hosts;  ///< Indexed by node; null if not owned.
+  /// Sorted times of every pre-scheduled power-toggle this shard will
+  /// execute; `alive_cursor` advances as they run. The next pending time
+  /// is the AliveFloor: a power-down can emit an abort at its event time
+  /// with no carrier-sense lookahead in front of it.
+  std::vector<SimTime> alive_times;
+  size_t alive_cursor = 0;
+  uint64_t in_mask = 0;     ///< Shards whose EPT bounds our safe time.
+  uint64_t drain_mask = 0;  ///< Shards that may push into our mailboxes.
+  Radio::TransmitHook transmit_observer;
+  Radio::DeliverHook deliver_observer;
+  Radio::DropHook drop_observer;
+
+  SimTime AliveFloor() const {
+    return alive_cursor < alive_times.size() ? alive_times[alive_cursor]
+                                             : kSimTimeHorizon;
+  }
+};
+
+SimTime ShardedEngine::Host::now() const { return shard_->queue.now(); }
+
+void ShardedEngine::Host::Broadcast(Packet pkt) {
+  pkt.hdr.link_dst = kBroadcastId;
+  shard_->radio->Send(id_, std::move(pkt));
+}
+
+void ShardedEngine::Host::Unicast(NodeId dst, Packet pkt) {
+  SCOOP_CHECK_NE(dst, id_);
+  pkt.hdr.link_dst = dst;
+  shard_->radio->Send(id_, std::move(pkt));
+}
+
+EventId ShardedEngine::Host::Schedule(SimTime delay, SmallCallback fn) {
+  return shard_->queue.ScheduleRegular(shard_->queue.now() + delay, id_, std::move(fn));
+}
+
+void ShardedEngine::Host::Cancel(EventId id) { shard_->queue.Cancel(id); }
+
+std::vector<int> ShardedEngine::Partition(const Topology& topology, int shards) {
+  int n = topology.num_nodes();
+  std::vector<int> owner(static_cast<size_t>(n), 0);
+  if (shards <= 1 || n == 0) return owner;
+  // Contiguous strips along the longer bounding-box axis: equal node
+  // counts, spatially compact, so only strip-boundary links cross shards.
+  const std::vector<Point>& pos = topology.positions();
+  double min_x = pos[0].x, max_x = pos[0].x, min_y = pos[0].y, max_y = pos[0].y;
+  for (const Point& p : pos) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  bool by_x = (max_x - min_x) >= (max_y - min_y);
+  std::vector<NodeId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    double ca = by_x ? pos[a].x : pos[a].y;
+    double cb = by_x ? pos[b].x : pos[b].y;
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  for (int j = 0; j < n; ++j) {
+    owner[order[j]] = static_cast<int>(static_cast<int64_t>(j) * shards / n);
+  }
+  return owner;
+}
+
+ShardedEngine::ShardedEngine(Topology topology, ShardedEngineOptions options)
+    : topology_(std::move(topology)), options_(options) {
+  SCOOP_CHECK_GE(options_.shards, 1);
+  SCOOP_CHECK_LE(options_.shards, 64);  // Shard sets travel as uint64_t masks.
+  num_shards_ = options_.shards;
+  int n = topology_.num_nodes();
+  owner_ = Partition(topology_, num_shards_);
+
+  // Announce routes from the CSR audible lists: every shard owning a node
+  // that can hear (or be interfered by) `u` mirrors u's transmissions.
+  // The interference threshold prunes at 0.05 but any audible link is a
+  // superset of that, so the mask covers all channel effects.
+  announce_mask_.assign(static_cast<size_t>(n), 0);
+  std::vector<uint64_t> out_mask(static_cast<size_t>(num_shards_), 0);
+  std::vector<uint64_t> in_mask(static_cast<size_t>(num_shards_), 0);
+  for (NodeId u = 0; u < n; ++u) {
+    uint64_t mask = 0;
+    for (const Topology::Link& link : topology_.audible_from(u)) {
+      mask |= uint64_t{1} << owner_[link.to];
+    }
+    mask &= ~(uint64_t{1} << owner_[u]);
+    announce_mask_[u] = mask;
+    out_mask[owner_[u]] |= mask;
+    uint64_t m = mask;
+    while (m != 0) {
+      int t = std::countr_zero(m);
+      m &= m - 1;
+      in_mask[t] |= uint64_t{1} << owner_[u];
+    }
+  }
+
+  mail_ = std::make_unique<Mailbox[]>(static_cast<size_t>(num_shards_) *
+                                      static_cast<size_t>(num_shards_));
+  ept_ = std::make_unique<std::atomic<SimTime>[]>(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) ept_[s].store(0, std::memory_order_relaxed);
+
+  // Two pseudo-origins above the node id space order same-time driver and
+  // failure-injection events deterministically after node events.
+  uint32_t num_origins = static_cast<uint32_t>(n) + 2;
+  shards_.reserve(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    auto shard = std::make_unique<Shard>(num_origins);
+    Shard* sh = shard.get();
+    sh->index = s;
+    sh->in_mask = in_mask[s];
+    // ACK verdicts flow opposite to announces, so drain both directions.
+    sh->drain_mask = in_mask[s] | out_mask[s];
+    sh->radio = std::make_unique<ShardRadio>(&topology_, options_.radio, &sh->queue,
+                                             options_.seed, &owner_, s);
+    sh->hosts.resize(static_cast<size_t>(n));
+    for (NodeId id = 0; id < n; ++id) {
+      if (owner_[id] == s) {
+        sh->hosts[id] = std::make_unique<Host>(this, sh, id, options_.seed);
+      }
+    }
+    sh->radio->set_deliver_hook([sh](NodeId receiver, const Packet& pkt, bool addressed) {
+      if (sh->deliver_observer) sh->deliver_observer(receiver, pkt, addressed);
+      sh->hosts[receiver]->Deliver(pkt, addressed);
+    });
+    sh->radio->set_send_done_hook([sh](NodeId src, const Packet& pkt, bool success) {
+      sh->hosts[src]->SendDone(pkt, success);
+    });
+    sh->radio->set_transmit_hook([sh](NodeId src, const Packet& pkt, bool retx) {
+      if (sh->transmit_observer) sh->transmit_observer(src, pkt, retx);
+    });
+    sh->radio->set_drop_hook([sh](NodeId src, const Packet& pkt, DropReason reason) {
+      if (sh->drop_observer) sh->drop_observer(src, pkt, reason);
+    });
+    sh->radio->set_announce_fn(
+        [this, sh](NodeId src, uint32_t gen, SimTime start, SimTime end,
+                   const Packet& pkt) {
+          uint64_t mask = announce_mask_[src];
+          while (mask != 0) {
+            int to = std::countr_zero(mask);
+            mask &= mask - 1;
+            ShardMsg msg;
+            msg.kind = ShardMsg::Kind::kAnnounce;
+            msg.src = src;
+            msg.gen = gen;
+            msg.start = start;
+            msg.end = end;
+            msg.pkt = pkt;
+            Push(sh->index, to, std::move(msg));
+          }
+        });
+    sh->radio->set_abort_fn([this, sh](NodeId src, uint32_t gen) {
+      uint64_t mask = announce_mask_[src];
+      while (mask != 0) {
+        int to = std::countr_zero(mask);
+        mask &= mask - 1;
+        ShardMsg msg;
+        msg.kind = ShardMsg::Kind::kAbort;
+        msg.src = src;
+        msg.gen = gen;
+        Push(sh->index, to, std::move(msg));
+      }
+    });
+    sh->radio->set_ack_fn([this, sh](NodeId src, uint32_t gen, bool received) {
+      ShardMsg msg;
+      msg.kind = ShardMsg::Kind::kAck;
+      msg.src = src;
+      msg.gen = gen;
+      msg.received = received;
+      Push(sh->index, owner_[src], std::move(msg));
+    });
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void ShardedEngine::SetApp(NodeId id, std::unique_ptr<App> app) {
+  SCOOP_CHECK(!started_);
+  SCOOP_CHECK_LT(static_cast<size_t>(id), owner_.size());
+  shards_[owner_[id]]->hosts[id]->set_app(std::move(app));
+}
+
+App* ShardedEngine::app(NodeId id) {
+  SCOOP_CHECK_LT(static_cast<size_t>(id), owner_.size());
+  return shards_[owner_[id]]->hosts[id]->app();
+}
+
+void ShardedEngine::Start() {
+  SCOOP_CHECK(!started_);
+  started_ = true;
+  // Identical draw order to Network::Start (one boot-jitter stream walked
+  // in node id order), independent of the partition.
+  Rng boot_rng(MixSeed(options_.seed, 0xB007), /*stream=*/0xB007);
+  int n = topology_.num_nodes();
+  for (NodeId id = 0; id < n; ++id) {
+    SimTime at =
+        options_.boot_jitter > 0 ? boot_rng.UniformInt(0, options_.boot_jitter) : 0;
+    Shard* sh = shards_[owner_[id]].get();
+    Host* h = sh->hosts[id].get();
+    sh->queue.ScheduleRegular(at, id, [h] { h->Boot(); });
+  }
+  for (auto& shard : shards_) {
+    std::sort(shard->alive_times.begin(), shard->alive_times.end());
+  }
+}
+
+void ShardedEngine::ScheduleDriver(SimTime at, SmallCallback fn) {
+  Shard* sh = shards_[owner_[0]].get();
+  sh->queue.ScheduleRegular(at, static_cast<uint32_t>(topology_.num_nodes()),
+                            std::move(fn));
+}
+
+SimTime ShardedEngine::DriverNow() const { return shards_[owner_[0]]->queue.now(); }
+
+void ShardedEngine::ScheduleAlive(SimTime at, NodeId id, bool alive) {
+  SCOOP_CHECK(!started_);  // The AliveFloor schedule must be complete pre-run.
+  SCOOP_CHECK_LT(static_cast<size_t>(id), owner_.size());
+  Shard* sh = shards_[owner_[id]].get();
+  sh->queue.ScheduleRegular(at, static_cast<uint32_t>(topology_.num_nodes()) + 1,
+                            [sh, id, alive] {
+                              sh->radio->SetNodeAlive(id, alive);
+                              ++sh->alive_cursor;
+                            });
+  sh->alive_times.push_back(at);
+}
+
+bool ShardedEngine::IsAlive(NodeId id) const {
+  return shards_[owner_[id]]->radio->IsAlive(id);
+}
+
+void ShardedEngine::set_transmit_observer(int shard, Radio::TransmitHook observer) {
+  shards_[shard]->transmit_observer = std::move(observer);
+}
+
+void ShardedEngine::set_deliver_observer(int shard, Radio::DeliverHook observer) {
+  shards_[shard]->deliver_observer = std::move(observer);
+}
+
+void ShardedEngine::set_drop_observer(int shard, Radio::DropHook observer) {
+  shards_[shard]->drop_observer = std::move(observer);
+}
+
+uint64_t ShardedEngine::processed() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue.processed();
+  return total;
+}
+
+void ShardedEngine::Push(int from, int to, ShardMsg msg) {
+  Mailbox& box = mail_[static_cast<size_t>(to) * num_shards_ + from];
+  std::lock_guard<std::mutex> lock(box.mu);
+  box.msgs.push_back(std::move(msg));
+}
+
+SimTime ShardedEngine::SafeTime(const Shard& shard) const {
+  SimTime safe = kSimTimeHorizon;
+  uint64_t mask = shard.in_mask;
+  while (mask != 0) {
+    int t = std::countr_zero(mask);
+    mask &= mask - 1;
+    safe = std::min(safe, ept_[t].load(std::memory_order_acquire));
+  }
+  return safe;
+}
+
+void ShardedEngine::Drain(Shard* shard) {
+  uint64_t mask = shard->drain_mask;
+  while (mask != 0) {
+    int from = std::countr_zero(mask);
+    mask &= mask - 1;
+    Mailbox& box = mail_[static_cast<size_t>(shard->index) * num_shards_ + from];
+    std::vector<ShardMsg> msgs;
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      msgs.swap(box.msgs);
+    }
+    for (ShardMsg& m : msgs) {
+      switch (m.kind) {
+        case ShardMsg::Kind::kAnnounce:
+          shard->radio->HandleAnnounce(m.src, m.gen, m.start, m.end, std::move(m.pkt));
+          break;
+        case ShardMsg::Kind::kAbort:
+          shard->radio->HandleAbort(m.src, m.gen);
+          break;
+        case ShardMsg::Kind::kAck:
+          shard->radio->HandleAckResult(m.src, m.gen, m.received);
+          break;
+      }
+    }
+  }
+}
+
+bool ShardedEngine::ExecuteUpTo(Shard* shard, SimTime limit) {
+  bool progress = false;
+  for (;;) {
+    SimTime head = shard->queue.HeadTime();
+    if (head > limit) break;
+    NodeId sender;
+    uint32_t gen;
+    if (shard->queue.HeadFinishInfo(&sender, &gen) &&
+        shard->radio->AckBlocked(sender, gen)) {
+      // The completion's remote ACK verdict has not arrived: stall with
+      // the event still queued (MacFloor keeps the promise at its time).
+      break;
+    }
+    shard->queue.RunOne();
+    progress = true;
+  }
+  return progress;
+}
+
+void ShardedEngine::PublishEpt(Shard* shard, SimTime safe) {
+  SimTime clock = shard->queue.now();
+  SimTime head = shard->queue.HeadTime();
+  SimTime mac = shard->radio->MacFloor(clock, /*head_past_clock=*/head > clock);
+  SimTime alive = shard->AliveFloor();
+  // Any transmission this shard has not yet committed to must still clear
+  // a scheduled carrier sense: at least backoff_min past the earliest
+  // thing that could trigger one (queue head, or an inbound message at
+  // our current safe time).
+  SimTime base = std::min(head, safe);
+  SimTime lookahead = base >= kSimTimeHorizon - options_.radio.backoff_min
+                          ? kSimTimeHorizon
+                          : base + options_.radio.backoff_min;
+  SimTime ept = std::min(std::min(mac, alive), lookahead);
+  std::atomic<SimTime>& cell = ept_[shard->index];
+  // Monotone publish: a promise never retreats. Only this shard's thread
+  // writes the cell, so load-then-store is race-free.
+  if (ept > cell.load(std::memory_order_relaxed)) {
+    cell.store(ept, std::memory_order_release);
+  }
+}
+
+void ShardedEngine::RunShard(Shard* shard, SimTime end) {
+  for (;;) {
+    SimTime safe = SafeTime(*shard);  // Acquire EPTs BEFORE draining, so
+    Drain(shard);                     // every message behind them is seen.
+    bool progress = ExecuteUpTo(shard, std::min(safe, end));
+    SimTime head = shard->queue.HeadTime();
+    PublishEpt(shard, safe);
+    // Done once nothing at or before `end` remains and no in-neighbor can
+    // still send anything relevant. The loop keeps republishing on idle
+    // iterations so neighbor promises (and then everyone's exit) converge.
+    if (safe > end && head > end) return;
+    if (!progress) std::this_thread::yield();
+  }
+}
+
+void ShardedEngine::RunUntil(SimTime end) {
+  SCOOP_CHECK(started_);
+  if (num_shards_ == 1) {
+    RunShard(shards_[0].get(), end);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_shards_));
+  for (auto& shard : shards_) {
+    Shard* sh = shard.get();
+    threads.emplace_back([this, sh, end] { RunShard(sh, end); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace scoop::sim

@@ -1,0 +1,161 @@
+// Conservative parallel discrete-event engine: one simulation trial split
+// across K spatial shards, each running its own deterministically-ordered
+// queue (sim/shard.h) on its own thread.
+//
+// Synchronization is null-message/LBTS style. Every shard continuously
+// publishes an "earliest possible transmission" promise (EPT): a lower
+// bound on the timestamp of any cross-shard message it will EVER send.
+// Three floors combine into it --
+//
+//   MacFloor    earliest pending carrier-sense or transmit-completion
+//               (when the shard can next put RF energy on the air),
+//   AliveFloor  earliest pending power-toggle (a power-down can emit an
+//               abort for a mirrored frame at exactly its event time),
+//   head floor  min(queue head, current safe time) + backoff_min: even a
+//               frame the shard has not heard about yet must clear a full
+//               scheduled carrier sense, so backoff_min is the lookahead.
+//
+// A shard may execute every event with time <= min over its in-neighbor
+// shards' EPTs (its safe time). Publishing is monotone (a promise never
+// retreats), producers push a mailbox message BEFORE bumping their EPT
+// (release), and consumers load EPTs (acquire) BEFORE draining, so every
+// message that can affect an executable event is visible before the event
+// runs. Unicast ACK verdicts cross shards too: a completion whose remote
+// verdict is missing simply stalls at the queue head (its own EPT keeps
+// covering it) until the destination shard's evaluation reports back.
+//
+// Partitioning slices the topology into K contiguous strips along its
+// longer axis. Correctness never depends on the cut: announce routes come
+// from the CSR audible lists, so any partition yields the same result --
+// only the boundary traffic (and thus speed) changes.
+#ifndef SCOOP_SIM_SHARDED_ENGINE_H_
+#define SCOOP_SIM_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/app.h"
+#include "sim/shard.h"
+#include "sim/topology.h"
+
+namespace scoop::sim {
+
+/// A cross-shard message. Announces mirror a boundary transmission's RF
+/// span + payload; aborts revoke one mid-air (power-down); acks report a
+/// unicast destination's reception verdict back to the sender's shard.
+struct ShardMsg {
+  enum class Kind : uint8_t { kAnnounce, kAbort, kAck };
+  Kind kind = Kind::kAnnounce;
+  NodeId src = kInvalidNodeId;  ///< Transmitting node.
+  uint32_t gen = 0;             ///< Its transmission generation.
+  SimTime start = 0;
+  SimTime end = 0;
+  bool received = false;  ///< kAck: destination latched the frame.
+  Packet pkt;             ///< kAnnounce only.
+};
+
+/// Whole-engine configuration. Mirrors NetworkOptions plus the shard count.
+struct ShardedEngineOptions {
+  RadioOptions radio;
+  uint64_t seed = 1;
+  SimTime boot_jitter = Seconds(2);
+  /// Number of shards (threads) to split the trial across. Results are
+  /// identical for every value; 1 runs inline without threads.
+  int shards = 1;
+};
+
+/// Owns the sharded simulation state for one run. The public surface
+/// mirrors Network where the harness needs it (SetApp/Start/RunUntil/app),
+/// with shard-aware observer and injection hooks.
+class ShardedEngine {
+ public:
+  ShardedEngine(Topology topology, ShardedEngineOptions options);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int num_shards() const { return num_shards_; }
+  int shard_of(NodeId id) const { return owner_[id]; }
+  const Topology& topology() const { return topology_; }
+
+  /// Installs the protocol stack for node `id`. Must precede Start().
+  void SetApp(NodeId id, std::unique_ptr<App> app);
+
+  /// The app installed on `id` (null if none). Safe only while no
+  /// RunUntil() is in flight.
+  App* app(NodeId id);
+
+  /// Schedules all boots. Call once after all SetApp() calls.
+  void Start();
+
+  /// Advances simulated time on all shards, running all due events.
+  /// Callable repeatedly; spawns (and joins) one thread per shard.
+  void RunUntil(SimTime end);
+
+  /// Per-shard observers. A shard's hooks fire on that shard's thread, so
+  /// each shard must get its own instrumentation sinks (merge afterwards).
+  void set_transmit_observer(int shard, Radio::TransmitHook observer);
+  void set_deliver_observer(int shard, Radio::DeliverHook observer);
+  void set_drop_observer(int shard, Radio::DropHook observer);
+
+  /// Schedules a driver callback (query injection) at absolute time `at`.
+  /// Driver events run on the shard owning node 0 (the basestation);
+  /// callable before Start() from the caller's thread and, from inside a
+  /// driver callback, on that shard's thread.
+  void ScheduleDriver(SimTime at, SmallCallback fn);
+
+  /// Clock of the driver's shard (valid inside driver callbacks).
+  SimTime DriverNow() const;
+
+  /// Schedules a power-toggle for `id` at absolute time `at`. Must be
+  /// called before Start(): the times feed each shard's AliveFloor, which
+  /// must be complete before any promise is published.
+  void ScheduleAlive(SimTime at, NodeId id, bool alive);
+
+  /// True unless the node was powered down.
+  bool IsAlive(NodeId id) const;
+
+  /// Total events executed across all shards. Note this counts boundary
+  /// evaluation events once per mirroring shard, so it grows slightly
+  /// with K (it is a work counter, not part of the deterministic results).
+  uint64_t processed() const;
+
+ private:
+  class Host;
+  struct Shard;
+
+  /// One inter-shard mailbox direction (indexed [to * K + from]).
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<ShardMsg> msgs;
+  };
+
+  static std::vector<int> Partition(const Topology& topology, int shards);
+
+  SimTime SafeTime(const Shard& shard) const;
+  void Drain(Shard* shard);
+  void PublishEpt(Shard* shard, SimTime safe);
+  bool ExecuteUpTo(Shard* shard, SimTime limit);
+  void RunShard(Shard* shard, SimTime end);
+  void Push(int from, int to, ShardMsg msg);
+
+  Topology topology_;
+  ShardedEngineOptions options_;
+  int num_shards_;
+  std::vector<int> owner_;
+  /// Per-node bitmask of shards (other than the owner) that must mirror
+  /// the node's transmissions: every shard owning an audible out-neighbor.
+  std::vector<uint64_t> announce_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<Mailbox[]> mail_;  ///< K*K boxes; std::mutex is immovable.
+  /// Published promises, one per shard (padded indirectly by Shard size).
+  std::unique_ptr<std::atomic<SimTime>[]> ept_;
+  bool started_ = false;
+};
+
+}  // namespace scoop::sim
+
+#endif  // SCOOP_SIM_SHARDED_ENGINE_H_

@@ -82,6 +82,19 @@ std::unique_ptr<DataSource> MakeDataSource(DataSourceKind kind,
                                            const std::vector<sim::Point>& positions,
                                            uint64_t seed);
 
+/// Like MakeDataSource, but every random draw in Next() is keyed on
+/// (seed, node, now) instead of consumed from one sequential stream. The
+/// sharded engine needs this: shards sample concurrently and in a
+/// K-dependent interleaving, so a shared stream would be both racy and
+/// non-reproducible, while keyed draws are thread-safe and identical for
+/// every K. Per-node constants (Gaussian means, the REAL trace's light
+/// bumps) still come from the same construction-time draws as the
+/// sequential variants.
+std::unique_ptr<DataSource> MakeKeyedDataSource(DataSourceKind kind,
+                                                const DataSourceOptions& options,
+                                                const std::vector<sim::Point>& positions,
+                                                uint64_t seed);
+
 }  // namespace scoop::workload
 
 #endif  // SCOOP_WORKLOAD_DATA_SOURCE_H_

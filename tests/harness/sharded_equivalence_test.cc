@@ -1,0 +1,195 @@
+// The sharded engine's whole contract: a trial split across K shards is
+// bit-identical to the same trial at K=1, for every K. These tests pin that
+// equivalence on the configs the golden suite exercises (tiny random,
+// failure waves, grid), plus the degenerate K > nodes split.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "harness/experiment.h"
+#include "scenario/campaign.h"
+#include "scenario/campaign_reporter.h"
+
+namespace scoop::harness {
+namespace {
+
+// Field-by-field exact comparison of the deterministic result columns.
+// wall_seconds and sim_events are excluded by design: wall time is host
+// noise, and the engines count bookkeeping events differently.
+void ExpectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
+  for (size_t t = 0; t < a.sent_by_type.size(); ++t) {
+    EXPECT_EQ(a.sent_by_type[t], b.sent_by_type[t]) << "sent_by_type[" << t << "]";
+  }
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.total_excl_beacons, b.total_excl_beacons);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.mac_drops, b.mac_drops);
+  EXPECT_EQ(a.storage_success, b.storage_success);
+  EXPECT_EQ(a.owner_hit_rate, b.owner_hit_rate);
+  EXPECT_EQ(a.query_success, b.query_success);
+  EXPECT_EQ(a.summary_delivery, b.summary_delivery);
+  EXPECT_EQ(a.readings_produced, b.readings_produced);
+  EXPECT_EQ(a.queries_issued, b.queries_issued);
+  EXPECT_EQ(a.tuples_returned, b.tuples_returned);
+  EXPECT_EQ(a.avg_pct_nodes_queried, b.avg_pct_nodes_queried);
+  EXPECT_EQ(a.indices_built, b.indices_built);
+  EXPECT_EQ(a.indices_disseminated, b.indices_disseminated);
+  EXPECT_EQ(a.indices_suppressed, b.indices_suppressed);
+  EXPECT_EQ(a.base_owned_fraction, b.base_owned_fraction);
+  EXPECT_EQ(a.root_sent, b.root_sent);
+  EXPECT_EQ(a.root_received, b.root_received);
+  EXPECT_EQ(a.avg_node_sent, b.avg_node_sent);
+  EXPECT_EQ(a.max_node_sent, b.max_node_sent);
+  EXPECT_EQ(a.avg_node_lifetime_days, b.avg_node_lifetime_days);
+  EXPECT_EQ(a.root_lifetime_days, b.root_lifetime_days);
+}
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.num_nodes = 12;
+  config.duration = Minutes(8);
+  config.stabilization = Minutes(2);
+  config.trials = 1;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ShardedEquivalenceTest, TinyScoopMatchesAcrossShardCounts) {
+  ExperimentConfig config = TinyConfig();
+  ExperimentResult ref = RunShardedTrial(config, /*seed=*/11, /*shards=*/1);
+  EXPECT_GT(ref.total, 0);
+  EXPECT_GT(ref.readings_produced, 0);
+  for (int k : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/11, k));
+  }
+}
+
+TEST(ShardedEquivalenceTest, FailureWavesMatchAcrossShardCounts) {
+  // Mid-run power-downs are the hardest case: in-flight boundary frames
+  // must abort identically at every K.
+  ExperimentConfig config = TinyConfig();
+  config.num_nodes = 14;
+  config.node_failure_fraction = 0.25;
+  config.failure_time = Minutes(3);
+  config.failure_wave_count = 2;
+  config.failure_wave_interval = Minutes(2);
+  ExperimentResult ref = RunShardedTrial(config, /*seed=*/5, /*shards=*/1);
+  EXPECT_GT(ref.total, 0);
+  for (int k : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/5, k));
+  }
+}
+
+TEST(ShardedEquivalenceTest, GridTrickleTrafficMatchesAcrossShardCounts) {
+  // The lattice preset puts many nodes in mutual earshot, so the Trickle
+  // beacon suppression decisions constantly straddle shard boundaries.
+  ExperimentConfig config = TinyConfig();
+  config.preset = TopologyPreset::kGrid;
+  config.num_nodes = 25;
+  ExperimentResult ref = RunShardedTrial(config, /*seed=*/3, /*shards=*/1);
+  EXPECT_GT(ref.total, 0);
+  for (int k : {2, 5, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/3, k));
+  }
+}
+
+TEST(ShardedEquivalenceTest, TestbedBaseNearTheBoundaryMatches) {
+  // The elongated testbed with a high K makes thin strips, so the
+  // basestation's strip boundary cuts right through its neighborhood.
+  ExperimentConfig config = TinyConfig();
+  config.preset = TopologyPreset::kTestbed;
+  config.num_nodes = 16;
+  ExperimentResult ref = RunShardedTrial(config, /*seed=*/23, /*shards=*/1);
+  EXPECT_GT(ref.total, 0);
+  for (int k : {2, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/23, k));
+  }
+}
+
+TEST(ShardedEquivalenceTest, EverySimulatedPolicyMatches) {
+  for (Policy policy : {Policy::kLocal, Policy::kBase, Policy::kHashSim}) {
+    SCOPED_TRACE(PolicyName(policy));
+    ExperimentConfig config = TinyConfig();
+    config.policy = policy;
+    config.source = workload::DataSourceKind::kGaussian;
+    ExperimentResult ref = RunShardedTrial(config, /*seed=*/2, /*shards=*/1);
+    EXPECT_GT(ref.total, 0);
+    ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/2, /*shards=*/3));
+  }
+}
+
+TEST(ShardedEquivalenceTest, MoreShardsThanNodesDegenerates) {
+  ExperimentConfig config = TinyConfig();
+  config.num_nodes = 6;
+  ExperimentResult ref = RunShardedTrial(config, /*seed=*/13, /*shards=*/1);
+  ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/13, /*shards=*/16));
+}
+
+TEST(ShardedEquivalenceTest, RunTrialDispatchesOnShardsField) {
+  ExperimentConfig config = TinyConfig();
+  config.shards = 3;
+  ExperimentResult via_dispatch = RunTrial(config, /*seed=*/11);
+  ExpectIdentical(RunShardedTrial(config, /*seed=*/11, 3), via_dispatch);
+}
+
+TEST(ShardedEquivalenceTest, ResolvedShardsAutoAndExplicit) {
+  ExperimentConfig config;
+  config.shards = 1;
+  EXPECT_EQ(ResolvedShards(config), 1);
+  config.shards = 6;
+  EXPECT_EQ(ResolvedShards(config), 6);
+  config.shards = 0;  // Auto: hardware-dependent, but always in [1, 8].
+  int resolved = ResolvedShards(config);
+  EXPECT_GE(resolved, 1);
+  EXPECT_LE(resolved, 8);
+}
+
+TEST(ShardedEquivalenceTest, CampaignCsvIsByteIdenticalAcrossShardCounts) {
+  // The full reporting path: same scenario, only `shards` differs. The
+  // rendered per-trial and mean CSV rows must be byte-for-byte identical
+  // for every sharded K, and each trial row must equal the engine's K=1
+  // determinism reference (RunShardedTrial at 1). `shards = 1` itself is
+  // NOT in the comparison: that value selects the legacy sequential
+  // engine, a deliberately different random universe (golden-pinned).
+  scenario::Scenario scn;
+  scn.name = "sharded-equivalence";
+  scn.base = TinyConfig();
+  scn.base.trials = 2;
+  scn.base.node_failure_fraction = 0.2;
+  scn.base.failure_time = Minutes(4);
+  scn.sweeps.push_back(scenario::SweepAxis{"policy", {"scoop", "base"}});
+
+  auto run_at = [&](int shards) {
+    scenario::Scenario s = scn;
+    s.base.shards = shards;
+    scenario::CampaignOptions options;
+    options.threads = 2;
+    Result<scenario::CampaignResult> run = scenario::RunCampaign(s, options);
+    SCOOP_CHECK(run.ok());
+    return std::move(run).value();
+  };
+
+  scenario::CampaignResult ref = run_at(2);
+  std::string ref_csv = scenario::CampaignCsv(ref);
+  EXPECT_NE(ref_csv.find("scoop"), std::string::npos);
+  for (int k : {4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    EXPECT_EQ(ref_csv, scenario::CampaignCsv(run_at(k)));
+  }
+  // Anchor the campaign rows to the K=1 engine reference directly.
+  for (const scenario::CampaignRow& row : ref.rows) {
+    for (size_t t = 0; t < row.trials.size(); ++t) {
+      SCOPED_TRACE(std::string(PolicyName(row.config.policy)));
+      ExpectIdentical(RunShardedTrial(row.config,
+                                      MixSeed(row.config.seed, static_cast<uint64_t>(t)), 1),
+                      row.trials[t]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scoop::harness

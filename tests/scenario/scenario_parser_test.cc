@@ -75,6 +75,7 @@ TEST(ScenarioParserTest, RoundTripEveryKey) {
       {"summary_history_epoch_minutes", "1.5"},
       {"trials", "5"},
       {"seed", "123456789"},
+      {"shards", "4"},
       {"failure_fraction", "0.25"},
       {"failure_minute", "12.5"},
       {"failure_wave_count", "3"},
@@ -134,6 +135,7 @@ TEST(ScenarioParserTest, RoundTripEveryKey) {
   EXPECT_EQ(c.query_mode, ExperimentConfig::QueryMode::kNodeList);
   EXPECT_EQ(c.trials, 5);
   EXPECT_EQ(c.seed, 123456789u);
+  EXPECT_EQ(c.shards, 4);
   EXPECT_EQ(c.failure_wave_count, 3);
   EXPECT_FALSE(c.enable_neighbor_shortcut);
   EXPECT_TRUE(c.builder.consider_store_local);

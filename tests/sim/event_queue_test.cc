@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -101,6 +102,54 @@ TEST(EventQueueTest, CancelOneOfManyAtSameTime) {
   q.Cancel(id);
   q.RunUntil(10);
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+// The documented ordering invariant: same-timestamp events run FIFO by
+// schedule order, including events scheduled at the current time from
+// inside a handler (zero delay). The in-handler event must run after every
+// event already queued at that instant.
+TEST(EventQueueTest, ZeroDelayFromHandlerRunsAfterQueuedPeers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] {
+    order.push_back(1);
+    q.ScheduleAt(10, [&] { order.push_back(4); });  // Zero delay: to the back.
+    q.ScheduleAfter(0, [&] { order.push_back(5); });
+  });
+  q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.ScheduleAt(10, [&] { order.push_back(3); });
+  q.RunUntil(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+// A zero-delay chain still interleaves FIFO with pre-queued peers: each
+// link goes to the back of the timestamp class, so peers are never starved.
+TEST(EventQueueTest, ZeroDelayChainDoesNotStarvePeers) {
+  EventQueue q;
+  std::vector<int> order;
+  int depth = 0;
+  std::function<void()> link = [&] {
+    order.push_back(100 + depth);
+    if (++depth < 3) q.ScheduleAfter(0, [&] { link(); });
+  };
+  q.ScheduleAt(5, [&] { link(); });
+  q.ScheduleAt(5, [&] { order.push_back(1); });
+  q.ScheduleAt(5, [&] { order.push_back(2); });
+  q.RunUntil(5);
+  EXPECT_EQ(order, (std::vector<int>{100, 1, 2, 101, 102}));
+}
+
+// Cancel + re-schedule assigns a fresh sequence number, moving the event
+// behind same-time peers that were scheduled in between.
+TEST(EventQueueTest, RescheduleMovesToBackOfTimestampClass) {
+  EventQueue q;
+  std::vector<int> order;
+  EventId id = q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.Cancel(id);
+  q.ScheduleAt(10, [&] { order.push_back(1); });  // Re-armed: now behind 2.
+  q.RunUntil(10);
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
 }
 
 }  // namespace

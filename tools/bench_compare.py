@@ -4,17 +4,22 @@
 For every google-benchmark entry present in both files, prints the
 old/new items-per-second (falling back to inverse wall time when a bench
 reports no item counter) and the speedup ratio new/old; for the campaign
-probes, compares events-per-second. Informational only -- the exit code is
-always 0 on well-formed input, so CI can run it without perf noise
-destabilizing the build.
+probes, compares events-per-second.
 
-Usage: tools/bench_compare.py OLD.json NEW.json [--min-ratio R]
-  --min-ratio R  also print a trailing WARNING line listing benches whose
-                 ratio fell below R (still exit 0)
+Usage: tools/bench_compare.py OLD.json NEW.json [--min-ratio R] [--fail-below R]
+  --min-ratio R   print a trailing WARNING line listing benches whose
+                  ratio fell below R (still exit 0)
+  --fail-below R  GATE: exit 1 when any campaign events-per-second probe's
+                  new/old ratio drops below R. Only the campaign probes
+                  gate -- microbenchmarks are too noisy on shared CI
+                  runners to fail the build on. Set BENCH_ALLOW_REGRESSION=1
+                  to downgrade the gate to a warning (exit 0), e.g. when a
+                  PR knowingly trades throughput for correctness.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -47,6 +52,10 @@ def main():
     parser.add_argument("new", help="fresh BENCH json to compare against the baseline")
     parser.add_argument("--min-ratio", type=float, default=None,
                         help="warn (exit 0) when a bench's new/old ratio drops below this")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        help="exit 1 when a campaign events-per-second probe's "
+                             "ratio drops below this (BENCH_ALLOW_REGRESSION=1 "
+                             "downgrades to a warning)")
     args = parser.parse_args()
 
     with open(args.old) as f:
@@ -63,12 +72,16 @@ def main():
 
     print(f"{'benchmark':<72} {'old/s':>12} {'new/s':>12} {'ratio':>7}")
     slow = []
+    gate_failures = []
     for name in common:
         old_rate, new_rate = old_rates[name], new_rates[name]
         ratio = new_rate / old_rate if old_rate > 0 else float("inf")
         print(f"{name:<72} {old_rate:>12.3g} {new_rate:>12.3g} {ratio:>6.2f}x")
         if args.min_ratio is not None and ratio < args.min_ratio:
             slow.append((name, ratio))
+        if (args.fail_below is not None and name.endswith("/events_per_second")
+                and ratio < args.fail_below):
+            gate_failures.append((name, ratio))
 
     only_old = sorted(set(old_rates) - set(new_rates))
     only_new = sorted(set(new_rates) - set(old_rates))
@@ -79,6 +92,15 @@ def main():
     if slow:
         names = ", ".join(f"{n} ({r:.2f}x)" for n, r in slow)
         print(f"\nWARNING: below --min-ratio {args.min_ratio}: {names}")
+    if gate_failures:
+        names = ", ".join(f"{n} ({r:.2f}x)" for n, r in gate_failures)
+        if os.environ.get("BENCH_ALLOW_REGRESSION"):
+            print(f"\nWARNING (gate waived by BENCH_ALLOW_REGRESSION): "
+                  f"below --fail-below {args.fail_below}: {names}")
+        else:
+            print(f"\nFAIL: events-per-second regression beyond --fail-below "
+                  f"{args.fail_below}: {names}", file=sys.stderr)
+            return 1
     return 0
 
 

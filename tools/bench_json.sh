@@ -55,14 +55,23 @@ done
     --perf-json="${tmp}/campaign_grid_dense.json"
 "${tools_dir}/scoop_campaign" --scenario=grid_1024 --threads=1 --quiet \
     --perf-json="${tmp}/campaign_grid_1024.json"
+# Sharded scaling probes: the same 1024-node lattice split across K
+# parallel shards (conservative PDES engine). Tracks single-trial
+# strong-scaling; shards=1 above stays the sequential-engine baseline.
+shard_counts="${BENCH_SHARD_COUNTS:-2 4 8}"
+for k in ${shard_counts}; do
+  "${tools_dir}/scoop_campaign" --scenario=grid_1024 --threads=1 \
+      --shards="${k}" --quiet \
+      --perf-json="${tmp}/campaign_grid_1024_shards${k}.json"
+done
 
 commit="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-python3 - "${tmp}" "${out}" "${commit}" "${min_time}" <<'EOF'
+python3 - "${tmp}" "${out}" "${commit}" "${min_time}" "${shard_counts}" <<'EOF'
 import json
 import sys
 
-tmp, out, commit, min_time = sys.argv[1:5]
+tmp, out, commit, min_time, shard_counts = sys.argv[1:6]
 doc = {
     "schema": "scoop-bench-v1",
     "commit": commit,
@@ -76,6 +85,9 @@ doc = {
     "campaign_grid_dense": json.load(open(f"{tmp}/campaign_grid_dense.json")),
     "campaign_grid_1024": json.load(open(f"{tmp}/campaign_grid_1024.json")),
 }
+for k in shard_counts.split():
+    doc[f"campaign_grid_1024_shards{k}"] = json.load(
+        open(f"{tmp}/campaign_grid_1024_shards{k}.json"))
 with open(out, "w") as f:
     json.dump(doc, f, indent=1)
     f.write("\n")

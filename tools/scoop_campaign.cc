@@ -33,6 +33,8 @@ using scoop::tools::MatchFlag;
   std::fprintf(stderr,
                "usage: %s (--scenario=NAME | --file=PATH.scn)\n"
                "          [--threads=N]      worker threads (0 = all hardware threads)\n"
+               "          [--shards=K]       override the scenario's engine sharding\n"
+               "                             (1 = sequential, >=2 = K-way parallel, 0 = auto)\n"
                "          [--csv=PATH]       write per-trial + mean rows as CSV\n"
                "          [--json=PATH]      write per-combo JSON-lines\n"
                "          [--perf-json=PATH] write wall-clock/events-per-second perf report\n"
@@ -74,6 +76,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string perf_json_path;
   int threads = 0;
+  std::string shards_override;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +104,8 @@ int main(int argc, char** argv) {
         Usage(argv[0]);
       }
       threads = static_cast<int>(parsed);
+    } else if (MatchFlag(arg, "--shards", &value) && value != nullptr) {
+      shards_override = value;
     } else if (MatchFlag(arg, "--csv", &value) && value != nullptr) {
       csv_path = value;
     } else if (MatchFlag(arg, "--json", &value) && value != nullptr) {
@@ -127,7 +132,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
     return 1;
   }
-  const scenario::Scenario& scn = parsed.value();
+  scenario::Scenario scn = std::move(parsed).value();
+  if (!shards_override.empty()) {
+    Status s = scenario::ApplyScenarioKey(&scn.base, "shards", shards_override);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bad --shards value: %s\n", s.message().c_str());
+      Usage(argv[0]);
+    }
+  }
 
   scenario::CampaignOptions options;
   options.threads = threads;

@@ -38,6 +38,8 @@ using namespace scoop;
                "          [--query-width-lo=F] [--query-width-hi=F]\n"
                "          [--node-list-fraction=F] [--history-window-seconds=S]\n"
                "          [--topology=testbed|random|grid] [--trials=K] [--seed=S]\n"
+               "          [--shards=K]  1 = sequential engine, >=2 = K-way sharded\n"
+               "                        parallel engine, 0 = one shard per core\n"
                "          [--batch=N] [--no-shortcut] [--no-descendants]\n"
                "          [--owner-set=K] [--range-granularity=G]\n"
                "          [--failure-fraction=F] [--failure-minute=M]\n",
@@ -72,6 +74,8 @@ int main(int argc, char** argv) {
       ApplyKeyOrUsage(&config, "source", value, argv[0]);
     } else if (MatchFlag(arg, "--nodes", &value) && value != nullptr) {
       ApplyKeyOrUsage(&config, "nodes", value, argv[0]);
+    } else if (MatchFlag(arg, "--shards", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "shards", value, argv[0]);
     } else if (MatchFlag(arg, "--minutes", &value) && value != nullptr) {
       ApplyKeyOrUsage(&config, "duration_minutes", value, argv[0]);
     } else if (MatchFlag(arg, "--stabilization-minutes", &value) && value != nullptr) {
