@@ -1,10 +1,23 @@
-// Minimal leveled logging. Disabled (kWarning threshold) by default so
-// simulations stay quiet; tests and examples can raise verbosity.
+// Leveled, sim-time-stamped logging. Disabled (kWarning threshold) by
+// default so simulations stay quiet; the CLIs raise verbosity with -v/-vv
+// and tests/examples can call SetLogLevel directly.
+//
+// Sim-time stamps: an engine thread registers a clock provider
+// (ScopedLogClock) for its lifetime; every SCOOP_LOG line emitted from
+// that thread is then prefixed with the current simulated time. The
+// provider is thread-local, so the sharded engine's K worker threads each
+// stamp with their own shard clock without any synchronization.
+//
+// Sink: lines go to stderr unless a process-wide sink is installed
+// (SetLogSink) -- the same pluggable-sink shape the obs layer uses.
+// Install sinks before spawning engine threads.
 #ifndef SCOOP_COMMON_LOGGING_H_
 #define SCOOP_COMMON_LOGGING_H_
 
 #include <sstream>
 #include <string>
+
+#include "common/sim_time.h"
 
 namespace scoop {
 
@@ -21,6 +34,36 @@ void SetLogLevel(LogLevel level);
 
 /// Returns the current global minimum level.
 LogLevel GetLogLevel();
+
+/// Maps a -v count (0 = default, 1 = -v, >= 2 = -vv) to a threshold:
+/// kWarning / kInfo / kDebug.
+LogLevel LogLevelForVerbosity(int verbosity);
+
+/// Redirects emitted lines (the formatted text, no trailing newline) to
+/// `sink`; null restores the default stderr sink. Not thread-safe against
+/// concurrent logging -- install before engine threads start.
+void SetLogSink(void (*sink)(LogLevel level, const std::string& line));
+
+/// Reads the calling thread's registered sim clock; false when none.
+bool CurrentLogSimTime(SimTime* out);
+
+/// Registers `fn(ctx)` as the calling thread's sim clock for this scope.
+/// A raw function pointer + context (rather than std::function) so the
+/// thread-local slot is trivially destructible.
+class ScopedLogClock {
+ public:
+  using NowFn = SimTime (*)(const void* ctx);
+
+  ScopedLogClock(NowFn fn, const void* ctx);
+  ~ScopedLogClock();
+
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+
+ private:
+  NowFn previous_fn_;
+  const void* previous_ctx_;
+};
 
 namespace internal {
 

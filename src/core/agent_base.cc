@@ -347,6 +347,10 @@ void AgentBase::HandleQueryPacket(const Packet& pkt) {
       // Polite gossip: suppress if we heard the query enough times while
       // waiting (our neighborhood is covered).
       if (it != queries_seen_.end() && it->second.heard > cfg_.query_redundancy_k) return;
+      if (cfg_.trace != nullptr) {
+        cfg_.trace->Instant(ctx_->now(), "query.fwd", obs::TraceCat::kQuery,
+                            static_cast<uint16_t>(cfg_.self), "id", id);
+      }
       ctx_->Broadcast(copy);
     });
   }
@@ -355,6 +359,11 @@ void AgentBase::HandleQueryPacket(const Packet& pkt) {
 void AgentBase::SendQueryReply(const QueryPayload& query) {
   std::vector<ReplyTuple> tuples = flash_.Scan(query);
   uint16_t total = static_cast<uint16_t>(std::min<size_t>(tuples.size(), 0xFFFF));
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->Instant(ctx_->now(), "query.scan", obs::TraceCat::kQuery,
+                        static_cast<uint16_t>(cfg_.self), "id", query.query_id,
+                        "matches", total);
+  }
   if (static_cast<int>(tuples.size()) > cfg_.max_reply_tuples) {
     tuples.resize(static_cast<size_t>(cfg_.max_reply_tuples));
   }
@@ -397,6 +406,11 @@ void AgentBase::HandleReplyPacket(const Packet& pkt) {
   if (!pending.responded.Test(reply.responder)) {
     pending.responded.Set(reply.responder);
     ++pending.outcome.responders;
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->Instant(ctx_->now(), "query.reply", obs::TraceCat::kQuery,
+                          static_cast<uint16_t>(cfg_.self), "id", reply.query_id,
+                          "responder", static_cast<uint64_t>(reply.responder));
+    }
   }
   for (const ReplyTuple& t : reply.tuples) pending.outcome.tuples.push_back(t);
   if (pending.outcome.responders >= pending.outcome.targets) {
@@ -451,6 +465,12 @@ uint32_t AgentBase::IssueQueryToTargets(const Query& query,
   pending.outcome.query = query;
   pending.outcome.targets = pending.requested.Count();
   pending.responded = DynamicNodeBitmap(cfg_.num_nodes);
+  pending.issued_at = ctx_->now();
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->Instant(ctx_->now(), "query.issue", obs::TraceCat::kQuery,
+                        static_cast<uint16_t>(cfg_.self), "id", id, "targets",
+                        static_cast<uint64_t>(pending.outcome.targets));
+  }
   // The base's own store answers for free (fallback data + values the
   // index mapped to the base).
   pending.outcome.tuples = flash_.Scan(payload);
@@ -473,10 +493,18 @@ uint32_t AgentBase::IssueQueryToTargets(const Query& query,
 void AgentBase::CloseQuery(uint32_t query_id) {
   auto it = pending_.find(query_id);
   if (it == pending_.end()) return;  // Already closed.
+  SimTime issued_at = it->second.issued_at;
   QueryOutcome outcome = std::move(it->second.outcome);
   pending_.erase(it);
   outcome.closed = true;
   outcome.complete = outcome.responders >= outcome.targets;
+  if (cfg_.trace != nullptr) {
+    // The whole issue-to-close lifetime as one span on the base's track.
+    cfg_.trace->Span(issued_at, ctx_->now() - issued_at, "query",
+                     obs::TraceCat::kQuery, static_cast<uint16_t>(cfg_.self),
+                     "id", query_id, "responders",
+                     static_cast<uint64_t>(outcome.responders));
+  }
   telemetry_->replies_received += static_cast<uint64_t>(outcome.responders);
   telemetry_->tuples_returned += outcome.tuples.size();
   auto [done_it, inserted] = done_.emplace(query_id, std::move(outcome));

@@ -170,6 +170,7 @@ class AgentBase : public sim::App {
 
   struct PendingQuery {
     QueryOutcome outcome;
+    SimTime issued_at = 0;  ///< Start of the query trace span.
     /// The targets the planner actually asked for. The wire set may be a
     /// coarsened superset (MTU fitting); replies from the extra nodes are
     /// dropped so outcomes and selectivity metrics only ever reflect the

@@ -11,6 +11,7 @@
 #include "core/index_builder.h"
 #include "metrics/telemetry.h"
 #include "net/descendants.h"
+#include "obs/trace.h"
 #include "net/neighbor_table.h"
 #include "net/routing_tree.h"
 #include "net/wire.h"
@@ -109,6 +110,9 @@ struct AgentConfig {
   // --- Wiring ---
   /// Success counters (shared across agents); may be null.
   metrics::Telemetry* telemetry = nullptr;
+  /// Structured trace sink for query/index lifecycle events; may be null
+  /// (off). Observation-only: agents record into it but never branch on it.
+  obs::TraceSink* trace = nullptr;
   /// Sampling function: value produced by `node` at `time`. Must be set for
   /// agents that sample.
   std::function<Value(NodeId, SimTime)> sample_fn;

@@ -174,6 +174,11 @@ bool ScoopBaseAgent::RemapNow() {
   BuildResult result = IndexBuilder::Build(inputs, cfg_.builder, next_index_id_);
   ++telemetry().indices_built;
   if (result.chose_store_local) ++telemetry().store_local_decisions;
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->Instant(ctx().now(), "index.build", obs::TraceCat::kIndex,
+                        static_cast<uint16_t>(cfg_.self), "id", next_index_id_,
+                        "producers", inputs.producers.size());
+  }
 
   // Suppression (§5.3): if behaviour barely changes *for the traffic that
   // actually flows*, let nodes keep using the old index and save the
@@ -182,6 +187,10 @@ bool ScoopBaseAgent::RemapNow() {
       IndexBuilder::WeightedSimilarity(inputs, result.index, last_disseminated_) >=
           cfg_.suppression_similarity) {
     ++telemetry().indices_suppressed;
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->Instant(ctx().now(), "index.suppress", obs::TraceCat::kIndex,
+                          static_cast<uint16_t>(cfg_.self), "id", next_index_id_);
+    }
     return false;
   }
 
@@ -190,6 +199,11 @@ bool ScoopBaseAgent::RemapNow() {
   index_history_.push_back(
       IndexGeneration{ctx().now(), result.index, result.expected_cost});
   ++telemetry().indices_disseminated;
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->Instant(ctx().now(), "index.disseminate", obs::TraceCat::kIndex,
+                        static_cast<uint16_t>(cfg_.self), "id",
+                        result.index.id());
+  }
 
   // Chunk to the MTU and seed our own gossip store; Trickle spreads it.
   MappingPayload empty_chunk;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <thread>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "core/agent_base.h"
 #include "core/policy_agents.h"
@@ -13,6 +15,9 @@
 #include "core/scoop_base_agent.h"
 #include "core/scoop_node_agent.h"
 #include "metrics/message_stats.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/sharded_engine.h"
 #include "sim/topology.h"
@@ -45,7 +50,8 @@ sim::Topology MakeTopology(const ExperimentConfig& config, uint64_t seed) {
 }
 
 AgentConfig MakeAgentConfig(const ExperimentConfig& config, NodeId self,
-                            metrics::Telemetry* telemetry, workload::DataSource* source) {
+                            metrics::Telemetry* telemetry, obs::TraceSink* trace,
+                            workload::DataSource* source) {
   AgentConfig agent;
   agent.self = self;
   agent.base = 0;
@@ -63,8 +69,50 @@ AgentConfig MakeAgentConfig(const ExperimentConfig& config, NodeId self,
   agent.builder = config.builder;
   agent.hash_domain = source->domain();
   agent.telemetry = telemetry;
+  agent.trace = trace;
   agent.sample_fn = [source](NodeId node, SimTime now) { return source->Next(node, now); };
   return agent;
+}
+
+/// Writes `text` to `path`, logging (not failing) on I/O errors so a bad
+/// trace path never kills a finished trial.
+void WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    SCOOP_LOG(kWarning) << "cannot open " << path << " for writing";
+    return;
+  }
+  out << text;
+  if (!out.good()) {
+    SCOOP_LOG(kWarning) << "short write to " << path;
+  }
+}
+
+/// Resolves the per-packet-type wire-byte counters ("wire.bytes.<type>").
+/// All null when metrics are off, so the transmit observer stays a single
+/// pointer test per packet.
+std::array<uint64_t*, kNumPacketTypes> WireByteCounters(obs::MetricsRegistry* registry) {
+  std::array<uint64_t*, kNumPacketTypes> ctrs{};
+  if (registry == nullptr) return ctrs;
+  for (int t = 0; t < kNumPacketTypes; ++t) {
+    std::string name = "wire.bytes.";
+    name += PacketTypeName(static_cast<PacketType>(t));
+    ctrs[static_cast<size_t>(t)] = registry->Counter(name);
+  }
+  return ctrs;
+}
+
+/// Folds one profiler's buckets into the result's perf fields. The
+/// profiler must already be stopped at the end of its run loop (the shard
+/// thread or the sequential RunUntil), so post-run work -- trace export,
+/// result collection -- never pollutes the buckets.
+void AddProfile(ExperimentResult* r, obs::SimProfiler* profiler) {
+  if (profiler == nullptr) return;
+  r->profile_queue_seconds += profiler->Seconds(obs::SimProfiler::kQueue);
+  r->profile_radio_seconds += profiler->Seconds(obs::SimProfiler::kRadio);
+  r->profile_agent_seconds += profiler->Seconds(obs::SimProfiler::kAgent);
+  r->profile_shard_sync_seconds += profiler->Seconds(obs::SimProfiler::kShardSync);
+  r->profile_other_seconds += profiler->Seconds(obs::SimProfiler::kOther);
 }
 
 /// Everything needed to issue queries against whichever base agent the
@@ -75,41 +123,46 @@ struct BaseHandle {
 };
 
 /// Installs one base agent (node 0) plus num_nodes-1 node agents through
-/// `set_app(id, app)`, pulling each agent's telemetry sink from
-/// `telemetry_for(id)` (one global sink for the sequential engine, the
-/// owning shard's sink for the sharded one).
-template <typename BaseT, typename NodeT, typename SetApp, typename TelemetryFor>
+/// `set_app(id, app)`, pulling each agent's telemetry and trace sinks from
+/// `telemetry_for(id)` / `trace_for(id)` (one global sink for the
+/// sequential engine, the owning shard's sink for the sharded one).
+template <typename BaseT, typename NodeT, typename SetApp, typename TelemetryFor,
+          typename TraceFor>
 BaseHandle InstallPolicy(const ExperimentConfig& config, SetApp&& set_app,
-                         TelemetryFor&& telemetry_for, workload::DataSource* source) {
+                         TelemetryFor&& telemetry_for, TraceFor&& trace_for,
+                         workload::DataSource* source) {
   BaseHandle handle;
-  auto base = std::make_unique<BaseT>(MakeAgentConfig(config, 0, telemetry_for(0), source));
+  auto base = std::make_unique<BaseT>(
+      MakeAgentConfig(config, 0, telemetry_for(0), trace_for(0), source));
   auto* base_ptr = base.get();
   handle.agent = base_ptr;
   handle.issue = [base_ptr](const Query& q) { return base_ptr->IssueQuery(q); };
   set_app(0, std::move(base));
   for (int i = 1; i < config.num_nodes; ++i) {
     NodeId id = static_cast<NodeId>(i);
-    set_app(id, std::make_unique<NodeT>(MakeAgentConfig(config, id, telemetry_for(id), source)));
+    set_app(id, std::make_unique<NodeT>(
+                    MakeAgentConfig(config, id, telemetry_for(id), trace_for(id), source)));
   }
   return handle;
 }
 
-template <typename SetApp, typename TelemetryFor>
+template <typename SetApp, typename TelemetryFor, typename TraceFor>
 BaseHandle InstallAgentsGeneric(const ExperimentConfig& config, SetApp set_app,
-                                TelemetryFor telemetry_for, workload::DataSource* source) {
+                                TelemetryFor telemetry_for, TraceFor trace_for,
+                                workload::DataSource* source) {
   switch (config.policy) {
     case Policy::kScoop:
       return InstallPolicy<core::ScoopBaseAgent, core::ScoopNodeAgent>(
-          config, set_app, telemetry_for, source);
+          config, set_app, telemetry_for, trace_for, source);
     case Policy::kLocal:
       return InstallPolicy<core::LocalBaseAgent, core::LocalNodeAgent>(
-          config, set_app, telemetry_for, source);
+          config, set_app, telemetry_for, trace_for, source);
     case Policy::kBase:
       return InstallPolicy<core::BasePolicyBaseAgent, core::BasePolicyNodeAgent>(
-          config, set_app, telemetry_for, source);
+          config, set_app, telemetry_for, trace_for, source);
     case Policy::kHashSim:
       return InstallPolicy<core::HashBaseAgent, core::HashNodeAgent>(
-          config, set_app, telemetry_for, source);
+          config, set_app, telemetry_for, trace_for, source);
     case Policy::kHashAnalytical:
       SCOOP_CHECK(false);  // Handled by HashAnalysisAsResult, not simulation.
   }
@@ -117,13 +170,15 @@ BaseHandle InstallAgentsGeneric(const ExperimentConfig& config, SetApp set_app,
 }
 
 BaseHandle InstallAgents(sim::Network* network, const ExperimentConfig& config,
-                         metrics::Telemetry* telemetry, workload::DataSource* source) {
+                         metrics::Telemetry* telemetry, obs::TraceSink* trace,
+                         workload::DataSource* source) {
   return InstallAgentsGeneric(
       config,
       [network](NodeId id, std::unique_ptr<sim::App> app) {
         network->SetApp(id, std::move(app));
       },
-      [telemetry](NodeId) { return telemetry; }, source);
+      [telemetry](NodeId) { return telemetry; }, [trace](NodeId) { return trace; },
+      source);
 }
 
 /// The two engine hooks QueryDriver needs, so one driver serves both the
@@ -323,6 +378,21 @@ ExperimentResult CollectResult(const ExperimentConfig& config,
 
 }  // namespace
 
+std::string ExpandObsPath(const std::string& path, const std::string& suffix) {
+  if (path.empty()) return path;
+  size_t slash = path.find_last_of('/');
+  size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    std::string out = path;
+    out += suffix;
+    return out;
+  }
+  std::string out = path.substr(0, dot);
+  out += suffix;
+  out += path.substr(dot);
+  return out;
+}
+
 const char* TopologyPresetName(TopologyPreset preset) {
   switch (preset) {
     case TopologyPreset::kTestbed:
@@ -361,10 +431,31 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   sim::NetworkOptions net_opts;
   net_opts.seed = seed;
   sim::Network network(topology, net_opts);
+  ScopedLogClock log_clock(
+      [](const void* ctx) { return static_cast<const sim::Network*>(ctx)->now(); },
+      &network);
+
+  // Observability sinks (each null unless requested; every hook they feed
+  // is branch-on-null, and none of them draws randomness or schedules
+  // events, so results are identical with them on or off).
+  std::unique_ptr<obs::TraceSink> trace;
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::SimProfiler> profiler;
+  if (!config.trace_out.empty()) trace = std::make_unique<obs::TraceSink>();
+  if (!config.metrics_out.empty()) registry = std::make_unique<obs::MetricsRegistry>();
+  if (config.profile) profiler = std::make_unique<obs::SimProfiler>();
+  network.radio().EnableObservability(trace.get(), registry.get(), profiler.get());
+  network.queue().set_profiler(profiler.get());
 
   metrics::MessageStats stats(config.num_nodes);
+  std::array<uint64_t*, kNumPacketTypes> wire_ctrs = WireByteCounters(registry.get());
+  const std::array<uint64_t*, kNumPacketTypes>* wire = &wire_ctrs;
   network.set_transmit_observer(
-      [&stats](NodeId src, const Packet& pkt, bool retx) { stats.OnTransmit(src, pkt, retx); });
+      [&stats, wire](NodeId src, const Packet& pkt, bool retx) {
+        stats.OnTransmit(src, pkt, retx);
+        uint64_t* ctr = (*wire)[static_cast<size_t>(pkt.hdr.type)];
+        if (ctr != nullptr) *ctr += static_cast<uint64_t>(pkt.WireSize());
+      });
   network.set_deliver_observer(
       [&stats](NodeId dst, const Packet& pkt, bool addressed) {
         stats.OnDeliver(dst, pkt, addressed);
@@ -375,7 +466,7 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   metrics::Telemetry telemetry;
   std::unique_ptr<workload::DataSource> source = workload::MakeDataSource(
       config.source, config.source_options, topology.positions(), seed);
-  BaseHandle handle = InstallAgents(&network, config, &telemetry, source.get());
+  BaseHandle handle = InstallAgents(&network, config, &telemetry, trace.get(), source.get());
 
   DriverOps ops;
   ops.now = [&network] { return network.now(); };
@@ -395,10 +486,42 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
     });
   }
 
-  network.RunUntil(config.duration);
+  // Attribution starts at the run loop; setup (topology, agent install)
+  // belongs to no bucket.
+  if (profiler != nullptr) profiler->Restart();
 
-  return CollectResult(config, stats, telemetry, queries.AvgPctNodesQueried(), handle.agent,
-                       network.queue().processed());
+  if (registry != nullptr && config.metrics_interval > 0) {
+    sim::EventQueue* q = &network.queue();
+    registry->Gauge("queue.depth", [q] { return static_cast<uint64_t>(q->size()); });
+    registry->Gauge("queue.processed", [q] { return q->processed(); });
+    obs::Histogram* depth_hist = registry->Hist("queue.occupancy");
+    // Slice the run on the sampling grid. EventQueue::RunUntil(t) advances
+    // the clock to exactly t, so slicing is semantics-preserving and each
+    // sample sees precisely the events at or before its grid point.
+    for (SimTime t = config.metrics_interval; t <= config.duration;
+         t += config.metrics_interval) {
+      network.RunUntil(t);
+      depth_hist->Record(q->size());
+      registry->Sample(t);
+    }
+  }
+  network.RunUntil(config.duration);
+  if (profiler != nullptr) profiler->Stop();
+
+  if (trace != nullptr) {
+    WriteTextFile(config.trace_out, obs::ExportChromeTrace({trace.get()}));
+  }
+  if (registry != nullptr) {
+    WriteTextFile(config.metrics_out, obs::ExportMetricsJsonLines({registry.get()}));
+  }
+  SCOOP_LOG(kInfo) << "trial done: policy=" << PolicyName(config.policy)
+                   << " seed=" << seed << " events=" << network.queue().processed();
+
+  ExperimentResult r = CollectResult(config, stats, telemetry,
+                                     queries.AvgPctNodesQueried(), handle.agent,
+                                     network.queue().processed());
+  AddProfile(&r, profiler.get());
+  return r;
 }
 
 int ResolvedShards(const ExperimentConfig& config) {
@@ -428,10 +551,38 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
   for (int s = 0; s < k; ++s) shard_stats.emplace_back(config.num_nodes);
   std::vector<metrics::Telemetry> shard_telemetry(static_cast<size_t>(k));
 
+  // Observability sinks follow the same one-per-shard rule as the stats
+  // sinks above: each shard's instrumentation fires on its own thread, so
+  // shards never contend; export merges them afterwards.
+  std::vector<std::unique_ptr<obs::TraceSink>> traces(static_cast<size_t>(k));
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries(static_cast<size_t>(k));
+  std::vector<std::unique_ptr<obs::SimProfiler>> profilers(static_cast<size_t>(k));
+  std::vector<std::array<uint64_t*, kNumPacketTypes>> wire_ctrs(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    if (!config.trace_out.empty()) {
+      traces[static_cast<size_t>(s)] = std::make_unique<obs::TraceSink>();
+    }
+    if (!config.metrics_out.empty()) {
+      registries[static_cast<size_t>(s)] = std::make_unique<obs::MetricsRegistry>();
+    }
+    if (config.profile) {
+      profilers[static_cast<size_t>(s)] = std::make_unique<obs::SimProfiler>();
+    }
+    engine.EnableObservability(s, traces[static_cast<size_t>(s)].get(),
+                               registries[static_cast<size_t>(s)].get(),
+                               profilers[static_cast<size_t>(s)].get(),
+                               config.metrics_interval);
+    wire_ctrs[static_cast<size_t>(s)] =
+        WireByteCounters(registries[static_cast<size_t>(s)].get());
+  }
+
   for (int s = 0; s < k; ++s) {
     metrics::MessageStats* ms = &shard_stats[static_cast<size_t>(s)];
-    engine.set_transmit_observer(s, [ms](NodeId src, const Packet& pkt, bool retx) {
+    const std::array<uint64_t*, kNumPacketTypes>* wire = &wire_ctrs[static_cast<size_t>(s)];
+    engine.set_transmit_observer(s, [ms, wire](NodeId src, const Packet& pkt, bool retx) {
       ms->OnTransmit(src, pkt, retx);
+      uint64_t* ctr = (*wire)[static_cast<size_t>(pkt.hdr.type)];
+      if (ctr != nullptr) *ctr += static_cast<uint64_t>(pkt.WireSize());
     });
     engine.set_deliver_observer(s, [ms](NodeId dst, const Packet& pkt, bool addressed) {
       ms->OnDeliver(dst, pkt, addressed);
@@ -449,6 +600,9 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
       [&engine, &shard_telemetry](NodeId id) {
         return &shard_telemetry[static_cast<size_t>(engine.shard_of(id))];
       },
+      [&engine, &traces](NodeId id) {
+        return traces[static_cast<size_t>(engine.shard_of(id))].get();
+      },
       source.get());
 
   DriverOps ops;
@@ -465,6 +619,11 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
     for (NodeId v : wave.victims) engine.ScheduleAlive(wave.at, v, false);
   }
 
+  ScopedLogClock log_clock(
+      [](const void* ctx) {
+        return static_cast<const sim::ShardedEngine*>(ctx)->DriverNow();
+      },
+      &engine);
   engine.Start();
   queries.Start();
   engine.RunUntil(config.duration);
@@ -474,8 +633,25 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
   metrics::Telemetry telemetry = shard_telemetry[0];
   for (int s = 1; s < k; ++s) telemetry.MergeFrom(shard_telemetry[static_cast<size_t>(s)]);
 
-  return CollectResult(config, stats, telemetry, queries.AvgPctNodesQueried(), handle.agent,
-                       engine.processed());
+  if (!config.trace_out.empty()) {
+    std::vector<const obs::TraceSink*> sinks;
+    for (const auto& t : traces) sinks.push_back(t.get());
+    WriteTextFile(config.trace_out, obs::ExportChromeTrace(sinks));
+  }
+  if (!config.metrics_out.empty()) {
+    std::vector<const obs::MetricsRegistry*> regs;
+    for (const auto& r : registries) regs.push_back(r.get());
+    WriteTextFile(config.metrics_out, obs::ExportMetricsJsonLines(regs));
+  }
+  SCOOP_LOG(kInfo) << "trial done: policy=" << PolicyName(config.policy)
+                   << " seed=" << seed << " shards=" << k
+                   << " events=" << engine.processed();
+
+  ExperimentResult r = CollectResult(config, stats, telemetry,
+                                     queries.AvgPctNodesQueried(), handle.agent,
+                                     engine.processed());
+  for (auto& p : profilers) AddProfile(&r, p.get());
+  return r;
 }
 
 ExperimentResult RunAnyTrial(const ExperimentConfig& config, uint64_t seed) {
@@ -527,6 +703,11 @@ ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
     sum.root_lifetime_days += r.root_lifetime_days;
     sum.wall_seconds += r.wall_seconds;
     sum.sim_events += r.sim_events;
+    sum.profile_queue_seconds += r.profile_queue_seconds;
+    sum.profile_radio_seconds += r.profile_radio_seconds;
+    sum.profile_agent_seconds += r.profile_agent_seconds;
+    sum.profile_shard_sync_seconds += r.profile_shard_sync_seconds;
+    sum.profile_other_seconds += r.profile_other_seconds;
   }
   double k = static_cast<double>(trials.size());
   for (int t = 0; t < kNumPacketTypes; ++t) sum.sent_by_type[static_cast<size_t>(t)] /= k;
@@ -554,6 +735,11 @@ ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
   sum.root_lifetime_days /= k;
   sum.wall_seconds /= k;
   sum.sim_events /= k;
+  sum.profile_queue_seconds /= k;
+  sum.profile_radio_seconds /= k;
+  sum.profile_agent_seconds /= k;
+  sum.profile_shard_sync_seconds /= k;
+  sum.profile_other_seconds /= k;
   return sum;
 }
 
@@ -562,7 +748,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   std::vector<ExperimentResult> rows;
   rows.reserve(static_cast<size_t>(config.trials));
   for (int trial = 0; trial < config.trials; ++trial) {
-    rows.push_back(RunAnyTrial(config, MixSeed(config.seed, static_cast<uint64_t>(trial))));
+    ExperimentConfig c = config;
+    if (config.trials > 1) {
+      // One trace/metrics file per trial; a shared path would be clobbered.
+      std::string suffix = "-t";
+      suffix += std::to_string(trial);
+      c.trace_out = ExpandObsPath(config.trace_out, suffix);
+      c.metrics_out = ExpandObsPath(config.metrics_out, suffix);
+    }
+    rows.push_back(RunAnyTrial(c, MixSeed(config.seed, static_cast<uint64_t>(trial))));
   }
   return AggregateTrials(rows);
 }

@@ -114,6 +114,18 @@ struct ExperimentConfig {
   core::IndexBuilderOptions builder;
 
   metrics::EnergyOptions energy;
+
+  // --- Observability (src/obs/; all off by default) ---
+  /// Chrome-trace JSON output path ("" = tracing off). Multi-trial runs
+  /// write one file per trial (a "-t<trial>" suffix is inserted).
+  std::string trace_out;
+  /// Metrics JSONL output path ("" = metrics off); same per-trial suffix.
+  std::string metrics_out;
+  /// Simulated-time grid the metrics registry is sampled on.
+  SimTime metrics_interval = Seconds(10);
+  /// Attach the wall-clock sim profiler; bucket seconds land in the
+  /// profile_*_seconds result fields (perf-only, like wall_seconds).
+  bool profile = false;
 };
 
 /// Aggregated (trial-averaged) results.
@@ -174,6 +186,15 @@ struct ExperimentResult {
   // seed. The campaign runner surfaces these via its perf report instead.
   double wall_seconds = 0;  ///< Host wall-clock the trial took.
   double sim_events = 0;    ///< Discrete events the trial executed.
+
+  // Profiler buckets (wall-clock attribution, config.profile only; same
+  // perf-only status as wall_seconds). Sharded trials sum across shard
+  // threads, so the buckets total ~K times the elapsed wall time.
+  double profile_queue_seconds = 0;
+  double profile_radio_seconds = 0;
+  double profile_agent_seconds = 0;
+  double profile_shard_sync_seconds = 0;
+  double profile_other_seconds = 0;
 };
 
 /// Runs `config.trials` trials (seeds derived from config.seed) and averages.
@@ -203,6 +224,11 @@ ExperimentResult RunAnyTrial(const ExperimentConfig& config, uint64_t seed);
 /// follows the order of `trials`, so a fixed row order yields bit-identical
 /// aggregates regardless of how the trials were scheduled.
 ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials);
+
+/// Inserts `suffix` before `path`'s extension ("a/b.json" + "-t1" ->
+/// "a/b-t1.json"); appended when there is no extension. "" passes through.
+/// Used to split trace/metrics outputs per trial and per campaign combo.
+std::string ExpandObsPath(const std::string& path, const std::string& suffix);
 
 /// Evaluates the paper's analytical HASH model for this workload over the
 /// same topology the simulation would use.

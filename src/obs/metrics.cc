@@ -1,0 +1,105 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace scoop::obs {
+
+int Histogram::used_buckets() const {
+  for (int i = kNumBuckets; i > 0; --i) {
+    if (buckets_[i - 1] != 0) return i;
+  }
+  return 0;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+uint64_t* MetricsRegistry::Counter(const std::string& name) {
+  std::unique_ptr<uint64_t>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<uint64_t>(0);
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::Hist(const std::string& name) {
+  std::unique_ptr<Histogram>& slot = hists_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::Gauge(const std::string& name,
+                            std::function<uint64_t()> fn) {
+  gauges_[name] = std::move(fn);
+}
+
+void MetricsRegistry::Sample(SimTime now) {
+  // std::map iteration is name-sorted, so the field order within a row is
+  // deterministic regardless of registration order.
+  std::string body;
+  char buf[96];
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRIu64, name.c_str(), *value);
+    body.append(buf);
+  }
+  for (const auto& [name, fn] : gauges_) {
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRIu64, name.c_str(), fn());
+    body.append(buf);
+  }
+  for (const auto& [name, hist] : hists_) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"log2_buckets\":[",
+                  name.c_str(), hist->count(), hist->sum());
+    body.append(buf);
+    int used = hist->used_buckets();
+    for (int i = 0; i < used; ++i) {
+      std::snprintf(buf, sizeof(buf), i == 0 ? "%" PRIu64 : ",%" PRIu64,
+                    hist->bucket(i));
+      body.append(buf);
+    }
+    body.append("]}");
+  }
+  rows_.push_back(Row{now, std::move(body)});
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : *it->second;
+}
+
+std::string ExportMetricsJsonLines(
+    const std::vector<const MetricsRegistry*>& registries) {
+  struct Ref {
+    SimTime t;
+    int shard;
+    const std::string* body;
+  };
+  std::vector<Ref> refs;
+  for (size_t shard = 0; shard < registries.size(); ++shard) {
+    const MetricsRegistry* reg = registries[shard];
+    if (reg == nullptr) continue;
+    for (const MetricsRegistry::Row& row : reg->rows_) {
+      refs.push_back(Ref{row.t, static_cast<int>(shard), &row.body});
+    }
+  }
+  std::stable_sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    return a.t != b.t ? a.t < b.t : a.shard < b.shard;
+  });
+
+  std::string out;
+  char buf[64];
+  for (const Ref& ref : refs) {
+    std::snprintf(buf, sizeof(buf), "{\"t_us\":%" PRId64 ",\"shard\":%d",
+                  ref.t, ref.shard);
+    out.append(buf);
+    out.append(*ref.body);
+    out.append("}\n");
+  }
+  return out;
+}
+
+}  // namespace scoop::obs

@@ -1,0 +1,23 @@
+#include "obs/profiler.h"
+
+namespace scoop::obs {
+
+const char* SimProfiler::BucketName(Bucket bucket) {
+  switch (bucket) {
+    case kQueue:
+      return "queue";
+    case kRadio:
+      return "radio";
+    case kAgent:
+      return "agent";
+    case kShardSync:
+      return "shard_sync";
+    case kOther:
+      return "other";
+    case kNumBuckets:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace scoop::obs

@@ -1,0 +1,106 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace scoop::obs {
+
+const char* TraceCatName(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kPacket:
+      return "packet";
+    case TraceCat::kMac:
+      return "mac";
+    case TraceCat::kQuery:
+      return "query";
+    case TraceCat::kIndex:
+      return "index";
+    case TraceCat::kShardSync:
+      return "shard-sync";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void AppendEventJson(std::string* out, const TraceEvent& e, int pid) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%" PRId64
+                ",\"pid\":%d,\"tid\":%u",
+                e.name, TraceCatName(e.cat), e.dur >= 0 ? "X" : "i", e.ts, pid,
+                static_cast<unsigned>(e.tid));
+  out->append(buf);
+  if (e.dur >= 0) {
+    std::snprintf(buf, sizeof(buf), ",\"dur\":%" PRId64, e.dur);
+    out->append(buf);
+  } else {
+    // Instant scope: thread-scoped (the default renders tiny; "t" keeps
+    // instants visible on their track).
+    out->append(",\"s\":\"t\"");
+  }
+  if (e.arg1_name != nullptr) {
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"%s\":%" PRIu64, e.arg1_name,
+                  e.arg1);
+    out->append(buf);
+    if (e.arg2_name != nullptr) {
+      std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRIu64, e.arg2_name, e.arg2);
+      out->append(buf);
+    }
+    out->append("}");
+  }
+  out->append("}");
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<const TraceSink*>& sinks) {
+  // Merge to (pid, index) pairs and stably sort by timestamp; within one
+  // timestamp the original per-sink append order is preserved, which keeps
+  // span-before-contained-instant ordering intact.
+  struct Ref {
+    SimTime ts;
+    int pid;
+    uint32_t index;
+  };
+  std::vector<Ref> refs;
+  size_t total = 0;
+  for (const TraceSink* sink : sinks) {
+    if (sink != nullptr) total += sink->size();
+  }
+  refs.reserve(total);
+  uint64_t dropped = 0;
+  for (size_t pid = 0; pid < sinks.size(); ++pid) {
+    const TraceSink* sink = sinks[pid];
+    if (sink == nullptr) continue;
+    dropped += sink->dropped();
+    const std::vector<TraceEvent>& events = sink->events();
+    for (uint32_t i = 0; i < events.size(); ++i) {
+      refs.push_back(Ref{events[i].ts, static_cast<int>(pid), i});
+    }
+  }
+  std::stable_sort(refs.begin(), refs.end(),
+                   [](const Ref& a, const Ref& b) { return a.ts < b.ts; });
+
+  std::string out;
+  out.reserve(96 * refs.size() + 256);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  for (const Ref& ref : refs) {
+    if (!first) out.append(",\n");
+    first = false;
+    AppendEventJson(&out, sinks[ref.pid]->events()[ref.index], ref.pid);
+  }
+  out.append("]");
+  if (dropped > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"otherData\":{\"dropped\":%" PRIu64 "}",
+                  dropped);
+    out.append(buf);
+  }
+  out.append("}\n");
+  return out;
+}
+
+}  // namespace scoop::obs

@@ -128,8 +128,19 @@ Result<CampaignResult> RunCampaign(const Scenario& scenario, const CampaignOptio
       size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= units.size()) return;
       const Unit& unit = units[i];
+      harness::ExperimentConfig config = result.rows[unit.combo].config;
+      if (!config.trace_out.empty() || !config.metrics_out.empty()) {
+        // Every (combo, trial) writes its own trace/metrics file; a shared
+        // path would be clobbered by concurrent workers.
+        std::string suffix = "-c";
+        suffix += std::to_string(unit.combo);
+        suffix += "-t";
+        suffix += std::to_string(unit.trial);
+        config.trace_out = harness::ExpandObsPath(config.trace_out, suffix);
+        config.metrics_out = harness::ExpandObsPath(config.metrics_out, suffix);
+      }
       result.rows[unit.combo].trials[static_cast<size_t>(unit.trial)] =
-          harness::RunAnyTrial(result.rows[unit.combo].config, unit.seed);
+          harness::RunAnyTrial(config, unit.seed);
     }
   };
   if (threads == 1) {

@@ -210,12 +210,39 @@ std::string CampaignJsonLines(const CampaignResult& result) {
 }
 
 std::string CampaignPerfJson(const CampaignResult& result) {
+  // The profiler buckets, as (json key, accessor) pairs shared by the
+  // top-level totals and the per-row means. Emitted only when some trial
+  // actually profiled (config obs.profile / --profile), so unprofiled perf
+  // reports keep their old shape.
+  struct Bucket {
+    const char* key;
+    double (*get)(const harness::ExperimentResult&);
+  };
+  static constexpr Bucket kBuckets[] = {
+      {"profile_queue_seconds",
+       [](const harness::ExperimentResult& r) { return r.profile_queue_seconds; }},
+      {"profile_radio_seconds",
+       [](const harness::ExperimentResult& r) { return r.profile_radio_seconds; }},
+      {"profile_agent_seconds",
+       [](const harness::ExperimentResult& r) { return r.profile_agent_seconds; }},
+      {"profile_shard_sync_seconds",
+       [](const harness::ExperimentResult& r) { return r.profile_shard_sync_seconds; }},
+      {"profile_other_seconds",
+       [](const harness::ExperimentResult& r) { return r.profile_other_seconds; }},
+  };
   double total_events = 0;
   double total_wall = 0;
+  double bucket_totals[std::size(kBuckets)] = {};
+  bool profiled = false;
   for (const CampaignRow& row : result.rows) {
     for (const harness::ExperimentResult& trial : row.trials) {
       total_events += trial.sim_events;
       total_wall += trial.wall_seconds;
+      for (size_t b = 0; b < std::size(kBuckets); ++b) {
+        double v = kBuckets[b].get(trial);
+        bucket_totals[b] += v;
+        if (v > 0) profiled = true;
+      }
     }
   }
   std::string out = "{\"scenario\":" + JsonString(result.scenario_name);
@@ -225,6 +252,16 @@ std::string CampaignPerfJson(const CampaignResult& result) {
   out += ",\"sim_events_total\":" + FormatJsonMetric(total_events);
   out += ",\"events_per_second\":" +
          FormatJsonMetric(total_wall > 0 ? total_events / total_wall : 0.0);
+  if (profiled) {
+    out += ",\"profile\":{";
+    for (size_t b = 0; b < std::size(kBuckets); ++b) {
+      if (b > 0) out += ",";
+      out += JsonString(kBuckets[b].key);
+      out += ":";
+      out += FormatJsonMetric(bucket_totals[b]);
+    }
+    out += "}";
+  }
   out += ",\"rows\":[";
   for (size_t i = 0; i < result.rows.size(); ++i) {
     const CampaignRow& row = result.rows[i];
@@ -240,6 +277,16 @@ std::string CampaignPerfJson(const CampaignResult& result) {
            FormatJsonMetric(row.mean.wall_seconds > 0
                                 ? row.mean.sim_events / row.mean.wall_seconds
                                 : 0.0);
+    if (profiled) {
+      out += ",\"profile\":{";
+      for (size_t b = 0; b < std::size(kBuckets); ++b) {
+        if (b > 0) out += ",";
+        out += JsonString(kBuckets[b].key);
+        out += ":";
+        out += FormatJsonMetric(kBuckets[b].get(row.mean));
+      }
+      out += "}";
+    }
     out += "}";
   }
   out += "]}\n";

@@ -493,6 +493,35 @@ const KeyInfo kKeys[] = {
        return StoreDouble(v, &c->energy.battery_joules, 0.0, 1e12, "energy_battery_joules");
      },
      [](const ExperimentConfig& c) { return FormatNumber(c.energy.battery_joules); }},
+    // Observability (src/obs/). Path keys use the "off" sentinel because a
+    // .scn value cannot be empty; "off"/"none" both mean disabled.
+    {"obs.trace_out",
+     [](ExperimentConfig* c, std::string_view v) {
+       std::string_view s = TrimView(v);
+       c->trace_out = (s == "off" || s == "none") ? std::string() : std::string(s);
+       return Status::OK();
+     },
+     [](const ExperimentConfig& c) {
+       return c.trace_out.empty() ? std::string("off") : c.trace_out;
+     }},
+    {"obs.metrics_out",
+     [](ExperimentConfig* c, std::string_view v) {
+       std::string_view s = TrimView(v);
+       c->metrics_out = (s == "off" || s == "none") ? std::string() : std::string(s);
+       return Status::OK();
+     },
+     [](const ExperimentConfig& c) {
+       return c.metrics_out.empty() ? std::string("off") : c.metrics_out;
+     }},
+    {"obs.metrics_interval_seconds",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreSeconds(v, &c->metrics_interval, /*allow_zero=*/false,
+                           "obs.metrics_interval_seconds");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(ToSeconds(c.metrics_interval)); }},
+    {"obs.profile",
+     [](ExperimentConfig* c, std::string_view v) { return StoreBool(v, &c->profile); },
+     [](const ExperimentConfig& c) { return FormatBool(c.profile); }},
 };
 
 const KeyInfo* FindKey(std::string_view key) {

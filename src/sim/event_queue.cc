@@ -124,11 +124,19 @@ bool EventQueue::RunOne() {
   --live_;
   now_ = top.at;
   ++processed_;
-  fn();
+  if (profiler_ != nullptr) {
+    obs::SimProfiler::Bucket prev =
+        profiler_->Switch(obs::SimProfiler::kAgent);
+    fn();
+    profiler_->Switch(prev);
+  } else {
+    fn();
+  }
   return true;
 }
 
 void EventQueue::RunUntil(SimTime end) {
+  obs::ScopedBucket bucket(profiler_, obs::SimProfiler::kQueue);
   for (;;) {
     SkimStale();
     if (heap_.empty() || heap_.front().at > end) break;

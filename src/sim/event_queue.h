@@ -23,6 +23,7 @@
 
 #include "common/sim_time.h"
 #include "common/small_callback.h"
+#include "obs/profiler.h"
 
 namespace scoop::sim {
 
@@ -88,6 +89,13 @@ class EventQueue {
   /// assert the heap stays bounded under cancel-heavy workloads.
   size_t heap_size() const { return heap_.size(); }
 
+  /// Optional wall-clock profiler (obs layer; null = off, the default).
+  /// When set, run-loop/heap work is attributed to the kQueue bucket and
+  /// callback dispatch to kAgent (callees re-attribute themselves, e.g.
+  /// the radio switches to kRadio on entry). Pure observation: profiling
+  /// never changes event order or simulation results.
+  void set_profiler(obs::SimProfiler* profiler) { profiler_ = profiler; }
+
  private:
   /// Low bits of an id/key addressing the slab slot.
   static constexpr int kSlotBits = 24;
@@ -144,6 +152,7 @@ class EventQueue {
   uint64_t next_seq_ = 0;
   SimTime now_ = 0;
   size_t processed_ = 0;
+  obs::SimProfiler* profiler_ = nullptr;
 };
 
 }  // namespace scoop::sim

@@ -31,6 +31,21 @@ Radio::Radio(const Topology* topology, const RadioOptions& options, EventQueue* 
   }
 }
 
+void Radio::EnableObservability(obs::TraceSink* trace,
+                                obs::MetricsRegistry* metrics,
+                                obs::SimProfiler* profiler) {
+  trace_ = trace;
+  profiler_ = profiler;
+  if (metrics != nullptr) {
+    backoff_hist_ = metrics->Hist("mac.backoff_us");
+    ctr_backoffs_ = metrics->Counter("mac.backoffs_scheduled");
+    ctr_tx_ = metrics->Counter("radio.tx_started");
+    ctr_deliveries_ = metrics->Counter("radio.deliveries");
+    ctr_drops_busy_ = metrics->Counter("radio.drops_channel_busy");
+    ctr_drops_noack_ = metrics->Counter("radio.drops_no_ack");
+  }
+}
+
 void Radio::SetNodeAlive(NodeId id, bool alive) {
   SCOOP_CHECK_LT(static_cast<size_t>(id), alive_.size());
   alive_[id] = alive;
@@ -75,6 +90,12 @@ void Radio::Send(NodeId src, Packet pkt) {
   SCOOP_CHECK_LT(src, mac_.size());
   SCOOP_CHECK_LE(pkt.WireSize(), options_.max_packet_bytes);
   if (!alive_[src]) return;  // Dead radios transmit nothing.
+  obs::ScopedBucket bucket(profiler_, obs::SimProfiler::kRadio);
+  if (trace_ != nullptr) {
+    trace_->Instant(queue_->now(), "originate", obs::TraceCat::kPacket, src,
+                    "type", static_cast<uint64_t>(pkt.hdr.type), "bytes",
+                    static_cast<uint64_t>(pkt.WireSize()));
+  }
   pkt.hdr.link_src = src;
   OutFrame frame;
   frame.airtime = Airtime(pkt.WireSize());
@@ -154,6 +175,7 @@ void Radio::PruneRing() {
 void Radio::TryStart(NodeId src) {
   MacState& mac = mac_[src];
   if (mac.transmitting || mac.backoff_scheduled || mac.queue.empty()) return;
+  obs::ScopedBucket bucket(profiler_, obs::SimProfiler::kRadio);
 
   OutFrame& frame = mac.queue.front();
   if (ChannelBusy(src)) {
@@ -161,6 +183,12 @@ void Radio::TryStart(NodeId src) {
     if (frame.channel_attempts >= options_.max_channel_attempts) {
       OutFrame dropped = std::move(mac.queue.front());
       mac.queue.pop_front();
+      if (ctr_drops_busy_ != nullptr) ++*ctr_drops_busy_;
+      if (trace_ != nullptr) {
+        trace_->Instant(queue_->now(), "drop.channel_busy",
+                        obs::TraceCat::kPacket, src, "type",
+                        static_cast<uint64_t>(dropped.pkt.hdr.type));
+      }
       if (drop_hook_) drop_hook_(src, dropped.pkt, DropReason::kChannelBusy);
       if (send_done_hook_) send_done_hook_(src, dropped.pkt, false);
       TryStart(src);
@@ -170,6 +198,14 @@ void Radio::TryStart(NodeId src) {
     // Uniform in [1, window]: never zero (a zero delay would re-sense at
     // the same instant and burn channel attempts without progress).
     SimTime delay = 1 + rng_.UniformInt(0, window - 1);
+    // Record the already-drawn delay (never draw for instrumentation).
+    if (backoff_hist_ != nullptr) backoff_hist_->Record(static_cast<uint64_t>(delay));
+    if (ctr_backoffs_ != nullptr) ++*ctr_backoffs_;
+    if (trace_ != nullptr) {
+      trace_->Span(queue_->now(), delay, "backoff", obs::TraceCat::kMac, src,
+                   "attempt", static_cast<uint64_t>(frame.channel_attempts),
+                   "window_us", static_cast<uint64_t>(window));
+    }
     mac.backoff_scheduled = true;
     queue_->ScheduleAfter(delay, [this, src] {
       mac_[src].backoff_scheduled = false;
@@ -189,6 +225,12 @@ void Radio::TryStart(NodeId src) {
 
   SimTime start = queue_->now();
   SimTime end = start + frame.airtime;
+  if (ctr_tx_ != nullptr) ++*ctr_tx_;
+  if (trace_ != nullptr) {
+    trace_->Span(start, frame.airtime, "tx", obs::TraceCat::kPacket, src,
+                 "type", static_cast<uint64_t>(frame.pkt.hdr.type), "seq",
+                 static_cast<uint64_t>(frame.pkt.hdr.seq));
+  }
   ring_.push_back(Transmission{src, start, end});
   node_tx_[src][1] = node_tx_[src][0];
   node_tx_[src][0] = TxSpan{start, end};
@@ -199,6 +241,7 @@ void Radio::TryStart(NodeId src) {
 }
 
 void Radio::FinishTx(NodeId src, SimTime start, SimTime end, uint32_t gen) {
+  obs::ScopedBucket bucket(profiler_, obs::SimProfiler::kRadio);
   MacState& mac = mac_[src];
   if (gen != mac.tx_gen) {
     // Stale completion: the frame was aborted mid-air by a power-cycle.
@@ -232,6 +275,14 @@ void Radio::FinishTx(NodeId src, SimTime start, SimTime end, uint32_t gen) {
     if (Collided(r, src, start, end)) continue;         // Corrupted.
     bool addressed = (dst == kBroadcastId) || (dst == r);
     if (dst == r) dst_received = true;
+    if (ctr_deliveries_ != nullptr) ++*ctr_deliveries_;
+    // Trace addressed receptions only; snoops are counted, not traced,
+    // to bound trace volume in dense neighborhoods.
+    if (trace_ != nullptr && addressed) {
+      trace_->Instant(end, "deliver", obs::TraceCat::kPacket, r, "src",
+                      static_cast<uint64_t>(src), "type",
+                      static_cast<uint64_t>(pkt.hdr.type));
+    }
     if (deliver_hook_) deliver_hook_(r, pkt, addressed);
   }
 
@@ -256,6 +307,12 @@ void Radio::FinishTx(NodeId src, SimTime start, SimTime end, uint32_t gen) {
     } else {
       Packet sent = std::move(mac.queue.front().pkt);
       mac.queue.pop_front();
+      if (ctr_drops_noack_ != nullptr) ++*ctr_drops_noack_;
+      if (trace_ != nullptr) {
+        trace_->Instant(end, "drop.no_ack", obs::TraceCat::kPacket, src,
+                        "type", static_cast<uint64_t>(sent.hdr.type), "dst",
+                        static_cast<uint64_t>(dst));
+      }
       if (drop_hook_) drop_hook_(src, sent, DropReason::kNoAck);
       if (send_done_hook_) send_done_hook_(src, sent, false);
     }

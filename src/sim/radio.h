@@ -24,6 +24,8 @@
 #include "common/small_callback.h"
 #include "common/rng.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/radio_options.h"
 #include "sim/topology.h"
@@ -92,6 +94,15 @@ class Radio {
   /// backoff_min, doubles per attempt, clamps at backoff_max. Exposed so
   /// tests can pin the window sequence.
   static SimTime BackoffWindow(const RadioOptions& options, int attempt);
+
+  /// Attaches observability sinks (any may be null). Counter/histogram
+  /// pointers are resolved here, once, so the per-event cost when enabled
+  /// is a branch plus an increment -- and exactly one branch when off.
+  /// Observation-only: recording draws no randomness (backoff delays are
+  /// recorded after the MAC draws them) and schedules nothing, so enabling
+  /// tracing cannot change simulation output.
+  void EnableObservability(obs::TraceSink* trace, obs::MetricsRegistry* metrics,
+                           obs::SimProfiler* profiler);
 
  private:
   struct OutFrame {
@@ -177,6 +188,16 @@ class Radio {
   DeliverHook deliver_hook_;
   DropHook drop_hook_;
   SendDoneHook send_done_hook_;
+
+  // --- Observability (all null = off; every site is branch-on-null) ---
+  obs::TraceSink* trace_ = nullptr;
+  obs::SimProfiler* profiler_ = nullptr;
+  obs::Histogram* backoff_hist_ = nullptr;
+  uint64_t* ctr_backoffs_ = nullptr;
+  uint64_t* ctr_tx_ = nullptr;
+  uint64_t* ctr_deliveries_ = nullptr;
+  uint64_t* ctr_drops_busy_ = nullptr;
+  uint64_t* ctr_drops_noack_ = nullptr;
 };
 
 }  // namespace scoop::sim

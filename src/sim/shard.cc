@@ -106,7 +106,14 @@ bool ShardQueue::RunOne() {
   --live_;
   now_ = top.at;
   ++processed_;
-  fn();
+  if (profiler_ != nullptr) {
+    obs::SimProfiler::Bucket prev =
+        profiler_->Switch(obs::SimProfiler::kAgent);
+    fn();
+    profiler_->Switch(prev);
+  } else {
+    fn();
+  }
   return true;
 }
 
@@ -147,6 +154,25 @@ ShardRadio::ShardRadio(const Topology* topology, const RadioOptions& options,
   }
 }
 
+void ShardRadio::EnableObservability(obs::TraceSink* trace,
+                                     obs::MetricsRegistry* metrics,
+                                     obs::SimProfiler* profiler) {
+  trace_ = trace;
+  profiler_ = profiler;
+  if (metrics != nullptr) {
+    backoff_hist_ = metrics->Hist("mac.backoff_us");
+    ctr_backoffs_ = metrics->Counter("mac.backoffs_scheduled");
+    ctr_tx_ = metrics->Counter("radio.tx_started");
+    ctr_deliveries_ = metrics->Counter("radio.deliveries");
+    ctr_drops_busy_ = metrics->Counter("radio.drops_channel_busy");
+    ctr_drops_noack_ = metrics->Counter("radio.drops_no_ack");
+    ctr_announce_rx_ = metrics->Counter("shard.announce_rx");
+    ctr_abort_rx_ = metrics->Counter("shard.abort_rx");
+    ctr_ack_rx_ = metrics->Counter("shard.ack_rx");
+    ctr_mirror_evals_ = metrics->Counter("shard.mirror_evals");
+  }
+}
+
 SimTime ShardRadio::Airtime(int wire_size) const {
   double bits = static_cast<double>(options_.link_header_bytes + wire_size) * 8.0;
   return static_cast<SimTime>(bits / options_.bitrate_bps * kSecond);
@@ -157,6 +183,12 @@ void ShardRadio::Send(NodeId src, Packet pkt) {
   SCOOP_CHECK_LE(pkt.WireSize(), options_.max_packet_bytes);
   SCOOP_DCHECK(Owned(src));
   if (!alive_[src]) return;  // Dead radios transmit nothing.
+  obs::ScopedBucket bucket(profiler_, obs::SimProfiler::kRadio);
+  if (trace_ != nullptr) {
+    trace_->Instant(queue_->now(), "originate", obs::TraceCat::kPacket, src,
+                    "type", static_cast<uint64_t>(pkt.hdr.type), "bytes",
+                    static_cast<uint64_t>(pkt.WireSize()));
+  }
   pkt.hdr.link_src = src;
   OutFrame frame;
   frame.airtime = Airtime(pkt.WireSize());
@@ -281,12 +313,20 @@ void ShardRadio::TryStart(NodeId src) {
   // start before t + backoff_min.
   SimTime delay =
       options_.backoff_min + mac_rng_[src].UniformInt(0, options_.backoff_min - 1);
+  // Record the already-drawn delay (never draw for instrumentation).
+  if (backoff_hist_ != nullptr) backoff_hist_->Record(static_cast<uint64_t>(delay));
+  if (ctr_backoffs_ != nullptr) ++*ctr_backoffs_;
+  if (trace_ != nullptr) {
+    trace_->Span(queue_->now(), delay, "cca.wait", obs::TraceCat::kMac, src,
+                 "fresh", 1);
+  }
   ScheduleCca(src, delay);
 }
 
 void ShardRadio::CcaFire(NodeId src) {
   PdesMac& mac = mac_[src];
   if (mac.transmitting || mac.queue.empty()) return;
+  obs::ScopedBucket bucket(profiler_, obs::SimProfiler::kRadio);
   OutFrame& frame = mac.queue.front();
   if (!ChannelBusy(src)) {
     StartTx(src);
@@ -296,6 +336,12 @@ void ShardRadio::CcaFire(NodeId src) {
   if (frame.channel_attempts >= options_.max_channel_attempts) {
     OutFrame dropped = std::move(mac.queue.front());
     mac.queue.pop_front();
+    if (ctr_drops_busy_ != nullptr) ++*ctr_drops_busy_;
+    if (trace_ != nullptr) {
+      trace_->Instant(queue_->now(), "drop.channel_busy",
+                      obs::TraceCat::kPacket, src, "type",
+                      static_cast<uint64_t>(dropped.pkt.hdr.type));
+    }
     if (drop_hook_) drop_hook_(src, dropped.pkt, DropReason::kChannelBusy);
     if (send_done_hook_) send_done_hook_(src, dropped.pkt, false);
     TryStart(src);
@@ -303,6 +349,13 @@ void ShardRadio::CcaFire(NodeId src) {
   }
   SimTime window = Radio::BackoffWindow(options_, frame.channel_attempts);
   SimTime delay = 1 + mac_rng_[src].UniformInt(0, window - 1);
+  if (backoff_hist_ != nullptr) backoff_hist_->Record(static_cast<uint64_t>(delay));
+  if (ctr_backoffs_ != nullptr) ++*ctr_backoffs_;
+  if (trace_ != nullptr) {
+    trace_->Span(queue_->now(), delay, "backoff", obs::TraceCat::kMac, src,
+                 "attempt", static_cast<uint64_t>(frame.channel_attempts),
+                 "window_us", static_cast<uint64_t>(window));
+  }
   ScheduleCca(src, delay);
 }
 
@@ -319,6 +372,12 @@ void ShardRadio::StartTx(NodeId src) {
 
   SimTime start = queue_->now();
   SimTime end = start + frame.airtime;
+  if (ctr_tx_ != nullptr) ++*ctr_tx_;
+  if (trace_ != nullptr) {
+    trace_->Span(start, frame.airtime, "tx", obs::TraceCat::kPacket, src,
+                 "type", static_cast<uint64_t>(frame.pkt.hdr.type), "seq",
+                 static_cast<uint64_t>(frame.pkt.hdr.seq));
+  }
   InsertRing(Transmission{src, start, end});
   node_tx_[src][1] = node_tx_[src][0];
   node_tx_[src][0] = TxSpan{start, end};
@@ -345,6 +404,7 @@ void ShardRadio::EvalRemote(NodeId src, uint32_t gen) {
   uint64_t key = TxKey(src, gen);
   auto it = remote_tx_.find(key);
   SCOOP_CHECK(it != remote_tx_.end());
+  if (ctr_mirror_evals_ != nullptr) ++*ctr_mirror_evals_;
   bool aborted = aborted_.erase(key) > 0;
   EvalTx(src, gen, it->second.start, it->second.end, it->second.pkt, aborted);
   // Retire the mirror's active bit unless a newer announced span of this
@@ -356,6 +416,7 @@ void ShardRadio::EvalRemote(NodeId src, uint32_t gen) {
 
 void ShardRadio::EvalTx(NodeId src, uint32_t gen, SimTime start, SimTime end,
                         const Packet& pkt, bool aborted) {
+  obs::ScopedBucket bucket(profiler_, obs::SimProfiler::kRadio);
   NodeId dst = pkt.hdr.link_dst;
   bool dst_received = false;
   if (!aborted) {
@@ -371,6 +432,13 @@ void ShardRadio::EvalTx(NodeId src, uint32_t gen, SimTime start, SimTime end,
       if (Collided(r, src, start, end)) continue;          // Corrupted.
       bool addressed = (dst == kBroadcastId) || (dst == r);
       if (dst == r) dst_received = true;
+      if (ctr_deliveries_ != nullptr) ++*ctr_deliveries_;
+      // Trace addressed receptions only; snoops are counted, not traced.
+      if (trace_ != nullptr && addressed) {
+        trace_->Instant(end, "deliver", obs::TraceCat::kPacket, r, "src",
+                        static_cast<uint64_t>(src), "type",
+                        static_cast<uint64_t>(pkt.hdr.type));
+      }
       if (deliver_hook_) deliver_hook_(r, pkt, addressed);
     }
     // The destination's shard resolves the ACK verdict (it alone knows the
@@ -396,6 +464,7 @@ bool ShardRadio::AckBlocked(NodeId src, uint32_t gen) const {
 }
 
 void ShardRadio::FinishCont(NodeId src, uint32_t gen) {
+  obs::ScopedBucket bucket(profiler_, obs::SimProfiler::kRadio);
   PdesMac& mac = mac_[src];
   if (gen != mac.tx_gen) {
     if (!mac.transmitting) active_tx_.Clear(src);
@@ -429,6 +498,12 @@ void ShardRadio::FinishCont(NodeId src, uint32_t gen) {
     } else {
       Packet sent = std::move(mac.queue.front().pkt);
       mac.queue.pop_front();
+      if (ctr_drops_noack_ != nullptr) ++*ctr_drops_noack_;
+      if (trace_ != nullptr) {
+        trace_->Instant(queue_->now(), "drop.no_ack", obs::TraceCat::kPacket,
+                        src, "type", static_cast<uint64_t>(sent.hdr.type),
+                        "dst", static_cast<uint64_t>(dst));
+      }
       if (drop_hook_) drop_hook_(src, sent, DropReason::kNoAck);
       if (send_done_hook_) send_done_hook_(src, sent, false);
     }
@@ -441,6 +516,13 @@ void ShardRadio::FinishCont(NodeId src, uint32_t gen) {
 void ShardRadio::HandleAnnounce(NodeId src, uint32_t gen, SimTime start, SimTime end,
                                 Packet pkt) {
   SCOOP_DCHECK(!Owned(src));
+  if (ctr_announce_rx_ != nullptr) ++*ctr_announce_rx_;
+  // The mirrored boundary frame, on the receiving shard's timeline.
+  if (trace_ != nullptr) {
+    trace_->Span(start, end - start, "mirror.tx", obs::TraceCat::kShardSync,
+                 src, "gen", gen, "type",
+                 static_cast<uint64_t>(pkt.hdr.type));
+  }
   node_tx_[src][1] = node_tx_[src][0];
   node_tx_[src][0] = TxSpan{start, end};
   active_tx_.Set(src);
@@ -453,10 +535,20 @@ void ShardRadio::HandleAnnounce(NodeId src, uint32_t gen, SimTime start, SimTime
 void ShardRadio::HandleAbort(NodeId src, uint32_t gen) {
   // Aborts always precede the mirrored frame's end (the owner only emits
   // one while the frame is mid-air), so the evaluation is still pending.
+  if (ctr_abort_rx_ != nullptr) ++*ctr_abort_rx_;
+  if (trace_ != nullptr) {
+    trace_->Instant(queue_->now(), "abort.rx", obs::TraceCat::kShardSync, src,
+                    "gen", gen);
+  }
   aborted_.insert(TxKey(src, gen));
 }
 
 void ShardRadio::HandleAckResult(NodeId src, uint32_t gen, bool received) {
+  if (ctr_ack_rx_ != nullptr) ++*ctr_ack_rx_;
+  if (trace_ != nullptr) {
+    trace_->Instant(queue_->now(), "ack.rx", obs::TraceCat::kShardSync, src,
+                    "gen", gen, "received", received ? 1 : 0);
+  }
   acks_[TxKey(src, gen)] = received;
 }
 

@@ -49,6 +49,9 @@
 #include "common/rng.h"
 #include "common/small_callback.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/radio.h"
 #include "sim/radio_options.h"
@@ -118,6 +121,11 @@ class ShardQueue {
   uint64_t processed() const { return processed_; }
   size_t heap_size() const { return heap_.size(); }
 
+  /// Optional wall-clock profiler (same contract as EventQueue's):
+  /// callback dispatch is attributed to kAgent, everything else to the
+  /// caller's bucket. Observation-only.
+  void set_profiler(obs::SimProfiler* profiler) { profiler_ = profiler; }
+
  private:
   static constexpr int kSlotBits = 24;
   static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
@@ -177,6 +185,7 @@ class ShardQueue {
   uint64_t next_seq_ = 0;
   SimTime now_ = 0;
   uint64_t processed_ = 0;
+  obs::SimProfiler* profiler_ = nullptr;
 };
 
 /// Shard-local radio/MAC. Owns the channel state for its shard's nodes and
@@ -238,6 +247,13 @@ class ShardRadio {
 
   const RadioOptions& options() const { return options_; }
   SimTime Airtime(int wire_size) const;
+
+  /// Attaches this shard's observability sinks (any may be null); same
+  /// resolve-once / branch-on-null / observation-only contract as
+  /// Radio::EnableObservability. Each shard gets its own sinks -- they are
+  /// only ever touched from the shard's thread.
+  void EnableObservability(obs::TraceSink* trace, obs::MetricsRegistry* metrics,
+                           obs::SimProfiler* profiler);
 
  private:
   struct OutFrame {
@@ -357,6 +373,20 @@ class ShardRadio {
   AnnounceFn announce_fn_;
   AbortFn abort_fn_;
   AckFn ack_fn_;
+
+  // --- Observability (all null = off; every site is branch-on-null) ---
+  obs::TraceSink* trace_ = nullptr;
+  obs::SimProfiler* profiler_ = nullptr;
+  obs::Histogram* backoff_hist_ = nullptr;
+  uint64_t* ctr_backoffs_ = nullptr;
+  uint64_t* ctr_tx_ = nullptr;
+  uint64_t* ctr_deliveries_ = nullptr;
+  uint64_t* ctr_drops_busy_ = nullptr;
+  uint64_t* ctr_drops_noack_ = nullptr;
+  uint64_t* ctr_announce_rx_ = nullptr;
+  uint64_t* ctr_abort_rx_ = nullptr;
+  uint64_t* ctr_ack_rx_ = nullptr;
+  uint64_t* ctr_mirror_evals_ = nullptr;
 };
 
 }  // namespace scoop::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <unordered_map>
@@ -106,6 +107,19 @@ struct ShardedEngine::Shard {
   Radio::TransmitHook transmit_observer;
   Radio::DeliverHook deliver_observer;
   Radio::DropHook drop_observer;
+
+  // --- Observability (null/0 = off; the queue and radio hold their own
+  // resolved pointers, this is the engine-loop share) ---
+  obs::TraceSink* trace = nullptr;
+  obs::SimProfiler* profiler = nullptr;
+  obs::MetricsRegistry* sample_reg = nullptr;  ///< Non-null iff sampling on.
+  obs::Histogram* depth_hist = nullptr;
+  uint64_t* ctr_stall_us = nullptr;
+  SimTime metrics_interval = 0;
+  SimTime next_sample = 0;
+  /// True iff EPT-stall episodes should be wall-clocked (trace or counter
+  /// attached); keeps the obs-off spin loop free of clock syscalls.
+  bool stall_obs = false;
 
   SimTime AliveFloor() const {
     return alive_cursor < alive_times.size() ? alive_times[alive_cursor]
@@ -338,6 +352,30 @@ void ShardedEngine::set_drop_observer(int shard, Radio::DropHook observer) {
   shards_[shard]->drop_observer = std::move(observer);
 }
 
+void ShardedEngine::EnableObservability(int shard, obs::TraceSink* trace,
+                                        obs::MetricsRegistry* metrics,
+                                        obs::SimProfiler* profiler,
+                                        SimTime metrics_interval) {
+  Shard* sh = shards_[shard].get();
+  sh->trace = trace;
+  sh->profiler = profiler;
+  sh->queue.set_profiler(profiler);
+  sh->radio->EnableObservability(trace, metrics, profiler);
+  if (metrics != nullptr) {
+    sh->ctr_stall_us = metrics->Counter("shard.stall_us");
+    sh->depth_hist = metrics->Hist("queue.occupancy");
+    ShardQueue* q = &sh->queue;
+    metrics->Gauge("queue.depth", [q] { return static_cast<uint64_t>(q->size()); });
+    metrics->Gauge("queue.processed", [q] { return q->processed(); });
+    if (metrics_interval > 0) {
+      sh->sample_reg = metrics;
+      sh->metrics_interval = metrics_interval;
+      sh->next_sample = metrics_interval;
+    }
+  }
+  sh->stall_obs = (trace != nullptr || sh->ctr_stall_us != nullptr);
+}
+
 uint64_t ShardedEngine::processed() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->queue.processed();
@@ -389,10 +427,23 @@ void ShardedEngine::Drain(Shard* shard) {
 }
 
 bool ShardedEngine::ExecuteUpTo(Shard* shard, SimTime limit) {
+  obs::ScopedBucket bucket(shard->profiler, obs::SimProfiler::kQueue);
   bool progress = false;
   for (;;) {
     SimTime head = shard->queue.HeadTime();
     if (head > limit) break;
+    if (shard->sample_reg != nullptr) {
+      // Sample right before the first event past each grid point, i.e.
+      // with exactly the events at or before it executed -- a point in
+      // the canonical event order, so the rows are deterministic even
+      // though `limit` depends on thread timing. Grid points the run
+      // never executes past are flushed at the end of RunShard.
+      while (shard->next_sample < head) {
+        shard->depth_hist->Record(shard->queue.size());
+        shard->sample_reg->Sample(shard->next_sample);
+        shard->next_sample += shard->metrics_interval;
+      }
+    }
     NodeId sender;
     uint32_t gen;
     if (shard->queue.HeadFinishInfo(&sender, &gen) &&
@@ -430,18 +481,66 @@ void ShardedEngine::PublishEpt(Shard* shard, SimTime safe) {
 }
 
 void ShardedEngine::RunShard(Shard* shard, SimTime end) {
+  // Attribution starts here: setup time between EnableObservability and
+  // the run loop belongs to no bucket.
+  if (shard->profiler != nullptr) shard->profiler->Restart();
+  // Wall time spent in the current run of no-progress iterations; each
+  // such episode becomes one counter bump + trace instant on resumption
+  // (not one per spin), so stalls cannot flood the sinks.
+  int64_t stall_ns = 0;
   for (;;) {
-    SimTime safe = SafeTime(*shard);  // Acquire EPTs BEFORE draining, so
-    Drain(shard);                     // every message behind them is seen.
+    SimTime safe;
+    {
+      obs::ScopedBucket sync(shard->profiler, obs::SimProfiler::kShardSync);
+      safe = SafeTime(*shard);  // Acquire EPTs BEFORE draining, so
+      Drain(shard);             // every message behind them is seen.
+    }
     bool progress = ExecuteUpTo(shard, std::min(safe, end));
+    obs::ScopedBucket sync(shard->profiler, obs::SimProfiler::kShardSync);
     SimTime head = shard->queue.HeadTime();
     PublishEpt(shard, safe);
+    if (stall_ns > 0 && progress) {
+      uint64_t us = static_cast<uint64_t>(stall_ns / 1000);
+      stall_ns = 0;
+      if (shard->ctr_stall_us != nullptr) *shard->ctr_stall_us += us;
+      if (shard->trace != nullptr) {
+        shard->trace->Instant(shard->queue.now(), "ept.stall",
+                              obs::TraceCat::kShardSync, obs::kEngineTid,
+                              "wall_us", us);
+      }
+    }
     // Done once nothing at or before `end` remains and no in-neighbor can
     // still send anything relevant. The loop keeps republishing on idle
     // iterations so neighbor promises (and then everyone's exit) converge.
-    if (safe > end && head > end) return;
-    if (!progress) std::this_thread::yield();
+    if (safe > end && head > end) break;
+    if (!progress) {
+      if (shard->stall_obs) {
+        auto mark = std::chrono::steady_clock::now();
+        std::this_thread::yield();
+        stall_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - mark)
+                        .count();
+      } else {
+        std::this_thread::yield();
+      }
+    }
   }
+  if (stall_ns > 0 && shard->ctr_stall_us != nullptr) {
+    *shard->ctr_stall_us += static_cast<uint64_t>(stall_ns / 1000);
+  }
+  if (shard->sample_reg != nullptr) {
+    // Flush grid points the event stream never stepped past: everything at
+    // or before `end` has executed, so these rows are deterministic too.
+    while (shard->next_sample <= end) {
+      shard->depth_hist->Record(shard->queue.size());
+      shard->sample_reg->Sample(shard->next_sample);
+      shard->next_sample += shard->metrics_interval;
+    }
+  }
+  // Close the books on this shard's wall-clock attribution here, on the
+  // shard's own thread: whatever the main thread does afterwards (trace
+  // export, result merge) must not leak into this shard's buckets.
+  if (shard->profiler != nullptr) shard->profiler->Stop();
 }
 
 void ShardedEngine::RunUntil(SimTime end) {

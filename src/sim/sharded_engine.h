@@ -101,6 +101,18 @@ class ShardedEngine {
   void set_deliver_observer(int shard, Radio::DeliverHook observer);
   void set_drop_observer(int shard, Radio::DropHook observer);
 
+  /// Attaches observability sinks to one shard (any may be null). Like the
+  /// observers above, a shard's instrumentation fires on that shard's
+  /// thread, so every shard needs its own sinks; merge/export them after
+  /// RunUntil returns. With `metrics_interval > 0` the shard also samples
+  /// its registry on that simulated-time grid, at deterministic points in
+  /// the event order (independent of thread timing and shard count).
+  /// Observation-only: enabling this cannot change simulation results.
+  void EnableObservability(int shard, obs::TraceSink* trace,
+                           obs::MetricsRegistry* metrics,
+                           obs::SimProfiler* profiler,
+                           SimTime metrics_interval = 0);
+
   /// Schedules a driver callback (query injection) at absolute time `at`.
   /// Driver events run on the shard owning node 0 (the basestation);
   /// callable before Start() from the caller's thread and, from inside a

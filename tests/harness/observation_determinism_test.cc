@@ -1,0 +1,117 @@
+// Observation must not perturb simulation: a campaign run with tracing,
+// metrics sampling, and the profiler attached must render byte-identical
+// CSVs to the same campaign with observability off, on both engines
+// (shards = 1 sequential, shards = 4 sharded). Instrumentation records
+// already-drawn values -- it never draws randomness or schedules events --
+// so any CSV diff here means an obs hook leaked into simulation state.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "harness/experiment.h"
+#include "scenario/campaign.h"
+#include "scenario/campaign_reporter.h"
+#include "scenario/scenario_parser.h"
+#include "scenario/scenario_registry.h"
+
+namespace scoop::harness {
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Runs `scn` with observability off and again with every obs feature on
+/// (tracing, metrics, profiler), at the given shard count, and checks the
+/// campaign CSVs match byte for byte. Returns the traced run's trace JSON.
+std::string ExpectObservedRunIdentical(scenario::Scenario scn, int shards,
+                                       const std::string& tag) {
+  Status s = scenario::ApplyScenarioKey(&scn.base, "shards", std::to_string(shards));
+  SCOOP_CHECK(s.ok());
+  scenario::CampaignOptions options;
+  options.threads = 2;
+
+  Result<scenario::CampaignResult> off = scenario::RunCampaign(scn, options);
+  SCOOP_CHECK(off.ok());
+  std::string off_csv = scenario::CampaignCsv(off.value());
+
+  std::string trace_path = ::testing::TempDir() + "obs-" + tag + "-trace.json";
+  std::string metrics_path = ::testing::TempDir() + "obs-" + tag + "-metrics.jsonl";
+  scn.base.trace_out = trace_path;
+  scn.base.metrics_out = metrics_path;
+  scn.base.metrics_interval = Seconds(30);
+  scn.base.profile = true;
+  Result<scenario::CampaignResult> on = scenario::RunCampaign(scn, options);
+  SCOOP_CHECK(on.ok());
+  EXPECT_EQ(off_csv, scenario::CampaignCsv(on.value()))
+      << tag << ": observability changed the simulation";
+
+  // The campaign expands per-(combo, trial) output paths; read combo 0,
+  // trial 0 as a representative artifact.
+  std::string trace = ReadWholeFile(ExpandObsPath(trace_path, "-c0-t0"));
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  std::string metrics = ReadWholeFile(ExpandObsPath(metrics_path, "-c0-t0"));
+  EXPECT_NE(metrics.find("\"t_us\""), std::string::npos);
+  return trace;
+}
+
+TEST(ObservationDeterminismTest, SmokeTinySequential) {
+  Result<scenario::Scenario> scn = scenario::LoadRegisteredScenario("smoke_tiny");
+  ASSERT_TRUE(scn.ok()) << scn.status().message();
+  std::string trace = ExpectObservedRunIdentical(scn.value(), 1, "tiny-k1");
+  // The tiny run still issues queries, so the trace must contain closed
+  // query spans ("X" events) and packet lifecycle instants.
+  EXPECT_NE(trace.find("\"name\":\"query\",\"cat\":\"query\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"packet\""), std::string::npos);
+}
+
+TEST(ObservationDeterminismTest, SmokeTinySharded) {
+  Result<scenario::Scenario> scn = scenario::LoadRegisteredScenario("smoke_tiny");
+  ASSERT_TRUE(scn.ok()) << scn.status().message();
+  std::string trace = ExpectObservedRunIdentical(scn.value(), 4, "tiny-k4");
+  EXPECT_NE(trace.find("\"cat\":\"packet\""), std::string::npos);
+}
+
+/// The registered failure_waves scenario shrunk to unit-test size: the
+/// failure-wave machinery (radio deaths mid-run, three waves) still fires,
+/// but over fewer nodes, less simulated time, and a trimmed sweep grid.
+scenario::Scenario SmallFailureWaves() {
+  Result<scenario::Scenario> parsed = scenario::LoadRegisteredScenario("failure_waves");
+  SCOOP_CHECK(parsed.ok());
+  scenario::Scenario scn = std::move(parsed).value();
+  for (const auto& [key, value] :
+       {std::pair<const char*, const char*>{"nodes", "16"},
+        {"duration_minutes", "10"},
+        {"stabilization_minutes", "2"},
+        {"failure_minute", "4"},
+        {"failure_wave_interval_minutes", "1"}}) {
+    Status s = scenario::ApplyScenarioKey(&scn.base, key, value);
+    SCOOP_CHECK(s.ok());
+  }
+  // policy x seed sweep, trimmed to 2 x 2 combos.
+  SCOOP_CHECK_EQ(scn.sweeps.size(), 2u);
+  scn.sweeps[0].values = {"scoop", "local"};
+  scn.sweeps[1].values = {"1", "2"};
+  return scn;
+}
+
+TEST(ObservationDeterminismTest, FailureWavesSequential) {
+  ExpectObservedRunIdentical(SmallFailureWaves(), 1, "waves-k1");
+}
+
+TEST(ObservationDeterminismTest, FailureWavesSharded) {
+  std::string trace = ExpectObservedRunIdentical(SmallFailureWaves(), 4, "waves-k4");
+  // A 4-shard run records cross-shard synchronization events.
+  EXPECT_NE(trace.find("\"cat\":\"shard-sync\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scoop::harness

@@ -1,0 +1,108 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace scoop::obs {
+namespace {
+
+TEST(HistogramTest, Log2Buckets) {
+  Histogram h;
+  h.Record(0);   // Bucket 0.
+  h.Record(1);   // Bucket 1: [1, 2).
+  h.Record(5);   // Bucket 3: [4, 8).
+  h.Record(7);   // Bucket 3.
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 13u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.used_buckets(), 4);
+}
+
+TEST(HistogramTest, HugeValuesClampToLastBucket) {
+  Histogram h;
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.bucket(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.used_buckets(), Histogram::kNumBuckets);
+}
+
+TEST(HistogramTest, MergeFromSumsEverything) {
+  Histogram a;
+  Histogram b;
+  a.Record(3);
+  b.Record(3);
+  b.Record(100);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 106u);
+  EXPECT_EQ(a.bucket(2), 2u);  // Two 3s: [2, 4).
+}
+
+TEST(MetricsRegistryTest, CounterPointerIsStable) {
+  MetricsRegistry reg;
+  uint64_t* c = reg.Counter("radio.tx");
+  *c += 2;
+  // Creating more counters must not invalidate the first pointer.
+  for (int i = 0; i < 64; ++i) {
+    reg.Counter("filler." + std::to_string(i));
+  }
+  *c += 1;
+  EXPECT_EQ(reg.Counter("radio.tx"), c);
+  EXPECT_EQ(reg.CounterValue("radio.tx"), 3u);
+  EXPECT_EQ(reg.CounterValue("never.registered"), 0u);
+}
+
+TEST(MetricsRegistryTest, SampleSnapshotsCountersGaugesAndHists) {
+  MetricsRegistry reg;
+  uint64_t* c = reg.Counter("events");
+  uint64_t depth = 4;
+  reg.Gauge("queue.depth", [&depth] { return depth; });
+  reg.Hist("backoff")->Record(6);
+
+  *c = 10;
+  reg.Sample(Seconds(1));
+  *c = 25;
+  depth = 9;
+  reg.Sample(Seconds(2));
+  ASSERT_EQ(reg.sample_count(), 2u);
+
+  std::string jsonl = ExportMetricsJsonLines({&reg});
+  // One line per sample, stamped with microsecond sim time and shard 0.
+  EXPECT_NE(jsonl.find("{\"t_us\":1000000,\"shard\":0,\"events\":10,"
+                       "\"queue.depth\":4"),
+            std::string::npos)
+      << jsonl;
+  EXPECT_NE(jsonl.find("{\"t_us\":2000000,\"shard\":0,\"events\":25,"
+                       "\"queue.depth\":9"),
+            std::string::npos)
+      << jsonl;
+  EXPECT_NE(jsonl.find("\"backoff\":{\"count\":1,\"sum\":6,\"log2_buckets\":[0,0,0,1]}"),
+            std::string::npos)
+      << jsonl;
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+TEST(ExportMetricsJsonLinesTest, MergesShardsSortedByTimeThenShard) {
+  MetricsRegistry shard0;
+  MetricsRegistry shard1;
+  *shard0.Counter("x") = 1;
+  *shard1.Counter("x") = 2;
+  shard1.Sample(Seconds(1));
+  shard0.Sample(Seconds(1));
+  shard0.Sample(Seconds(2));
+  std::string jsonl = ExportMetricsJsonLines({&shard0, &shard1});
+  size_t l0 = jsonl.find("{\"t_us\":1000000,\"shard\":0,\"x\":1}");
+  size_t l1 = jsonl.find("{\"t_us\":1000000,\"shard\":1,\"x\":2}");
+  size_t l2 = jsonl.find("{\"t_us\":2000000,\"shard\":0,\"x\":1}");
+  ASSERT_NE(l0, std::string::npos) << jsonl;
+  ASSERT_NE(l1, std::string::npos) << jsonl;
+  ASSERT_NE(l2, std::string::npos) << jsonl;
+  EXPECT_LT(l0, l1);  // Same instant: shard 0 before shard 1.
+  EXPECT_LT(l1, l2);  // Later instant last.
+}
+
+}  // namespace
+}  // namespace scoop::obs

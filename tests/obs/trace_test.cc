@@ -1,0 +1,90 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace scoop::obs {
+namespace {
+
+TEST(TraceSinkTest, RecordsSpansAndInstants) {
+  TraceSink sink;
+  sink.Span(1000, 250, "tx", TraceCat::kPacket, 7, "bytes", 36);
+  sink.Instant(1250, "deliver", TraceCat::kPacket, 9);
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.events()[0].ts, 1000);
+  EXPECT_EQ(sink.events()[0].dur, 250);
+  EXPECT_STREQ(sink.events()[0].name, "tx");
+  EXPECT_EQ(sink.events()[0].tid, 7);
+  EXPECT_EQ(sink.events()[0].arg1, 36u);
+  EXPECT_EQ(sink.events()[1].dur, -1);  // Instant.
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(TraceSinkTest, NegativeSpanDurationIsClampedToZero) {
+  TraceSink sink;
+  sink.Span(500, -3, "weird", TraceCat::kMac, 1);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.events()[0].dur, 0);  // Still an "X" span, never an instant.
+}
+
+TEST(TraceSinkTest, CapCountsInsteadOfStoring) {
+  TraceSink sink(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    sink.Instant(i, "e", TraceCat::kQuery, 0);
+  }
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  std::string json = ExportChromeTrace({&sink});
+  EXPECT_NE(json.find("\"otherData\":{\"dropped\":3}"), std::string::npos) << json;
+}
+
+TEST(ExportChromeTraceTest, EmitsChromeTraceShape) {
+  TraceSink sink;
+  sink.Span(100, 50, "query", TraceCat::kQuery, 3, "id", 11, "responders", 2);
+  sink.Instant(120, "query.reply", TraceCat::kQuery, 5, "id", 11);
+  std::string json = ExportChromeTrace({&sink});
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"query\",\"cat\":\"query\",\"ph\":\"X\",\"ts\":100,"
+                      "\"pid\":0,\"tid\":3,\"dur\":50,"
+                      "\"args\":{\"id\":11,\"responders\":2}}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);  // Thread-scoped instant.
+}
+
+TEST(ExportChromeTraceTest, MergesSinksByTimestampWithPidPerShard) {
+  TraceSink shard0;
+  TraceSink shard1;
+  shard0.Instant(200, "late", TraceCat::kShardSync, kEngineTid);
+  shard1.Instant(100, "early", TraceCat::kShardSync, kEngineTid);
+  std::string json = ExportChromeTrace({&shard0, &shard1});
+  size_t early = json.find("\"early\"");
+  size_t late = json.find("\"late\"");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, late);  // Sorted by ts across sinks.
+  EXPECT_NE(json.find("\"ts\":100,\"pid\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":200,\"pid\":0"), std::string::npos) << json;
+}
+
+TEST(ExportChromeTraceTest, NullSinksAreSkipped) {
+  TraceSink sink;
+  sink.Instant(1, "only", TraceCat::kIndex, 0);
+  std::string json = ExportChromeTrace({nullptr, &sink});
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_EQ(json.find("\"pid\":0"), std::string::npos);
+}
+
+TEST(TraceCatNameTest, CoversEveryCategory) {
+  EXPECT_STREQ(TraceCatName(TraceCat::kPacket), "packet");
+  EXPECT_STREQ(TraceCatName(TraceCat::kMac), "mac");
+  EXPECT_STREQ(TraceCatName(TraceCat::kQuery), "query");
+  EXPECT_STREQ(TraceCatName(TraceCat::kIndex), "index");
+  EXPECT_STREQ(TraceCatName(TraceCat::kShardSync), "shard-sync");
+}
+
+}  // namespace
+}  // namespace scoop::obs

@@ -101,6 +101,10 @@ TEST(ScenarioParserTest, RoundTripEveryKey) {
       {"energy_rx_nj_per_bit", "325"},
       {"energy_flash_write_nj_per_bit", "30"},
       {"energy_battery_joules", "15000"},
+      {"obs.trace_out", "out/trace.json"},
+      {"obs.metrics_out", "out/metrics.jsonl"},
+      {"obs.metrics_interval_seconds", "2.5"},
+      {"obs.profile", "on"},
   };
   for (const std::string& key : ScenarioKeyNames()) {
     ASSERT_TRUE(values.count(key)) << "no round-trip coverage for key '" << key << "'";
@@ -143,8 +147,23 @@ TEST(ScenarioParserTest, RoundTripEveryKey) {
   EXPECT_EQ(c.source_options.domain_lo, -5);
   EXPECT_DOUBLE_EQ(c.source_options.gaussian_mean_skew, 3.0);
   EXPECT_DOUBLE_EQ(c.energy.battery_joules, 15000.0);
+  EXPECT_EQ(c.trace_out, "out/trace.json");
+  EXPECT_EQ(c.metrics_out, "out/metrics.jsonl");
+  EXPECT_EQ(c.metrics_interval, Seconds(2.5));
+  EXPECT_TRUE(c.profile);
   ASSERT_EQ(reparsed.value().sweeps.size(), 2u);
   EXPECT_EQ(reparsed.value().sweeps[1].values.size(), 3u);
+}
+
+// The .scn grammar rejects empty values, so disabled observability paths
+// round-trip through the "off" sentinel ("none" is accepted too).
+TEST(ScenarioParserTest, ObsPathOffSentinelMeansDisabled) {
+  Scenario s = MustParse("name = t\nobs.trace_out = off\nobs.metrics_out = none\n");
+  EXPECT_TRUE(s.base.trace_out.empty());
+  EXPECT_TRUE(s.base.metrics_out.empty());
+  std::string text = FormatScenario(s);
+  EXPECT_NE(text.find("obs.trace_out = off"), std::string::npos) << text;
+  EXPECT_NE(text.find("obs.metrics_out = off"), std::string::npos) << text;
 }
 
 TEST(ScenarioParserTest, SweepRangesExpandInclusively) {

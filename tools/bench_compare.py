@@ -4,7 +4,9 @@
 For every google-benchmark entry present in both files, prints the
 old/new items-per-second (falling back to inverse wall time when a bench
 reports no item counter) and the speedup ratio new/old; for the campaign
-probes, compares events-per-second.
+probes, compares events-per-second. Probes run with --profile additionally
+get an informational sim-profiler bucket diff (queue/radio/agent/
+shard-sync/other wall seconds) -- never part of the gate.
 
 Usage: tools/bench_compare.py OLD.json NEW.json [--min-ratio R] [--fail-below R]
   --min-ratio R   print a trailing WARNING line listing benches whose
@@ -46,6 +48,43 @@ def bench_rates(doc):
     return rates
 
 
+def profile_buckets(doc):
+    """Flattens profiled campaign probes into {section/bucket: seconds}.
+
+    Probes run with --profile carry a top-level "profile" object of
+    wall-clock bucket totals (see CampaignPerfJson); unprofiled probes
+    simply have no entry here.
+    """
+    buckets = {}
+    for section, payload in doc.items():
+        if not isinstance(payload, dict):
+            continue
+        for key, seconds in payload.get("profile", {}).items():
+            buckets[f"{section}/{key}"] = seconds
+    return buckets
+
+
+def print_profile_diff(old_doc, new_doc):
+    """Informational (never gating) diff of the sim-profiler buckets."""
+    old_prof = profile_buckets(old_doc)
+    new_prof = profile_buckets(new_doc)
+    names = sorted(set(old_prof) | set(new_prof))
+    if not names:
+        return
+    print(f"\nprofiler buckets (informational, wall seconds):")
+    print(f"{'bucket':<72} {'old s':>12} {'new s':>12} {'ratio':>7}")
+    for name in names:
+        old_s = old_prof.get(name)
+        new_s = new_prof.get(name)
+        old_text = f"{old_s:.3f}" if old_s is not None else "-"
+        new_text = f"{new_s:.3f}" if new_s is not None else "-"
+        if old_s and new_s is not None:
+            ratio = f"{new_s / old_s:>6.2f}x"
+        else:
+            ratio = f"{'-':>7}"
+        print(f"{name:<72} {old_text:>12} {new_text:>12} {ratio}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("old", help="baseline BENCH json (e.g. checked-in BENCH_radio.json)")
@@ -82,6 +121,8 @@ def main():
         if (args.fail_below is not None and name.endswith("/events_per_second")
                 and ratio < args.fail_below):
             gate_failures.append((name, ratio))
+
+    print_profile_diff(old_doc, new_doc)
 
     only_old = sorted(set(old_rates) - set(new_rates))
     only_new = sorted(set(new_rates) - set(old_rates))

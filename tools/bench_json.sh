@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Standing perf harness: runs the radio, event-queue, xmits-estimator,
-# topology, and node-set-codec microbenchmarks plus three campaign perf
-# probes (wall-clock / events-per-second), and merges everything into one
+# topology, and node-set-codec microbenchmarks plus the campaign perf
+# probes (wall-clock / events-per-second, sharded scaling points, and a
+# sim-profiler bucket breakdown), and merges everything into one
 # BENCH_radio.json so the perf trajectory is machine-tracked across PRs.
 # Compare two points with tools/bench_compare.py.
 #
@@ -64,6 +65,13 @@ for k in ${shard_counts}; do
       --shards="${k}" --quiet \
       --perf-json="${tmp}/campaign_grid_1024_shards${k}.json"
 done
+# Profiled grid_1024: same probe with the sim profiler attached, so the
+# perf point records where the wall time actually goes (queue vs radio vs
+# agent buckets; see the "MAC timer churn" ROADMAP hypothesis). A separate
+# section: the unprofiled probe above stays the clean throughput number,
+# and bench_compare.py diffs the buckets informationally.
+"${tools_dir}/scoop_campaign" --scenario=grid_1024 --threads=1 --profile \
+    --quiet --perf-json="${tmp}/campaign_grid_1024_profile.json"
 
 commit="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
@@ -84,6 +92,8 @@ doc = {
     "campaign_smoke": json.load(open(f"{tmp}/campaign_smoke.json")),
     "campaign_grid_dense": json.load(open(f"{tmp}/campaign_grid_dense.json")),
     "campaign_grid_1024": json.load(open(f"{tmp}/campaign_grid_1024.json")),
+    "campaign_grid_1024_profile": json.load(
+        open(f"{tmp}/campaign_grid_1024_profile.json")),
 }
 for k in shard_counts.split():
     doc[f"campaign_grid_1024_shards{k}"] = json.load(

@@ -16,7 +16,10 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/logging.h"
 #include "scenario/campaign.h"
 #include "scenario/campaign_reporter.h"
 #include "scenario/scenario_parser.h"
@@ -38,6 +41,11 @@ using scoop::tools::MatchFlag;
                "          [--csv=PATH]       write per-trial + mean rows as CSV\n"
                "          [--json=PATH]      write per-combo JSON-lines\n"
                "          [--perf-json=PATH] write wall-clock/events-per-second perf report\n"
+               "          [--trace-out=PATH] Chrome-trace JSON per (combo, trial)\n"
+               "          [--metrics-out=PATH] metrics JSONL per (combo, trial)\n"
+               "          [--metrics-interval=S] metrics sampling grid (sim seconds)\n"
+               "          [--profile]        attach the wall-clock sim profiler\n"
+               "          [-v | -vv]         info / debug logging to stderr\n"
                "          [--quiet]          suppress the summary table\n"
                "       %s --list             list registered scenarios\n"
                "       %s --print=NAME      dump a registered scenario's .scn text\n",
@@ -78,6 +86,10 @@ int main(int argc, char** argv) {
   int threads = 0;
   std::string shards_override;
   bool quiet = false;
+  int verbosity = 0;
+  // (key, value) pairs applied to the scenario's base config after parsing,
+  // through the same table the .scn obs.* keys use.
+  std::vector<std::pair<std::string, std::string>> obs_overrides;
 
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
@@ -112,12 +124,25 @@ int main(int argc, char** argv) {
       json_path = value;
     } else if (MatchFlag(arg, "--perf-json", &value) && value != nullptr) {
       perf_json_path = value;
+    } else if (MatchFlag(arg, "--trace-out", &value) && value != nullptr) {
+      obs_overrides.emplace_back("obs.trace_out", value);
+    } else if (MatchFlag(arg, "--metrics-out", &value) && value != nullptr) {
+      obs_overrides.emplace_back("obs.metrics_out", value);
+    } else if (MatchFlag(arg, "--metrics-interval", &value) && value != nullptr) {
+      obs_overrides.emplace_back("obs.metrics_interval_seconds", value);
+    } else if (MatchFlag(arg, "--profile", &value)) {
+      obs_overrides.emplace_back("obs.profile", "true");
+    } else if (std::strcmp(arg, "-v") == 0) {
+      verbosity = 1;
+    } else if (std::strcmp(arg, "-vv") == 0) {
+      verbosity = 2;
     } else if (MatchFlag(arg, "--quiet", &value)) {
       quiet = true;
     } else {
       Usage(argv[0]);
     }
   }
+  SetLogLevel(LogLevelForVerbosity(verbosity));
   if (scenario_name.empty() == file_path.empty()) Usage(argv[0]);  // Exactly one source.
 
   Result<scenario::Scenario> parsed = [&]() -> Result<scenario::Scenario> {
@@ -137,6 +162,13 @@ int main(int argc, char** argv) {
     Status s = scenario::ApplyScenarioKey(&scn.base, "shards", shards_override);
     if (!s.ok()) {
       std::fprintf(stderr, "bad --shards value: %s\n", s.message().c_str());
+      Usage(argv[0]);
+    }
+  }
+  for (const auto& [key, value] : obs_overrides) {
+    Status s = scenario::ApplyScenarioKey(&scn.base, key, value);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bad --%s value: %s\n", key.c_str(), s.message().c_str());
       Usage(argv[0]);
     }
   }

@@ -11,6 +11,8 @@
 //             [--batch=N] [--no-shortcut] [--no-descendants]
 //             [--owner-set=K] [--range-granularity=G]
 //             [--failure-fraction=F] [--failure-minute=M]
+//             [--trace-out=PATH] [--metrics-out=PATH] [--metrics-interval=S]
+//             [--profile] [-v|-vv]
 //
 // Prints the message breakdown and success metrics for the configured run.
 #include <cstdio>
@@ -18,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/logging.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "scenario/scenario_parser.h"
@@ -42,7 +45,12 @@ using namespace scoop;
                "                        parallel engine, 0 = one shard per core\n"
                "          [--batch=N] [--no-shortcut] [--no-descendants]\n"
                "          [--owner-set=K] [--range-granularity=G]\n"
-               "          [--failure-fraction=F] [--failure-minute=M]\n",
+               "          [--failure-fraction=F] [--failure-minute=M]\n"
+               "          [--trace-out=PATH]    write a Chrome-trace JSON per trial\n"
+               "          [--metrics-out=PATH]  write sampled metrics JSONL per trial\n"
+               "          [--metrics-interval=S] metrics sampling grid (sim seconds)\n"
+               "          [--profile]           attach the wall-clock sim profiler\n"
+               "          [-v | -vv]            info / debug logging to stderr\n",
                argv0);
   std::exit(2);
 }
@@ -65,6 +73,7 @@ void ApplyKeyOrUsage(harness::ExperimentConfig* config, const char* key, const c
 
 int main(int argc, char** argv) {
   harness::ExperimentConfig config;
+  int verbosity = 0;
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
     const char* arg = argv[i];
@@ -118,10 +127,23 @@ int main(int argc, char** argv) {
       ApplyKeyOrUsage(&config, "failure_fraction", value, argv[0]);
     } else if (MatchFlag(arg, "--failure-minute", &value) && value != nullptr) {
       ApplyKeyOrUsage(&config, "failure_minute", value, argv[0]);
+    } else if (MatchFlag(arg, "--trace-out", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "obs.trace_out", value, argv[0]);
+    } else if (MatchFlag(arg, "--metrics-out", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "obs.metrics_out", value, argv[0]);
+    } else if (MatchFlag(arg, "--metrics-interval", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "obs.metrics_interval_seconds", value, argv[0]);
+    } else if (MatchFlag(arg, "--profile", &value)) {
+      config.profile = true;
+    } else if (std::strcmp(arg, "-v") == 0) {
+      verbosity = 1;
+    } else if (std::strcmp(arg, "-vv") == 0) {
+      verbosity = 2;
     } else {
       Usage(argv[0]);
     }
   }
+  SetLogLevel(LogLevelForVerbosity(verbosity));
 
   harness::ExperimentResult r = harness::RunExperiment(config);
 
@@ -153,5 +175,24 @@ int main(int argc, char** argv) {
                  harness::FormatCount(r.indices_disseminated) + "/" +
                      harness::FormatCount(r.indices_suppressed)});
   health.Print();
+
+  if (config.profile) {
+    std::printf("\n");
+    harness::TablePrinter prof({"bucket", "wall-seconds"});
+    const struct {
+      const char* name;
+      double seconds;
+    } buckets[] = {
+        {"queue", r.profile_queue_seconds},       {"radio", r.profile_radio_seconds},
+        {"agent", r.profile_agent_seconds},       {"shard-sync", r.profile_shard_sync_seconds},
+        {"other", r.profile_other_seconds},
+    };
+    char cell[32];
+    for (const auto& b : buckets) {
+      std::snprintf(cell, sizeof(cell), "%.3f", b.seconds);
+      prof.AddRow({b.name, cell});
+    }
+    prof.Print();
+  }
   return 0;
 }
