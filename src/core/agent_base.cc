@@ -1,6 +1,7 @@
 #include "core/agent_base.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/check.h"
 
@@ -92,10 +93,87 @@ void AgentBase::OnSendDone(sim::Context& ctx, const Packet& pkt, bool success) {
       StoreReadings(d, StoreClass::kBaseFallback);
       return;
     }
+    if (MaybeRetrySend(pkt)) return;
+    // Retries exhausted (or off): orphan the readings locally instead of
+    // dropping when the degradation knob is on.
+    if (cfg_.fault_orphan_rehoming) {
+      OrphanReadings(d);
+      return;
+    }
     telemetry_->readings_lost += d.readings.size();
     return;
   }
+  if (pkt.hdr.type == PacketType::kSummary && MaybeRetrySend(pkt)) return;
   OnAgentSendFailed(pkt);
+}
+
+bool AgentBase::MaybeRetrySend(const Packet& pkt) {
+  if (cfg_.fault_send_retry_max <= 0) return false;
+  if (pkt.hdr.retry_attempt >= cfg_.fault_send_retry_max) return false;
+  // Bounded retry-with-backoff (fault degradation): re-send toward the
+  // then-current parent after an exponentially growing, draw-free delay.
+  // The attempt count rides in the header's host-only retry_attempt field.
+  Packet retry = pkt;
+  SimTime backoff = cfg_.fault_send_retry_backoff << retry.hdr.retry_attempt;
+  ++retry.hdr.retry_attempt;
+  ++telemetry_->send_retries;
+  ctx_->Schedule(backoff, [this, retry] {
+    if (down_) {
+      // Crashed while backing off. Account for the readings rather than
+      // letting them vanish with the dead radio.
+      if (retry.hdr.type == PacketType::kData) {
+        const DataPayload& d = retry.As<DataPayload>();
+        if (cfg_.fault_orphan_rehoming) {
+          OrphanReadings(d);
+        } else {
+          telemetry_->readings_lost += d.readings.size();
+        }
+      }
+      return;
+    }
+    NodeId dst =
+        tree_.parent() != kInvalidNodeId ? tree_.parent() : retry.hdr.link_dst;
+    Packet p = retry;
+    p.hdr.link_dst = dst;
+    ctx_->Unicast(dst, std::move(p));
+  });
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Fault lifecycle (src/fault/)
+// ---------------------------------------------------------------------------
+
+void AgentBase::OnCrash(sim::Context& ctx) {
+  (void)ctx;
+  down_ = true;
+  OnAgentCrash();
+}
+
+void AgentBase::OnReboot(sim::Context& ctx) {
+  (void)ctx;
+  down_ = false;
+  // Volatile state is gone: stored tuples, routing tree, link estimates,
+  // descendant cache, and the orphan buffer (its readings stay counted as
+  // orphaned-but-never-rehomed, so the loss is visible in the accounting).
+  // The index store survives deliberately -- a rebooted node holds a stale
+  // index until gossip catches it up (§5.3).
+  flash_.Clear();
+  neighbors_ = net::NeighborTable(cfg_.neighbor);
+  tree_ = net::RoutingTree(cfg_.self, cfg_.is_base(), cfg_.tree);
+  descendants_ = net::DescendantsTable(cfg_.descendants);
+  orphans_.clear();
+  OnAgentReboot();
+}
+
+void AgentBase::OnRootPromote(sim::Context& ctx, bool promote) {
+  (void)ctx;
+  // Failover backup: advertise root status (depth 0, cost 0) in beacons so
+  // the tree re-converges on us while the real base is dark. cfg_.base is
+  // untouched: queries and summary handling stay at the configured base,
+  // and data routed to a promoted non-base node pools there (rule 6's
+  // no-route store) until the outage heals -- degraded, never dropped.
+  tree_.SetRoot(promote || cfg_.is_base());
 }
 
 // ---------------------------------------------------------------------------
@@ -112,7 +190,16 @@ void AgentBase::ScheduleBeaconLoop() {
 }
 
 void AgentBase::SendBeacon() {
+  if (down_) return;  // Crashed: the radio is off anyway; skip the work.
+  bool had_parent = tree_.parent() != kInvalidNodeId;
   tree_.MaybeTimeoutParent(ctx_->now());
+  if (had_parent && tree_.parent() == kInvalidNodeId) {
+    ++telemetry_->parent_losses;
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->Instant(ctx_->now(), "route.parent_lost", obs::TraceCat::kFault,
+                          static_cast<uint16_t>(cfg_.self));
+    }
+  }
   BeaconPayload beacon = tree_.MakeBeacon();
   // Tell neighbors how well we hear them (bidirectional link estimation).
   beacon.link_report = neighbors_.BestNeighbors(cfg_.beacon_link_report_size);
@@ -243,6 +330,70 @@ void AgentBase::StoreReadings(const DataPayload& data, StoreClass cls) {
 }
 
 // ---------------------------------------------------------------------------
+// Orphaned readings (fault degradation: owner unreachable)
+// ---------------------------------------------------------------------------
+
+void AgentBase::OrphanReadings(const DataPayload& data) {
+  // Park locally -- the tuples are queryable here in the meantime -- and
+  // remember the batch so RehomeOrphans can re-route it once a fresh index
+  // arrives.
+  StoreReadings(data, StoreClass::kLocalNoRoute);
+  telemetry_->readings_orphaned += data.readings.size();
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->Instant(ctx_->now(), "data.orphaned", obs::TraceCat::kFault,
+                        static_cast<uint16_t>(cfg_.self), "readings",
+                        static_cast<uint64_t>(data.readings.size()));
+  }
+  if (orphans_.size() >= kMaxOrphanBatches) {
+    // Evict the oldest batch, visibly: its readings move from "awaiting
+    // re-home" to lost. (They remain stored locally from the park above.)
+    telemetry_->readings_lost += orphans_.front().readings.size();
+    orphans_.erase(orphans_.begin());
+  }
+  orphans_.push_back(data);
+}
+
+void AgentBase::RehomeOrphans() {
+  if (orphans_.empty()) return;
+  const StorageIndex* index = index_store_.current();
+  if (index == nullptr || !index->valid()) return;  // Keep waiting.
+  std::vector<DataPayload> batches = std::move(orphans_);
+  orphans_.clear();
+  uint64_t rehomed = 0;
+  for (DataPayload& stale : batches) {
+    // Re-resolve each reading's owner under the newest index, splitting
+    // the batch where the mapping diverged (same shape as rule 1).
+    std::map<NodeId, std::vector<Reading>> groups;
+    for (const Reading& r : stale.readings) {
+      std::optional<NodeId> owner = index->Lookup(r.value);
+      groups[owner.value_or(cfg_.self)].push_back(r);
+    }
+    for (auto& [owner, readings] : groups) {
+      rehomed += readings.size();
+      telemetry_->readings_rehomed += readings.size();
+      // Already stored here; the new index now agrees this is home.
+      if (owner == kStoreLocalOwner || owner == cfg_.self) continue;
+      // Re-routed away: the parked copy was a stopgap, not storage. Undo
+      // its readings_stored credit so the batch counts once -- wherever it
+      // lands next (owner, fallback, or a fresh orphan park) re-counts it,
+      // keeping storage_success a fraction of unique readings.
+      telemetry_->readings_stored -= readings.size();
+      DataPayload d;
+      d.attr = stale.attr;
+      d.producer = stale.producer;
+      d.owner = owner;
+      d.sid = index->id();
+      d.readings = std::move(readings);
+      RouteData(std::move(d), cfg_.self, tree_.parent());
+    }
+  }
+  if (cfg_.trace != nullptr && rehomed > 0) {
+    cfg_.trace->Instant(ctx_->now(), "data.rehomed", obs::TraceCat::kFault,
+                        static_cast<uint16_t>(cfg_.self), "readings", rehomed);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Storage-index gossip (§5.3)
 // ---------------------------------------------------------------------------
 
@@ -283,6 +434,9 @@ void AgentBase::HandleMappingPacket(const Packet& pkt) {
     case IndexStore::ChunkResult::kCompleted:
       gossip_->NoteInconsistent();
       OnIndexCompleted();
+      // A fresh index is the re-homing trigger: owners that were
+      // unreachable before the remap may be mapped (or reachable) now.
+      RehomeOrphans();
       break;
   }
   // Nodes still missing chunks keep their Trickle hot so their (incomplete)
@@ -396,7 +550,13 @@ void AgentBase::HandleReplyPacket(const Packet& pkt) {
   }
   const ReplyPayload& reply = pkt.As<ReplyPayload>();
   auto it = pending_.find(reply.query_id);
-  if (it == pending_.end()) return;  // Late reply; query already closed.
+  if (it == pending_.end()) {
+    // A reply to a re-issued wire id credits the original pending query.
+    auto alias = reissue_alias_.find(reply.query_id);
+    if (alias == reissue_alias_.end()) return;  // Late reply; already closed.
+    it = pending_.find(alias->second);
+    if (it == pending_.end()) return;
+  }
   PendingQuery& pending = it->second;
   // Replies from nodes the planner never asked for (they were swept into
   // the wire set by MTU coarsening) don't count and don't contribute
@@ -414,7 +574,7 @@ void AgentBase::HandleReplyPacket(const Packet& pkt) {
   }
   for (const ReplyTuple& t : reply.tuples) pending.outcome.tuples.push_back(t);
   if (pending.outcome.responders >= pending.outcome.targets) {
-    CloseQuery(reply.query_id);
+    CloseQuery(it->first);  // The original id, not a re-issued wire alias.
   }
 }
 
@@ -490,14 +650,75 @@ uint32_t AgentBase::IssueQueryToTargets(const Query& query,
   return id;
 }
 
+void AgentBase::ReissueQuery(uint32_t query_id, PendingQuery& pending) {
+  // Flood only the requested-but-silent responders, under a fresh wire id
+  // so nodes that already reacted to the original flood react again.
+  uint32_t wire_id = next_query_id_++;
+  reissue_alias_[wire_id] = query_id;
+  ++telemetry_->queries_reissued;
+
+  QueryPayload payload;
+  payload.query_id = wire_id;
+  payload.attr = pending.outcome.query.attr;
+  payload.time_lo = pending.outcome.query.time_lo;
+  payload.time_hi = pending.outcome.query.time_hi;
+  payload.ranges = pending.outcome.query.ranges;
+  payload.targets = NodeSet(cfg_.num_nodes);
+  int missing = 0;
+  for (int i = 0; i < cfg_.num_nodes; ++i) {
+    NodeId n = static_cast<NodeId>(i);
+    if (pending.requested.Test(n) && !pending.responded.Test(n)) {
+      payload.targets.Set(n);
+      ++missing;
+    }
+  }
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->Instant(ctx_->now(), "query.reissue", obs::TraceCat::kFault,
+                        static_cast<uint16_t>(cfg_.self), "id", query_id,
+                        "missing", static_cast<uint64_t>(missing));
+  }
+  queries_seen_[wire_id].reacted = true;  // Ignore echoes of our own flood.
+
+  // Same MTU coarsening as the original issue. Re-issue sets are subsets,
+  // so overflow is rare; an unsendable set just skips the flood and the
+  // follow-up timeout closes the query.
+  int set_budget = ctx_->radio_options().max_packet_bytes - PacketHeader::kWireSize -
+                   (payload.WireSize() - payload.targets.WireSize());
+  if (payload.targets.WireSize() > set_budget) {
+    payload.targets = payload.targets.CoarsenedToFit(set_budget, cfg_.base);
+  }
+  if (missing > 0 && payload.targets.WireSize() <= set_budget) {
+    ctx_->Broadcast(MakeFromSelf(std::move(payload)));
+  }
+  // Intentionally NOT bumping queries_issued / query_targets_total: the
+  // re-issue is the same logical query, and the QueryDriver's selectivity
+  // metric reads those counters as per-query deltas.
+  ctx_->Schedule(cfg_.query_timeout, [this, query_id] { CloseQuery(query_id); });
+}
+
 void AgentBase::CloseQuery(uint32_t query_id) {
   auto it = pending_.find(query_id);
   if (it == pending_.end()) return;  // Already closed.
+  // Degradation fallback: an incomplete query with re-issue budget left is
+  // not closed -- the still-missing responders are asked again under a
+  // fresh wire id and a new timeout is armed.
+  if (cfg_.fault_query_reissue_max > 0 &&
+      it->second.outcome.responders < it->second.outcome.targets &&
+      it->second.reissues < cfg_.fault_query_reissue_max) {
+    ++it->second.reissues;
+    ReissueQuery(query_id, it->second);
+    return;
+  }
   SimTime issued_at = it->second.issued_at;
   QueryOutcome outcome = std::move(it->second.outcome);
   pending_.erase(it);
+  // Drop any wire aliases from re-issues of this query.
+  for (auto alias = reissue_alias_.begin(); alias != reissue_alias_.end();) {
+    alias = alias->second == query_id ? reissue_alias_.erase(alias) : std::next(alias);
+  }
   outcome.closed = true;
   outcome.complete = outcome.responders >= outcome.targets;
+  outcome.closed_at = ctx_->now();
   if (cfg_.trace != nullptr) {
     // The whole issue-to-close lifetime as one span on the base's track.
     cfg_.trace->Span(issued_at, ctx_->now() - issued_at, "query",
@@ -517,6 +738,7 @@ uint32_t AgentBase::RecordImmediateOutcome(QueryOutcome outcome) {
   outcome.query_id = id;
   outcome.closed = true;
   outcome.complete = true;
+  if (ctx_ != nullptr) outcome.closed_at = ctx_->now();
   ++telemetry_->queries_issued;
   telemetry_->tuples_returned += outcome.tuples.size();
   auto [it, inserted] = done_.emplace(id, std::move(outcome));

@@ -37,6 +37,9 @@ class AgentBase : public sim::App {
   void OnReceive(sim::Context& ctx, const Packet& pkt, const sim::ReceiveInfo& info) final;
   void OnSnoop(sim::Context& ctx, const Packet& pkt) final;
   void OnSendDone(sim::Context& ctx, const Packet& pkt, bool success) final;
+  void OnCrash(sim::Context& ctx) final;
+  void OnReboot(sim::Context& ctx) final;
+  void OnRootPromote(sim::Context& ctx, bool promote) final;
 
   // --- Introspection (tests, harness, examples) ---
   const AgentConfig& config() const { return cfg_; }
@@ -94,6 +97,16 @@ class AgentBase : public sim::App {
   /// retransmissions.
   virtual void OnAgentSendFailed(const Packet& pkt) { (void)pkt; }
 
+  /// Called after the shared crash handling set the down flag (fault
+  /// injection, src/fault/). Pending timers still fire while down.
+  virtual void OnAgentCrash() {}
+
+  /// Called after the shared reboot handling reset the volatile substrate
+  /// (routing tree, neighbors, descendants, flash, orphan buffer). The
+  /// index store is deliberately left as-is: a rebooted node holds a stale
+  /// index until gossip catches it up (§5.3).
+  virtual void OnAgentReboot() {}
+
   /// Subclasses using storage-index gossip (Scoop node and base) return
   /// true; mapping packets are then assembled and re-shared via Trickle.
   virtual bool MappingGossipEnabled() const { return false; }
@@ -116,6 +129,16 @@ class AgentBase : public sim::App {
 
   /// Stores all readings of `data` in local Flash with telemetry.
   void StoreReadings(const DataPayload& data, StoreClass cls);
+
+  /// True between OnCrash and OnReboot: the radio is off and periodic
+  /// loops must skip their work (their timers keep firing).
+  bool is_down() const { return down_; }
+
+  /// Graceful degradation: parks `data` locally with an "orphaned" mark
+  /// (queryable meanwhile) and remembers it for re-homing after the next
+  /// complete index arrives. Used when the owner is unreachable and
+  /// cfg_.fault_orphan_rehoming is on.
+  void OrphanReadings(const DataPayload& data);
 
   /// Records a query that was answered without any network traffic (e.g.
   /// from summaries); assigns an id, closes it, and fires the completion
@@ -148,6 +171,14 @@ class AgentBase : public sim::App {
 
   void CloseQuery(uint32_t query_id);
 
+  /// Re-routes buffered orphans under the (new) current index.
+  void RehomeOrphans();
+
+  /// Bounded retry-with-backoff for a failed data/summary send. Returns
+  /// true when a retry was scheduled (the caller should stop handling the
+  /// failure); false when retries are off or exhausted.
+  bool MaybeRetrySend(const Packet& pkt);
+
   void ScheduleBeaconLoop();
   void ScheduleMaintenanceLoop();
   void SendBeacon();
@@ -161,6 +192,8 @@ class AgentBase : public sim::App {
   storage::FlashStore flash_;
   IndexStore index_store_;
   sim::Context* ctx_ = nullptr;
+  /// Crash-reboot fault state (see is_down()).
+  bool down_ = false;
 
  private:
   struct QuerySeenState {
@@ -171,6 +204,9 @@ class AgentBase : public sim::App {
   struct PendingQuery {
     QueryOutcome outcome;
     SimTime issued_at = 0;  ///< Start of the query trace span.
+    /// Timeout re-issues already spent on this query (fault degradation;
+    /// bounded by cfg_.fault_query_reissue_max).
+    int reissues = 0;
     /// The targets the planner actually asked for. The wire set may be a
     /// coarsened superset (MTU fitting); replies from the extra nodes are
     /// dropped so outcomes and selectivity metrics only ever reflect the
@@ -181,11 +217,24 @@ class AgentBase : public sim::App {
     DynamicNodeBitmap responded;
   };
 
+  /// Re-issues a still-incomplete query at the nodes yet to answer: a
+  /// fresh wire id floods the missing set, aliased back to the original
+  /// pending entry, and a new timeout is armed.
+  void ReissueQuery(uint32_t query_id, PendingQuery& pending);
+
+  /// Cap on buffered orphan batches; beyond it the oldest batch is
+  /// counted lost (never silently dropped) and evicted.
+  static constexpr size_t kMaxOrphanBatches = 512;
+
   std::unique_ptr<trickle::TrickleDriver> gossip_;
   SimTime last_gossip_help_ = -Minutes(1);
   std::unordered_map<uint32_t, QuerySeenState> queries_seen_;
   std::unordered_map<uint32_t, PendingQuery> pending_;
   std::unordered_map<uint32_t, QueryOutcome> done_;
+  /// Orphaned batches awaiting re-homing (fault_orphan_rehoming).
+  std::vector<DataPayload> orphans_;
+  /// Re-issued wire query id -> original pending query id.
+  std::unordered_map<uint32_t, uint32_t> reissue_alias_;
   uint32_t next_query_id_ = 1;
   metrics::Telemetry* telemetry_;
   metrics::Telemetry own_telemetry_;  // Used when config.telemetry is null.

@@ -107,6 +107,20 @@ struct AgentConfig {
   /// Value domain the static hash covers (HASH has no statistics loop).
   ValueRange hash_domain{0, 100};
 
+  // --- Graceful degradation under faults (src/fault/; all off = the
+  // --- historical drop-on-failure behavior) ---
+  /// Owner unreachable (no route / retries exhausted): store the readings
+  /// locally with an "orphaned" mark and re-home them after the next
+  /// index arrives, instead of dropping or base-fallback-only.
+  bool fault_orphan_rehoming = false;
+  /// Bounded retry-with-backoff after the MAC gives up on a data or
+  /// summary packet (0 = off; attempt k re-sends after backoff << k).
+  int fault_send_retry_max = 0;
+  SimTime fault_send_retry_backoff = Millis(250);
+  /// Base: re-issue a timed-out query against the responders still missing
+  /// (0 = off; at most this many re-issues per query).
+  int fault_query_reissue_max = 0;
+
   // --- Wiring ---
   /// Success counters (shared across agents); may be null.
   metrics::Telemetry* telemetry = nullptr;

@@ -52,6 +52,10 @@ struct QueryOutcome {
   bool closed = false;
   /// True if every asked node replied.
   bool complete = false;
+  /// Sim time the query closed at (0 for immediate/summary answers closed
+  /// at issue time). Lets the harness build a per-query success timeline
+  /// without reaching back into the engine clock.
+  SimTime closed_at = 0;
 };
 
 }  // namespace scoop::core

@@ -31,7 +31,9 @@ void ScoopNodeAgent::ScheduleSampleLoop() {
 }
 
 void ScoopNodeAgent::LoopSample() {
-  TakeSample();
+  // A crashed node samples nothing; the timer chain keeps ticking so
+  // sampling resumes on its own phase after a reboot.
+  if (!is_down()) TakeSample();
   ctx().Schedule(cfg_.sample_interval, [this] { LoopSample(); });
 }
 
@@ -168,6 +170,16 @@ void ScoopNodeAgent::OnIndexCompleted() {
   FlushBatch();
 }
 
+void ScoopNodeAgent::OnAgentReboot() {
+  // Volatile sampling state died with the node: the recent-readings buffer
+  // feeding summaries, the outgoing batch, and the since-last-summary
+  // count. samples_taken_ is lifetime introspection and survives.
+  recent_readings_.Clear();
+  batch_.active = false;
+  batch_.readings.clear();
+  samples_since_summary_ = 0;
+}
+
 // ---------------------------------------------------------------------------
 // Summaries (§5.2)
 // ---------------------------------------------------------------------------
@@ -181,7 +193,9 @@ void ScoopNodeAgent::ScheduleSummaryLoop() {
 }
 
 void ScoopNodeAgent::LoopSummary() {
-  SendSummary();
+  if (!is_down()) SendSummary();
+  // The jitter draw happens even while down: the per-node RNG stream must
+  // advance identically whether or not this node's summary went out.
   SimTime interval = ctx().rng().UniformInt(cfg_.summary_interval * 9 / 10,
                                             cfg_.summary_interval * 11 / 10);
   ctx().Schedule(interval, [this] { LoopSummary(); });

@@ -24,6 +24,7 @@ class ScoopNodeAgent : public AgentBase {
   void OnAgentBoot() override;
   void HandleData(const Packet& pkt) override;
   void OnIndexCompleted() override;
+  void OnAgentReboot() override;
   bool MappingGossipEnabled() const override { return true; }
 
  private:

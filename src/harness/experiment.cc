@@ -68,6 +68,10 @@ AgentConfig MakeAgentConfig(const ExperimentConfig& config, NodeId self,
   agent.suppression_similarity = config.suppression_similarity;
   agent.builder = config.builder;
   agent.hash_domain = source->domain();
+  agent.fault_orphan_rehoming = config.fault.orphan_rehoming;
+  agent.fault_send_retry_max = config.fault.send_retry_max;
+  agent.fault_send_retry_backoff = config.fault.send_retry_backoff;
+  agent.fault_query_reissue_max = config.fault.query_reissue_max;
   agent.telemetry = telemetry;
   agent.trace = trace;
   agent.sample_fn = [source](NodeId node, SimTime now) { return source->Next(node, now); };
@@ -274,35 +278,121 @@ class QueryDriver {
   uint64_t last_targets_total_ = 0;
 };
 
-/// One failure-injection wave: these victims lose their radios at `at`.
-struct FailureWave {
-  SimTime at;
-  std::vector<NodeId> victims;
+/// Builds the trial's FaultPlan, folding the legacy failure_* knobs in as
+/// crash-stop waves (identical victim selection and timing to the historic
+/// BuildFailureWaves).
+fault::FaultPlan BuildTrialFaultPlan(const ExperimentConfig& config,
+                                     const sim::Topology& topology, uint64_t seed) {
+  fault::LegacyCrashWaves legacy;
+  legacy.fraction = config.node_failure_fraction;
+  legacy.at = config.failure_time;
+  legacy.wave_count = config.failure_wave_count;
+  legacy.wave_interval = config.failure_wave_interval;
+  return fault::BuildFaultPlan(config.fault, legacy, topology, config.num_nodes, seed);
+}
+
+/// True when the trial has any fault machinery on: scheduled events, link
+/// windows, or agent-side degradation knobs. Gates the fault counters and
+/// gauges so fault-free runs export exactly the metrics they always did.
+bool FaultActive(const ExperimentConfig& config, const fault::FaultPlan& plan) {
+  return plan.any() || config.fault.orphan_rehoming ||
+         config.fault.send_retry_max > 0 || config.fault.query_reissue_max > 0;
+}
+
+/// Per-sink observability for fault events: counters on the PR 7 metrics
+/// grid plus `fault.*` trace instants. All members null = off; recording
+/// is branch-on-null, so fault application is identical with obs on/off.
+struct FaultObs {
+  obs::TraceSink* trace = nullptr;
+  uint64_t* crash = nullptr;
+  uint64_t* reboot = nullptr;
+  uint64_t* link_down = nullptr;
+  uint64_t* partition = nullptr;
+
+  void Resolve(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    crash = registry->Counter("fault.crash");
+    reboot = registry->Counter("fault.reboot");
+    link_down = registry->Counter("fault.link_down");
+    partition = registry->Counter("fault.partition");
+  }
 };
 
-/// Computes the failure waves for (config, seed). Victims are drawn without
-/// replacement from one shuffled order, so wave 0 kills exactly the set the
-/// single-event configuration always killed.
-std::vector<FailureWave> BuildFailureWaves(const ExperimentConfig& config, uint64_t seed) {
-  std::vector<FailureWave> waves;
-  if (config.node_failure_fraction <= 0) return waves;
-  Rng failure_rng(MixSeed(seed, 0xDEAD));
-  std::vector<NodeId> victims;
-  for (int i = 1; i < config.num_nodes; ++i) victims.push_back(static_cast<NodeId>(i));
-  failure_rng.Shuffle(victims.begin(), victims.end());
-  int per_wave = static_cast<int>(config.node_failure_fraction * (config.num_nodes - 1));
-  per_wave = std::clamp(per_wave, 0, config.num_nodes - 1);
-  size_t begin = 0;
-  for (int w = 0; w < std::max(1, config.failure_wave_count); ++w) {
-    size_t end = std::min(victims.size(), begin + static_cast<size_t>(per_wave));
-    if (begin >= end) break;
-    waves.push_back(
-        FailureWave{config.failure_time + w * config.failure_wave_interval,
-                    std::vector<NodeId>(victims.begin() + static_cast<ptrdiff_t>(begin),
-                                        victims.begin() + static_cast<ptrdiff_t>(end))});
-    begin = end;
+const char* FaultInstantName(fault::FaultKind kind) {
+  switch (kind) {
+    case fault::FaultKind::kRadioDown:
+    case fault::FaultKind::kCrash:
+      return "fault.crash";
+    case fault::FaultKind::kRadioUp:
+      return "fault.radio_up";
+    case fault::FaultKind::kReboot:
+      return "fault.reboot";
+    case fault::FaultKind::kPromote:
+      return "fault.promote";
+    case fault::FaultKind::kDemote:
+      return "fault.demote";
+    case fault::FaultKind::kMarkLinkDown:
+      return "fault.link_down";
+    case fault::FaultKind::kMarkPartition:
+      return "fault.partition";
   }
-  return waves;
+  return "fault.?";
+}
+
+void RecordFaultObs(FaultObs* obs, const fault::FaultEvent& ev, SimTime now) {
+  switch (ev.kind) {
+    case fault::FaultKind::kRadioDown:
+    case fault::FaultKind::kCrash:
+      if (obs->crash != nullptr) ++*obs->crash;
+      break;
+    case fault::FaultKind::kReboot:
+      if (obs->reboot != nullptr) ++*obs->reboot;
+      break;
+    case fault::FaultKind::kMarkLinkDown:
+      if (obs->link_down != nullptr) ++*obs->link_down;
+      break;
+    case fault::FaultKind::kMarkPartition:
+      if (obs->partition != nullptr) ++*obs->partition;
+      break;
+    default:
+      break;  // kRadioUp/kPromote/kDemote: trace-only.
+  }
+  if (obs->trace != nullptr) {
+    obs->trace->Instant(now, FaultInstantName(ev.kind), obs::TraceCat::kFault,
+                        ev.node, "kind", static_cast<uint64_t>(ev.kind));
+  }
+}
+
+/// Applies one fault event on the sequential engine. Radio state flips
+/// before the agent hook runs, so OnCrash/OnReboot observe the radio the
+/// way a real mote's firmware would (down while crashed, up at reboot).
+void ApplySequentialFault(sim::Network* network, const fault::FaultEvent& ev) {
+  sim::App* app = network->app(ev.node);
+  switch (ev.kind) {
+    case fault::FaultKind::kRadioDown:
+      network->SetNodeAlive(ev.node, false);
+      break;
+    case fault::FaultKind::kRadioUp:
+      network->SetNodeAlive(ev.node, true);
+      break;
+    case fault::FaultKind::kCrash:
+      network->SetNodeAlive(ev.node, false);
+      if (app != nullptr) app->OnCrash(network->context(ev.node));
+      break;
+    case fault::FaultKind::kReboot:
+      network->SetNodeAlive(ev.node, true);
+      if (app != nullptr) app->OnReboot(network->context(ev.node));
+      break;
+    case fault::FaultKind::kPromote:
+      if (app != nullptr) app->OnRootPromote(network->context(ev.node), true);
+      break;
+    case fault::FaultKind::kDemote:
+      if (app != nullptr) app->OnRootPromote(network->context(ev.node), false);
+      break;
+    case fault::FaultKind::kMarkLinkDown:
+    case fault::FaultKind::kMarkPartition:
+      break;  // The link channel applies the window; this is obs-only.
+  }
 }
 
 /// Post-run metric collection shared by the sequential and sharded trial
@@ -326,6 +416,12 @@ ExperimentResult CollectResult(const ExperimentConfig& config,
   r.owner_hit_rate = telemetry.OwnerHitRate();
   r.query_success = telemetry.QuerySuccessRate();
   r.summary_delivery = telemetry.SummaryDeliveryRate();
+  r.readings_lost = static_cast<double>(telemetry.readings_lost);
+  r.readings_orphaned = static_cast<double>(telemetry.readings_orphaned);
+  r.readings_rehomed = static_cast<double>(telemetry.readings_rehomed);
+  r.queries_reissued = static_cast<double>(telemetry.queries_reissued);
+  r.parent_losses = static_cast<double>(telemetry.parent_losses);
+  r.send_retries = static_cast<double>(telemetry.send_retries);
   r.readings_produced = static_cast<double>(telemetry.readings_produced);
   r.queries_issued = static_cast<double>(telemetry.queries_issued);
   r.tuples_returned = static_cast<double>(telemetry.tuples_returned);
@@ -468,6 +564,14 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
       config.source, config.source_options, topology.positions(), seed);
   BaseHandle handle = InstallAgents(&network, config, &telemetry, trace.get(), source.get());
 
+  // Per-query success timeline, appended in close order on the engine
+  // thread (the churn integration test reads degradation/recovery off it).
+  std::vector<ExperimentResult::QueryTimelinePoint> timeline;
+  handle.agent->on_query_complete = [&timeline](const core::QueryOutcome& o) {
+    timeline.push_back(ExperimentResult::QueryTimelinePoint{
+        ToSeconds(o.closed_at), o.targets, o.responders});
+  };
+
   DriverOps ops;
   ops.now = [&network] { return network.now(); };
   ops.schedule_at = [&network](SimTime at, SmallCallback fn) {
@@ -477,19 +581,45 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   network.Start();
   queries.Start();
 
-  // Failure injection: kill random subsets of sensor nodes mid-run, in one
-  // or more waves.
-  for (const FailureWave& wave : BuildFailureWaves(config, seed)) {
-    std::vector<NodeId> victims = wave.victims;
-    network.queue().ScheduleAt(wave.at, [&network, victims = std::move(victims)] {
-      for (NodeId v : victims) network.SetNodeAlive(v, false);
-    });
+  // Fault injection: the trial's FaultPlan (legacy crash-stop waves plus
+  // the typed fault.* machinery), grouped into one scheduled lambda per
+  // distinct instant -- the same schedule shape the legacy per-wave loop
+  // had, so fault-free and crash-stop-only runs stay byte-identical.
+  fault::FaultPlan plan = BuildTrialFaultPlan(config, topology, seed);
+  FaultObs fobs;
+  fobs.trace = trace.get();
+  if (FaultActive(config, plan)) fobs.Resolve(registry.get());
+  if (plan.channel.active()) network.SetFaultChannel(&plan.channel);
+  for (size_t i = 0; i < plan.events.size();) {
+    size_t j = i;
+    while (j < plan.events.size() && plan.events[j].at == plan.events[i].at) ++j;
+    std::vector<fault::FaultEvent> group(
+        plan.events.begin() + static_cast<ptrdiff_t>(i),
+        plan.events.begin() + static_cast<ptrdiff_t>(j));
+    network.queue().ScheduleAt(plan.events[i].at,
+                               [&network, &fobs, group = std::move(group)] {
+                                 for (const fault::FaultEvent& ev : group) {
+                                   ApplySequentialFault(&network, ev);
+                                   RecordFaultObs(&fobs, ev, network.now());
+                                 }
+                               });
+    i = j;
   }
 
   // Attribution starts at the run loop; setup (topology, agent install)
   // belongs to no bucket.
   if (profiler != nullptr) profiler->Restart();
 
+  if (registry != nullptr && FaultActive(config, plan)) {
+    // Degradation counters live on the agents' shared Telemetry; surfacing
+    // them as gauges puts them on the same sampled grid as everything else
+    // without threading registry pointers through the agent layer.
+    metrics::Telemetry* tel = &telemetry;
+    registry->Gauge("data.orphaned", [tel] { return tel->readings_orphaned; });
+    registry->Gauge("data.rehomed", [tel] { return tel->readings_rehomed; });
+    registry->Gauge("query.reissued", [tel] { return tel->queries_reissued; });
+    registry->Gauge("route.parent_lost", [tel] { return tel->parent_losses; });
+  }
   if (registry != nullptr && config.metrics_interval > 0) {
     sim::EventQueue* q = &network.queue();
     registry->Gauge("queue.depth", [q] { return static_cast<uint64_t>(q->size()); });
@@ -520,6 +650,7 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   ExperimentResult r = CollectResult(config, stats, telemetry,
                                      queries.AvgPctNodesQueried(), handle.agent,
                                      network.queue().processed());
+  r.query_timeline = std::move(timeline);
   AddProfile(&r, profiler.get());
   return r;
 }
@@ -605,6 +736,14 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
       },
       source.get());
 
+  // Per-query success timeline; on_query_complete fires on the base
+  // shard's thread only, so a plain vector is race-free.
+  std::vector<ExperimentResult::QueryTimelinePoint> timeline;
+  handle.agent->on_query_complete = [&timeline](const core::QueryOutcome& o) {
+    timeline.push_back(ExperimentResult::QueryTimelinePoint{
+        ToSeconds(o.closed_at), o.targets, o.responders});
+  };
+
   DriverOps ops;
   ops.now = [&engine] { return engine.DriverNow(); };
   ops.schedule_at = [&engine](SimTime at, SmallCallback fn) {
@@ -612,11 +751,61 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
   };
   QueryDriver queries(std::move(ops), config, handle, source->domain(), seed);
 
-  // Failure waves go through the engine's alive-event channel, which must
-  // be primed before Start() so every shard knows its next power toggle
-  // (the lookahead floor that makes aborts conservative).
-  for (const FailureWave& wave : BuildFailureWaves(config, seed)) {
-    for (NodeId v : wave.victims) engine.ScheduleAlive(wave.at, v, false);
+  // Fault events go through the engine's pre-Start fault channel, which
+  // feeds every shard's AliveFloor (the lookahead floor that makes aborts
+  // conservative). Scheduled in plan order, so same-time events keep the
+  // plan's deterministic order on each shard for every K. Observability
+  // lands in the victim's shard sinks (the callback runs on that thread).
+  fault::FaultPlan plan = BuildTrialFaultPlan(config, engine.topology(), seed);
+  if (plan.channel.active()) engine.SetFaultChannel(&plan.channel);
+  std::vector<FaultObs> fault_obs(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    fault_obs[static_cast<size_t>(s)].trace = traces[static_cast<size_t>(s)].get();
+    if (FaultActive(config, plan)) {
+      fault_obs[static_cast<size_t>(s)].Resolve(registries[static_cast<size_t>(s)].get());
+    }
+  }
+  for (const fault::FaultEvent& ev : plan.events) {
+    FaultObs* fo = &fault_obs[static_cast<size_t>(engine.shard_of(ev.node))];
+    engine.ScheduleFault(ev.at, ev.node, [&engine, fo, ev] {
+      switch (ev.kind) {
+        case fault::FaultKind::kRadioDown:
+          engine.FaultSetAlive(ev.node, false);
+          break;
+        case fault::FaultKind::kRadioUp:
+          engine.FaultSetAlive(ev.node, true);
+          break;
+        case fault::FaultKind::kCrash:
+          engine.FaultSetAlive(ev.node, false);
+          engine.FaultCrash(ev.node);
+          break;
+        case fault::FaultKind::kReboot:
+          engine.FaultSetAlive(ev.node, true);
+          engine.FaultReboot(ev.node);
+          break;
+        case fault::FaultKind::kPromote:
+          engine.FaultRootPromote(ev.node, true);
+          break;
+        case fault::FaultKind::kDemote:
+          engine.FaultRootPromote(ev.node, false);
+          break;
+        case fault::FaultKind::kMarkLinkDown:
+        case fault::FaultKind::kMarkPartition:
+          break;  // The link channel applies the window; this is obs-only.
+      }
+      RecordFaultObs(fo, ev, ev.at);
+    });
+  }
+  if (FaultActive(config, plan)) {
+    for (int s = 0; s < k; ++s) {
+      obs::MetricsRegistry* reg = registries[static_cast<size_t>(s)].get();
+      if (reg == nullptr) continue;
+      metrics::Telemetry* tel = &shard_telemetry[static_cast<size_t>(s)];
+      reg->Gauge("data.orphaned", [tel] { return tel->readings_orphaned; });
+      reg->Gauge("data.rehomed", [tel] { return tel->readings_rehomed; });
+      reg->Gauge("query.reissued", [tel] { return tel->queries_reissued; });
+      reg->Gauge("route.parent_lost", [tel] { return tel->parent_losses; });
+    }
   }
 
   ScopedLogClock log_clock(
@@ -650,6 +839,7 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
   ExperimentResult r = CollectResult(config, stats, telemetry,
                                      queries.AvgPctNodesQueried(), handle.agent,
                                      engine.processed());
+  r.query_timeline = std::move(timeline);
   for (auto& p : profilers) AddProfile(&r, p.get());
   return r;
 }
@@ -687,6 +877,12 @@ ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
     sum.owner_hit_rate += r.owner_hit_rate;
     sum.query_success += r.query_success;
     sum.summary_delivery += r.summary_delivery;
+    sum.readings_lost += r.readings_lost;
+    sum.readings_orphaned += r.readings_orphaned;
+    sum.readings_rehomed += r.readings_rehomed;
+    sum.queries_reissued += r.queries_reissued;
+    sum.parent_losses += r.parent_losses;
+    sum.send_retries += r.send_retries;
     sum.readings_produced += r.readings_produced;
     sum.queries_issued += r.queries_issued;
     sum.tuples_returned += r.tuples_returned;
@@ -719,6 +915,12 @@ ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
   sum.owner_hit_rate /= k;
   sum.query_success /= k;
   sum.summary_delivery /= k;
+  sum.readings_lost /= k;
+  sum.readings_orphaned /= k;
+  sum.readings_rehomed /= k;
+  sum.queries_reissued /= k;
+  sum.parent_losses /= k;
+  sum.send_retries /= k;
   sum.readings_produced /= k;
   sum.queries_issued /= k;
   sum.tuples_returned /= k;

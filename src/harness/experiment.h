@@ -13,6 +13,7 @@
 
 #include "core/hash_model.h"
 #include "core/index_builder.h"
+#include "fault/fault_plan.h"
 #include "metrics/energy_model.h"
 #include "metrics/telemetry.h"
 #include "net/wire.h"
@@ -106,6 +107,13 @@ struct ExperimentConfig {
   int failure_wave_count = 1;
   SimTime failure_wave_interval = Minutes(5);
 
+  /// Typed fault injection (src/fault/): crash-reboot churn, link
+  /// degradation, spatial partitions, base outage/failover, and the
+  /// graceful-degradation knobs. The legacy failure_* fields above stay as
+  /// compatibility aliases for crash-stop waves; both feed one FaultPlan
+  /// per trial, built deterministically from (config, topology, seed).
+  fault::FaultConfig fault;
+
   // --- Scoop feature knobs (ablations) ---
   int max_batch = 5;
   bool enable_neighbor_shortcut = true;
@@ -151,10 +159,33 @@ struct ExperimentResult {
   }
 
   // Success metrics (§6 "other experiments").
-  double storage_success = 0;   ///< Stored / produced (paper ~93%).
+  /// Stored / produced (paper ~93%). Counts stores, not unique readings:
+  /// with fault.send_retry_max > 0 an ACK-lost-but-delivered send gets
+  /// retried and stored twice (at-least-once delivery), so heavy-churn
+  /// runs can exceed 1.0.
+  double storage_success = 0;
   double owner_hit_rate = 0;    ///< Stored at mapped owner (paper ~85%).
   double query_success = 0;     ///< Replies received / asked (paper ~78%).
   double summary_delivery = 0;  ///< Summaries reaching base (paper ~60%).
+
+  // Graceful degradation under faults (src/fault/).
+  double readings_lost = 0;      ///< Readings dropped with no fallback storage.
+  double readings_orphaned = 0;  ///< Parked locally: owner unreachable.
+  double readings_rehomed = 0;   ///< Orphans re-routed after a later remap.
+  double queries_reissued = 0;   ///< Base-side timeout re-issues.
+  double parent_losses = 0;      ///< Routing-tree parent evictions.
+  double send_retries = 0;       ///< Bounded-backoff send retries scheduled.
+
+  /// One row per closed query: when it closed, how many nodes it asked,
+  /// how many answered. Deterministic for a fixed seed (close order).
+  /// Single-trial runs only -- AggregateTrials leaves it empty -- and not
+  /// a CSV column; the churn integration test reads recovery off it.
+  struct QueryTimelinePoint {
+    double t_seconds = 0;
+    int targets = 0;
+    int responders = 0;
+  };
+  std::vector<QueryTimelinePoint> query_timeline;
 
   // Workload volume.
   double readings_produced = 0;

@@ -58,6 +58,19 @@ struct Telemetry {
   uint64_t summaries_sent = 0;
   uint64_t summaries_received_at_base = 0;
 
+  // --- Graceful degradation under faults (src/fault/) ---
+  /// Readings parked locally with an "orphaned" mark because their owner
+  /// was unreachable (no route, or forwarding retries exhausted).
+  uint64_t readings_orphaned = 0;
+  /// Orphaned readings re-routed to their owner after a later remap.
+  uint64_t readings_rehomed = 0;
+  /// Base-side query re-issues against the still-missing responder set.
+  uint64_t queries_reissued = 0;
+  /// Routing-tree parent evictions (beacon silence timeout).
+  uint64_t parent_losses = 0;
+  /// Packet send retries scheduled by the bounded-backoff fallback.
+  uint64_t send_retries = 0;
+
   /// Accumulates another run's (or another shard's) counters into this
   /// one. Sharded trials keep one Telemetry per shard (each mutated only
   /// by its shard's thread) and merge after the run.
@@ -83,6 +96,11 @@ struct Telemetry {
     store_local_decisions += other.store_local_decisions;
     summaries_sent += other.summaries_sent;
     summaries_received_at_base += other.summaries_received_at_base;
+    readings_orphaned += other.readings_orphaned;
+    readings_rehomed += other.readings_rehomed;
+    queries_reissued += other.queries_reissued;
+    parent_losses += other.parent_losses;
+    send_retries += other.send_retries;
   }
 
   /// Fraction of produced readings that were durably stored.

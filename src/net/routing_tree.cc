@@ -104,6 +104,19 @@ void RoutingTree::ReselectParent(SimTime now) {
   depth_ = static_cast<uint8_t>(std::min<int>(best->second.depth + 1, 255));
 }
 
+void RoutingTree::SetRoot(bool is_base) {
+  is_base_ = is_base;
+  parent_ = kInvalidNodeId;
+  candidates_.clear();
+  if (is_base_) {
+    path_etx_ = 0;
+    depth_ = 0;
+  } else {
+    path_etx_ = std::numeric_limits<double>::infinity();
+    depth_ = 255;
+  }
+}
+
 BeaconPayload RoutingTree::MakeBeacon() const {
   BeaconPayload b;
   b.parent = parent_;

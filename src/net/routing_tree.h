@@ -63,6 +63,11 @@ class RoutingTree {
   /// Beacon payload advertising our current route.
   BeaconPayload MakeBeacon() const;
 
+  /// Fault injection (base failover): toggles root status at runtime. Both
+  /// directions clear the parent, path cost, and remembered candidates, so
+  /// the node re-learns its route from subsequent beacons.
+  void SetRoot(bool is_base);
+
   /// Number of remembered parent candidates.
   size_t candidate_count() const { return candidates_.size(); }
 

@@ -57,6 +57,10 @@ struct PacketHeader {
   uint16_t seq = 0;
   /// Payload discriminator.
   PacketType type = PacketType::kBeacon;
+  /// Bounded-backoff resend attempts already made for this packet
+  /// (fault/graceful degradation). Host-memory bookkeeping only -- the
+  /// field never goes on air, so kWireSize excludes it.
+  uint8_t retry_attempt = 0;
 
   /// Bytes this header occupies on air: origin(2) + origin_parent(2) +
   /// seq(2) + type(1).

@@ -18,6 +18,8 @@ const char* TraceCatName(TraceCat cat) {
       return "index";
     case TraceCat::kShardSync:
       return "shard-sync";
+    case TraceCat::kFault:
+      return "fault";
   }
   return "unknown";
 }

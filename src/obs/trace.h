@@ -32,6 +32,7 @@ enum class TraceCat : uint8_t {
   kQuery = 2,      ///< Query lifecycle: issue, replies, close.
   kIndex = 3,      ///< Index build / suppress / disseminate.
   kShardSync = 4,  ///< Null-message waits, announce/abort/ack mirroring.
+  kFault = 5,      ///< Injected faults: crash, reboot, link windows, failover.
 };
 
 const char* TraceCatName(TraceCat cat);

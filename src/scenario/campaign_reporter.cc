@@ -33,6 +33,12 @@ const MetricColumn kColumns[] = {
     {"owner_hit_rate", [](const ExperimentResult& r) { return r.owner_hit_rate; }},
     {"query_success", [](const ExperimentResult& r) { return r.query_success; }},
     {"summary_delivery", [](const ExperimentResult& r) { return r.summary_delivery; }},
+    {"readings_lost", [](const ExperimentResult& r) { return r.readings_lost; }},
+    {"readings_orphaned", [](const ExperimentResult& r) { return r.readings_orphaned; }},
+    {"readings_rehomed", [](const ExperimentResult& r) { return r.readings_rehomed; }},
+    {"queries_reissued", [](const ExperimentResult& r) { return r.queries_reissued; }},
+    {"parent_losses", [](const ExperimentResult& r) { return r.parent_losses; }},
+    {"send_retries", [](const ExperimentResult& r) { return r.send_retries; }},
     {"readings_produced", [](const ExperimentResult& r) { return r.readings_produced; }},
     {"queries_issued", [](const ExperimentResult& r) { return r.queries_issued; }},
     {"tuples_returned", [](const ExperimentResult& r) { return r.tuples_returned; }},

@@ -202,6 +202,22 @@ Status StoreSeconds(std::string_view v, SimTime* out, bool allow_zero, const cha
   return Status::OK();
 }
 
+Status StoreMillis(std::string_view v, SimTime* out, bool allow_zero, const char* what) {
+  Result<double> parsed = ParseDouble(v);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed.value() < 0 || (!allow_zero && parsed.value() == 0) ||
+      parsed.value() / 1000.0 > kMaxDurationSeconds) {
+    return Status::OutOfRange(std::string(what) + " must be " +
+                              (allow_zero ? ">= 0" : "> 0") +
+                              " and at most ten years of milliseconds, got " +
+                              Quoted(TrimView(v)));
+  }
+  *out = static_cast<SimTime>(std::llround(parsed.value() * kMillisecond));
+  return Status::OK();
+}
+
+std::string FormatMillis(SimTime t) { return FormatNumber(ToSeconds(t) * 1000.0); }
+
 Status StoreBool(std::string_view v, bool* out) {
   Result<bool> parsed = ParseBool(v);
   if (!parsed.ok()) return parsed.status();
@@ -373,6 +389,190 @@ const KeyInfo kKeys[] = {
      [](const ExperimentConfig& c) {
        return FormatNumber(ToMinutes(c.failure_wave_interval));
      }},
+    // Typed fault injection (src/fault/). The four fault.crash_* keys are
+    // compatibility aliases for the legacy failure_* knobs above: both
+    // names read and write the same ExperimentConfig fields, so old
+    // scenarios keep parsing and new ones can use the namespaced spelling.
+    {"fault.crash_fraction",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->node_failure_fraction, 0.0, 1.0, "fault.crash_fraction");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.node_failure_fraction); }},
+    {"fault.crash_minute",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->failure_time, /*allow_zero=*/true, "fault.crash_minute");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(ToMinutes(c.failure_time)); }},
+    {"fault.crash_wave_count",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreInt(v, &c->failure_wave_count, 1, 1000, "fault.crash_wave_count");
+     },
+     [](const ExperimentConfig& c) { return std::to_string(c.failure_wave_count); }},
+    {"fault.crash_wave_interval_minutes",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->failure_wave_interval, /*allow_zero=*/false,
+                           "fault.crash_wave_interval_minutes");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToMinutes(c.failure_wave_interval));
+     }},
+    {"fault.reboot_fraction",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->fault.reboot_fraction, 0.0, 1.0, "fault.reboot_fraction");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.fault.reboot_fraction); }},
+    {"fault.reboot_minute",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->fault.reboot_time, /*allow_zero=*/true,
+                           "fault.reboot_minute");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(ToMinutes(c.fault.reboot_time)); }},
+    {"fault.reboot_wave_count",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreInt(v, &c->fault.reboot_wave_count, 1, 1000, "fault.reboot_wave_count");
+     },
+     [](const ExperimentConfig& c) { return std::to_string(c.fault.reboot_wave_count); }},
+    {"fault.reboot_wave_interval_minutes",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->fault.reboot_wave_interval, /*allow_zero=*/false,
+                           "fault.reboot_wave_interval_minutes");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToMinutes(c.fault.reboot_wave_interval));
+     }},
+    {"fault.reboot_downtime_seconds",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreSeconds(v, &c->fault.reboot_downtime, /*allow_zero=*/false,
+                           "fault.reboot_downtime_seconds");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToSeconds(c.fault.reboot_downtime));
+     }},
+    {"fault.link_degrade_factor",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->fault.link_degrade_factor, 0.0, 1.0,
+                          "fault.link_degrade_factor");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.fault.link_degrade_factor); }},
+    {"fault.link_degrade_start_minute",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->fault.link_degrade_start, /*allow_zero=*/true,
+                           "fault.link_degrade_start_minute");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToMinutes(c.fault.link_degrade_start));
+     }},
+    {"fault.link_degrade_end_minute",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->fault.link_degrade_end, /*allow_zero=*/true,
+                           "fault.link_degrade_end_minute");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToMinutes(c.fault.link_degrade_end));
+     }},
+    {"fault.link_degrade_x_lo",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->fault.link_degrade_x_lo, 0.0, 1.0,
+                          "fault.link_degrade_x_lo");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.fault.link_degrade_x_lo); }},
+    {"fault.link_degrade_x_hi",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->fault.link_degrade_x_hi, 0.0, 1.0,
+                          "fault.link_degrade_x_hi");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.fault.link_degrade_x_hi); }},
+    {"fault.link_degrade_y_lo",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->fault.link_degrade_y_lo, 0.0, 1.0,
+                          "fault.link_degrade_y_lo");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.fault.link_degrade_y_lo); }},
+    {"fault.link_degrade_y_hi",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->fault.link_degrade_y_hi, 0.0, 1.0,
+                          "fault.link_degrade_y_hi");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.fault.link_degrade_y_hi); }},
+    {"fault.partition_start_minute",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->fault.partition_start, /*allow_zero=*/true,
+                           "fault.partition_start_minute");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToMinutes(c.fault.partition_start));
+     }},
+    {"fault.partition_end_minute",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->fault.partition_end, /*allow_zero=*/true,
+                           "fault.partition_end_minute");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToMinutes(c.fault.partition_end));
+     }},
+    {"fault.partition_x_lo",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->fault.partition_x_lo, 0.0, 1.0, "fault.partition_x_lo");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.fault.partition_x_lo); }},
+    {"fault.partition_x_hi",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->fault.partition_x_hi, 0.0, 1.0, "fault.partition_x_hi");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.fault.partition_x_hi); }},
+    {"fault.partition_y_lo",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->fault.partition_y_lo, 0.0, 1.0, "fault.partition_y_lo");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.fault.partition_y_lo); }},
+    {"fault.partition_y_hi",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreDouble(v, &c->fault.partition_y_hi, 0.0, 1.0, "fault.partition_y_hi");
+     },
+     [](const ExperimentConfig& c) { return FormatNumber(c.fault.partition_y_hi); }},
+    {"fault.base_outage_start_minute",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->fault.base_outage_start, /*allow_zero=*/true,
+                           "fault.base_outage_start_minute");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToMinutes(c.fault.base_outage_start));
+     }},
+    {"fault.base_outage_end_minute",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMinutes(v, &c->fault.base_outage_end, /*allow_zero=*/true,
+                           "fault.base_outage_end_minute");
+     },
+     [](const ExperimentConfig& c) {
+       return FormatNumber(ToMinutes(c.fault.base_outage_end));
+     }},
+    {"fault.base_backup",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreInt(v, &c->fault.base_backup, 0, kMaxSupportedNodes,
+                       "fault.base_backup");
+     },
+     [](const ExperimentConfig& c) { return std::to_string(c.fault.base_backup); }},
+    {"fault.orphan_rehoming",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreBool(v, &c->fault.orphan_rehoming);
+     },
+     [](const ExperimentConfig& c) { return FormatBool(c.fault.orphan_rehoming); }},
+    {"fault.send_retry_max",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreInt(v, &c->fault.send_retry_max, 0, 100, "fault.send_retry_max");
+     },
+     [](const ExperimentConfig& c) { return std::to_string(c.fault.send_retry_max); }},
+    {"fault.send_retry_backoff_ms",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreMillis(v, &c->fault.send_retry_backoff, /*allow_zero=*/false,
+                          "fault.send_retry_backoff_ms");
+     },
+     [](const ExperimentConfig& c) { return FormatMillis(c.fault.send_retry_backoff); }},
+    {"fault.query_reissue_max",
+     [](ExperimentConfig* c, std::string_view v) {
+       return StoreInt(v, &c->fault.query_reissue_max, 0, 100, "fault.query_reissue_max");
+     },
+     [](const ExperimentConfig& c) { return std::to_string(c.fault.query_reissue_max); }},
     {"max_batch",
      [](ExperimentConfig* c, std::string_view v) {
        return StoreInt(v, &c->max_batch, 1, 1000, "max_batch");
@@ -610,6 +810,12 @@ Status ValidateConfig(const harness::ExperimentConfig& config) {
   }
   if (config.source_options.domain_lo > config.source_options.domain_hi) {
     return Status::InvalidArgument("domain_lo must be <= domain_hi");
+  }
+  if (config.fault.base_outage_end > config.fault.base_outage_start &&
+      config.fault.base_backup != 0 &&
+      config.fault.base_backup >= config.num_nodes) {
+    return Status::InvalidArgument(
+        "fault.base_backup must name an existing non-base node (< nodes)");
   }
   return Status::OK();
 }

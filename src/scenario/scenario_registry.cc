@@ -105,6 +105,61 @@ sweep.policy = scoop, local, base
 sweep.seed = 1..4
 )";
 
+constexpr const char kChurnReboot[] = R"(
+name = churn_reboot
+description = Crash-reboot churn: three waves each power-cycling 20% of the sensors for 45 s, with orphan re-homing, bounded send retries, and base-side query re-issue on
+source = real
+duration_minutes = 30
+stabilization_minutes = 5
+sample_interval_seconds = 10
+summary_interval_seconds = 60
+remap_interval_seconds = 120
+query_interval_seconds = 10
+fault.reboot_fraction = 0.2
+fault.reboot_minute = 14
+fault.reboot_wave_count = 3
+fault.reboot_wave_interval_minutes = 4
+fault.reboot_downtime_seconds = 45
+fault.orphan_rehoming = on
+fault.send_retry_max = 2
+fault.query_reissue_max = 1
+trials = 1
+sweep.seed = 1..3
+)";
+
+constexpr const char kPartitionHeal[] = R"(
+name = partition_heal
+description = Spatial partition: links crossing the left-half boundary are severed for 6 minutes mid-run, then heal; degradation knobs keep data parked until re-homing
+source = real
+duration_minutes = 30
+stabilization_minutes = 5
+remap_interval_seconds = 120
+fault.partition_start_minute = 14
+fault.partition_end_minute = 20
+fault.partition_x_lo = 0
+fault.partition_x_hi = 0.5
+fault.orphan_rehoming = on
+fault.send_retry_max = 2
+fault.query_reissue_max = 1
+trials = 1
+sweep.seed = 1..3
+)";
+
+constexpr const char kBaseFailover[] = R"(
+name = base_failover
+description = Base outage/failover: the basestation dies for 5 minutes mid-run and node 1 is promoted to tree root for the window
+source = real
+duration_minutes = 30
+stabilization_minutes = 5
+fault.base_outage_start_minute = 15
+fault.base_outage_end_minute = 20
+fault.base_backup = 1
+fault.orphan_rehoming = on
+fault.send_retry_max = 2
+trials = 1
+sweep.seed = 1..3
+)";
+
 constexpr const char kGaussianSkew[] = R"(
 name = gaussian_skew
 description = Skewed Gaussian sources: per-node means biased toward the low end of the domain
@@ -134,6 +189,9 @@ const RegistryEntry kRegistry[] = {
     {"grid_1024", kGrid1024},
     {"bursty_queries", kBurstyQueries},
     {"failure_waves", kFailureWaves},
+    {"churn_reboot", kChurnReboot},
+    {"partition_heal", kPartitionHeal},
+    {"base_failover", kBaseFailover},
     {"gaussian_skew", kGaussianSkew},
     {"smoke_tiny", kSmokeTiny},
 };

@@ -82,6 +82,23 @@ class App {
     (void)pkt;
     (void)success;
   }
+
+  /// Fault injection (src/fault/): the node's power is cut. The radio is
+  /// already off; the app should stop doing work until OnReboot. Pending
+  /// Schedule() callbacks still fire, so loops must gate on a down flag.
+  virtual void OnCrash(Context& ctx) { (void)ctx; }
+
+  /// Fault injection: the node powers back up after a crash with volatile
+  /// state (storage, routing) expected to reset; the persistent index is
+  /// whatever survived (stale until the next dissemination).
+  virtual void OnReboot(Context& ctx) { (void)ctx; }
+
+  /// Fault injection (base failover): `promote` makes this node advertise
+  /// itself as the routing-tree root; false reverts it to a regular node.
+  virtual void OnRootPromote(Context& ctx, bool promote) {
+    (void)ctx;
+    (void)promote;
+  }
 };
 
 }  // namespace scoop::sim

@@ -67,6 +67,12 @@ class Network {
   /// radio/power failure, the common mote failure mode.
   void SetNodeAlive(NodeId id, bool alive) { radio_->SetNodeAlive(id, alive); }
 
+  /// Attaches a link-fault channel (see Radio::SetFaultChannel); nullptr
+  /// detaches. The channel must outlive the run.
+  void SetFaultChannel(const fault::LinkFaultChannel* channel) {
+    radio_->SetFaultChannel(channel);
+  }
+
  private:
   class Host;
 

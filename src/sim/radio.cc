@@ -267,10 +267,17 @@ void Radio::FinishTx(NodeId src, SimTime start, SimTime end, uint32_t gen) {
   // Only the sender's audible out-neighbors can receive; the CSR list
   // visits them in ascending id, exactly the order (and with exactly the
   // Bernoulli draws) the dense matrix walk used.
+  // Fault windows scale link probabilities; the draw below still happens
+  // for every audible link (even at probability 0), so an inactive channel
+  // consumes the shared RNG stream exactly as a fault-free build does.
+  // Windows are evaluated at the transmission end (= delivery instant).
+  bool faulted = fault_ != nullptr && fault_->active();
   for (const Topology::Link& link : topology_->audible_from(src)) {
     NodeId r = link.to;
     if (!alive_[r]) continue;  // Dead radios hear nothing.
-    if (!rng_.Bernoulli(link.prob)) continue;           // Link loss.
+    double p = link.prob;
+    if (faulted) p *= fault_->Scale(src, r, end);
+    if (!rng_.Bernoulli(p)) continue;                   // Link loss.
     if (WasTransmitting(r, start, end)) continue;       // Half duplex.
     if (Collided(r, src, start, end)) continue;         // Corrupted.
     bool addressed = (dst == kBroadcastId) || (dst == r);
@@ -296,6 +303,7 @@ void Radio::FinishTx(NodeId src, SimTime start, SimTime end, uint32_t gen) {
     // charge airtime nor count ACKs as messages, matching mote link ACKs.
     double p_ack = std::pow(topology_->delivery_prob(dst, src),
                             options_.ack_shortness_exponent);
+    if (faulted) p_ack *= fault_->Scale(dst, src, end);  // Reverse link.
     bool acked = dst_received && rng_.Bernoulli(p_ack);
     if (acked) {
       Packet sent = std::move(mac.queue.front().pkt);

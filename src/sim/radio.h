@@ -23,6 +23,7 @@
 #include "common/node_bitmap.h"
 #include "common/small_callback.h"
 #include "common/rng.h"
+#include "fault/link_fault.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -73,6 +74,14 @@ class Radio {
 
   /// True unless the node was powered down.
   bool IsAlive(NodeId id) const;
+
+  /// Attaches a link-fault channel (nullptr detaches). When set and active,
+  /// per-link delivery and ACK probabilities are scaled by the channel's
+  /// window factors; the number of RNG draws never changes, so a null or
+  /// empty channel leaves every random stream byte-identical to a build
+  /// without fault injection. The channel must outlive the radio and is
+  /// read-only during the run.
+  void SetFaultChannel(const fault::LinkFaultChannel* channel) { fault_ = channel; }
 
   /// True iff `src` has nothing queued or in flight.
   bool IsIdle(NodeId src) const;
@@ -158,6 +167,8 @@ class Radio {
   RadioOptions options_;
   EventQueue* queue_;
   Rng rng_;
+  /// Optional link-degradation/partition windows (src/fault/); null = off.
+  const fault::LinkFaultChannel* fault_ = nullptr;
   std::vector<MacState> mac_;
   std::vector<bool> alive_;
 

@@ -420,6 +420,11 @@ void ShardRadio::EvalTx(NodeId src, uint32_t gen, SimTime start, SimTime end,
   NodeId dst = pkt.hdr.link_dst;
   bool dst_received = false;
   if (!aborted) {
+    // Fault windows scale the per-link probability before the keyed draw;
+    // every shard applies the same factor at the same (src, gen, r), so
+    // the verdicts stay identical under any K-way partition. Evaluated at
+    // the transmission end (= delivery instant), matching Radio::FinishTx.
+    bool faulted = fault_ != nullptr && fault_->active();
     // Walk the sender's audible out-neighbors in ascending id, but only
     // deliver to receivers this shard owns; the other shards run the same
     // walk over their own nodes with identical keyed draws.
@@ -427,7 +432,9 @@ void ShardRadio::EvalTx(NodeId src, uint32_t gen, SimTime start, SimTime end,
       NodeId r = link.to;
       if (!Owned(r)) continue;
       if (!alive_[r]) continue;                            // Dead radios hear nothing.
-      if (!LinkLossDraw(src, gen, r, link.prob)) continue;  // Link loss.
+      double p = link.prob;
+      if (faulted) p *= fault_->Scale(src, r, end);
+      if (!LinkLossDraw(src, gen, r, p)) continue;         // Link loss.
       if (WasTransmitting(r, start, end)) continue;        // Half duplex.
       if (Collided(r, src, start, end)) continue;          // Corrupted.
       bool addressed = (dst == kBroadcastId) || (dst == r);
@@ -487,6 +494,9 @@ void ShardRadio::FinishCont(NodeId src, uint32_t gen) {
     if (ack_it != acks_.end()) acks_.erase(ack_it);
     double p_ack = std::pow(topology_->delivery_prob(dst, src),
                             options_.ack_shortness_exponent);
+    if (fault_ != nullptr && fault_->active()) {
+      p_ack *= fault_->Scale(dst, src, queue_->now());  // Reverse link.
+    }
     bool acked = dst_received && AckDraw(src, gen, p_ack);
     if (acked) {
       Packet sent = std::move(mac.queue.front().pkt);

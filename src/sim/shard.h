@@ -48,6 +48,7 @@
 #include "common/node_bitmap.h"
 #include "common/rng.h"
 #include "common/small_callback.h"
+#include "fault/link_fault.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -219,6 +220,12 @@ class ShardRadio {
   void SetNodeAlive(NodeId id, bool alive);
   bool IsAlive(NodeId id) const { return alive_[id]; }
 
+  /// Attaches a link-fault channel (see Radio::SetFaultChannel). Every
+  /// shard must attach the SAME channel: the keyed loss/ACK draws consume
+  /// no shared stream, so scaling their probabilities identically on each
+  /// shard keeps any K-way partition bit-identical.
+  void SetFaultChannel(const fault::LinkFaultChannel* channel) { fault_ = channel; }
+
   // --- Inbound cross-shard messages (applied by the shard's drain) ---
   void HandleAnnounce(NodeId src, uint32_t gen, SimTime start, SimTime end, Packet pkt);
   void HandleAbort(NodeId src, uint32_t gen);
@@ -335,6 +342,8 @@ class ShardRadio {
   const Topology* topology_;
   RadioOptions options_;
   ShardQueue* queue_;
+  /// Optional link-degradation/partition windows (src/fault/); null = off.
+  const fault::LinkFaultChannel* fault_ = nullptr;
   const std::vector<int>* owner_;
   int self_shard_;
   uint64_t link_key_;

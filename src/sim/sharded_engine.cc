@@ -60,6 +60,18 @@ class ShardedEngine::Host : public Context {
     if (app_ != nullptr) app_->OnBoot(*this);
   }
 
+  // --- Fault lifecycle (invoked by the engine's Fault* helpers, always on
+  // this host's owning shard thread) ---
+  void Crash() {
+    if (app_ != nullptr) app_->OnCrash(*this);
+  }
+  void Reboot() {
+    if (app_ != nullptr) app_->OnReboot(*this);
+  }
+  void RootPromote(bool promote) {
+    if (app_ != nullptr) app_->OnRootPromote(*this, promote);
+  }
+
  private:
   static constexpr int kFlatSeqMaxNodes = 4096;
 
@@ -325,15 +337,43 @@ void ShardedEngine::ScheduleDriver(SimTime at, SmallCallback fn) {
 SimTime ShardedEngine::DriverNow() const { return shards_[owner_[0]]->queue.now(); }
 
 void ShardedEngine::ScheduleAlive(SimTime at, NodeId id, bool alive) {
+  ScheduleFault(at, id, [this, id, alive] { FaultSetAlive(id, alive); });
+}
+
+void ShardedEngine::ScheduleFault(SimTime at, NodeId id, SmallCallback fn) {
   SCOOP_CHECK(!started_);  // The AliveFloor schedule must be complete pre-run.
   SCOOP_CHECK_LT(static_cast<size_t>(id), owner_.size());
   Shard* sh = shards_[owner_[id]].get();
+  // Named functor rather than a lambda: capturing one SmallCallback inside
+  // another overflows the inline buffer either way, but the struct keeps
+  // the advance-the-AliveFloor bookkeeping next to the action it covers.
+  struct FaultFire {
+    Shard* sh;
+    SmallCallback fn;
+    void operator()() {
+      fn();
+      ++sh->alive_cursor;
+    }
+  };
   sh->queue.ScheduleRegular(at, static_cast<uint32_t>(topology_.num_nodes()) + 1,
-                            [sh, id, alive] {
-                              sh->radio->SetNodeAlive(id, alive);
-                              ++sh->alive_cursor;
-                            });
+                            FaultFire{sh, std::move(fn)});
   sh->alive_times.push_back(at);
+}
+
+void ShardedEngine::FaultSetAlive(NodeId id, bool alive) {
+  shards_[owner_[id]]->radio->SetNodeAlive(id, alive);
+}
+
+void ShardedEngine::FaultCrash(NodeId id) { shards_[owner_[id]]->hosts[id]->Crash(); }
+
+void ShardedEngine::FaultReboot(NodeId id) { shards_[owner_[id]]->hosts[id]->Reboot(); }
+
+void ShardedEngine::FaultRootPromote(NodeId id, bool promote) {
+  shards_[owner_[id]]->hosts[id]->RootPromote(promote);
+}
+
+void ShardedEngine::SetFaultChannel(const fault::LinkFaultChannel* channel) {
+  for (auto& shard : shards_) shard->radio->SetFaultChannel(channel);
 }
 
 bool ShardedEngine::IsAlive(NodeId id) const {

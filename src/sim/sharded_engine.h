@@ -127,6 +127,31 @@ class ShardedEngine {
   /// must be complete before any promise is published.
   void ScheduleAlive(SimTime at, NodeId id, bool alive);
 
+  /// Schedules an arbitrary fault action against `id` at absolute time
+  /// `at`, on `id`'s owner shard under the fault pseudo-origin (same-time
+  /// events keep call order per shard; identical results for every K).
+  /// Must be called before Start(): like power toggles, fault times feed
+  /// the shard's AliveFloor promise, since an action may abort a mirrored
+  /// frame at exactly its event time. The callback runs on the owning
+  /// shard's thread and may only touch that shard -- i.e. call the Fault*
+  /// helpers below for `id` (or other nodes on the same shard).
+  void ScheduleFault(SimTime at, NodeId id, SmallCallback fn);
+
+  // --- Immediate fault actions (ScheduleFault callbacks only) ---
+
+  /// Radio power-toggle, same semantics as ScheduleAlive's action.
+  void FaultSetAlive(NodeId id, bool alive);
+  /// Invokes App::OnCrash on `id`'s host.
+  void FaultCrash(NodeId id);
+  /// Invokes App::OnReboot on `id`'s host.
+  void FaultReboot(NodeId id);
+  /// Invokes App::OnRootPromote on `id`'s host.
+  void FaultRootPromote(NodeId id, bool promote);
+
+  /// Attaches a link-fault channel to every shard's radio (nullptr
+  /// detaches). Must precede RunUntil; the channel must outlive the run.
+  void SetFaultChannel(const fault::LinkFaultChannel* channel);
+
   /// True unless the node was powered down.
   bool IsAlive(NodeId id) const;
 

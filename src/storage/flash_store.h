@@ -50,6 +50,11 @@ class FlashStore {
   /// Number of live tuples.
   size_t size() const { return buffer_.size(); }
 
+  /// Drops all live tuples (crash-reboot fault: volatile-side bookkeeping
+  /// and the ring's contents are gone; lifetime write/overwrite counters
+  /// survive, matching RingBuffer::Clear).
+  void Clear() { buffer_.Clear(); }
+
   /// Tuples ever written.
   uint64_t tuples_written() const { return buffer_.total_pushed(); }
 

@@ -113,5 +113,42 @@ TEST(ObservationDeterminismTest, FailureWavesSharded) {
   EXPECT_NE(trace.find("\"cat\":\"shard-sync\""), std::string::npos);
 }
 
+/// The registered churn_reboot scenario shrunk to unit-test size: two
+/// reboot waves and all three degradation knobs still fire, over fewer
+/// nodes, less simulated time, and a single seed.
+scenario::Scenario SmallChurnReboot() {
+  Result<scenario::Scenario> parsed = scenario::LoadRegisteredScenario("churn_reboot");
+  SCOOP_CHECK(parsed.ok());
+  scenario::Scenario scn = std::move(parsed).value();
+  for (const auto& [key, value] :
+       {std::pair<const char*, const char*>{"nodes", "16"},
+        {"duration_minutes", "10"},
+        {"stabilization_minutes", "2"},
+        {"fault.reboot_minute", "4"},
+        {"fault.reboot_wave_count", "2"},
+        {"fault.reboot_wave_interval_minutes", "2"},
+        {"remap_interval_seconds", "60"}}) {
+    Status s = scenario::ApplyScenarioKey(&scn.base, key, value);
+    SCOOP_CHECK(s.ok());
+  }
+  SCOOP_CHECK_EQ(scn.sweeps.size(), 1u);
+  scn.sweeps[0].values = {"1"};
+  return scn;
+}
+
+TEST(ObservationDeterminismTest, ChurnRebootSequential) {
+  std::string trace = ExpectObservedRunIdentical(SmallChurnReboot(), 1, "churn-k1");
+  // Fault instants land on the fault category: crash + reboot per victim
+  // per wave, and the degradation paths emit their own markers.
+  EXPECT_NE(trace.find("\"name\":\"fault.crash\",\"cat\":\"fault\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"fault.reboot\",\"cat\":\"fault\""), std::string::npos);
+}
+
+TEST(ObservationDeterminismTest, ChurnRebootSharded) {
+  std::string trace = ExpectObservedRunIdentical(SmallChurnReboot(), 4, "churn-k4");
+  EXPECT_NE(trace.find("\"name\":\"fault.crash\",\"cat\":\"fault\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"fault.reboot\",\"cat\":\"fault\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace scoop::harness

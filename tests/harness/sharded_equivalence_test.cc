@@ -9,6 +9,7 @@
 #include "harness/experiment.h"
 #include "scenario/campaign.h"
 #include "scenario/campaign_reporter.h"
+#include "scenario/scenario_registry.h"
 
 namespace scoop::harness {
 namespace {
@@ -42,6 +43,18 @@ void ExpectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(a.max_node_sent, b.max_node_sent);
   EXPECT_EQ(a.avg_node_lifetime_days, b.avg_node_lifetime_days);
   EXPECT_EQ(a.root_lifetime_days, b.root_lifetime_days);
+  EXPECT_EQ(a.readings_lost, b.readings_lost);
+  EXPECT_EQ(a.readings_orphaned, b.readings_orphaned);
+  EXPECT_EQ(a.readings_rehomed, b.readings_rehomed);
+  EXPECT_EQ(a.queries_reissued, b.queries_reissued);
+  EXPECT_EQ(a.parent_losses, b.parent_losses);
+  EXPECT_EQ(a.send_retries, b.send_retries);
+  ASSERT_EQ(a.query_timeline.size(), b.query_timeline.size());
+  for (size_t i = 0; i < a.query_timeline.size(); ++i) {
+    EXPECT_EQ(a.query_timeline[i].t_seconds, b.query_timeline[i].t_seconds) << i;
+    EXPECT_EQ(a.query_timeline[i].targets, b.query_timeline[i].targets) << i;
+    EXPECT_EQ(a.query_timeline[i].responders, b.query_timeline[i].responders) << i;
+  }
 }
 
 ExperimentConfig TinyConfig() {
@@ -79,6 +92,72 @@ TEST(ShardedEquivalenceTest, FailureWavesMatchAcrossShardCounts) {
   for (int k : {2, 4, 8}) {
     SCOPED_TRACE("shards=" + std::to_string(k));
     ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/5, k));
+  }
+}
+
+TEST(ShardedEquivalenceTest, ChurnRebootMatchesAcrossShardCounts) {
+  // Crash-reboot churn with every degradation knob on: reboots clear
+  // per-node state mid-run and the orphan/retry/re-issue paths all fire.
+  // The grid at K=8 makes thin strips, so wave victims land on shard
+  // boundaries with cross-shard frames in flight.
+  ExperimentConfig config = TinyConfig();
+  config.preset = TopologyPreset::kGrid;
+  config.num_nodes = 25;
+  config.duration = Minutes(10);
+  config.fault.reboot_fraction = 0.3;
+  config.fault.reboot_time = Minutes(4);
+  config.fault.reboot_wave_count = 2;
+  config.fault.reboot_wave_interval = Minutes(2);
+  config.fault.reboot_downtime = Seconds(40);
+  config.fault.orphan_rehoming = true;
+  config.fault.send_retry_max = 2;
+  config.fault.query_reissue_max = 1;
+  ExperimentResult ref = RunShardedTrial(config, /*seed=*/7, /*shards=*/1);
+  EXPECT_GT(ref.total, 0);
+  for (int k : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/7, k));
+  }
+}
+
+TEST(ShardedEquivalenceTest, PartitionHealMatchesAcrossShardCounts) {
+  // The partition rectangle covers the left half, so its boundary cuts
+  // across every K's strip layout; the link-fault channel must scale the
+  // same keyed draws on every shard.
+  ExperimentConfig config = TinyConfig();
+  config.preset = TopologyPreset::kGrid;
+  config.num_nodes = 25;
+  config.duration = Minutes(10);
+  config.fault.partition_start = Minutes(3);
+  config.fault.partition_end = Minutes(6);
+  config.fault.partition_x_lo = 0.0;
+  config.fault.partition_x_hi = 0.5;
+  config.fault.orphan_rehoming = true;
+  config.fault.send_retry_max = 2;
+  config.fault.query_reissue_max = 1;
+  ExperimentResult ref = RunShardedTrial(config, /*seed=*/9, /*shards=*/1);
+  EXPECT_GT(ref.total, 0);
+  for (int k : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/9, k));
+  }
+}
+
+TEST(ShardedEquivalenceTest, BaseFailoverMatchesAcrossShardCounts) {
+  // The base outage toggles node 0's radio and promotes/demotes the backup
+  // -- three fault kinds (down, up, promote/demote) crossing shard cuts.
+  ExperimentConfig config = TinyConfig();
+  config.num_nodes = 14;
+  config.duration = Minutes(10);
+  config.fault.base_outage_start = Minutes(4);
+  config.fault.base_outage_end = Minutes(6);
+  config.fault.base_backup = 1;
+  config.fault.orphan_rehoming = true;
+  ExperimentResult ref = RunShardedTrial(config, /*seed=*/17, /*shards=*/1);
+  EXPECT_GT(ref.total, 0);
+  for (int k : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/17, k));
   }
 }
 
@@ -187,6 +266,47 @@ TEST(ShardedEquivalenceTest, CampaignCsvIsByteIdenticalAcrossShardCounts) {
       ExpectIdentical(RunShardedTrial(row.config,
                                       MixSeed(row.config.seed, static_cast<uint64_t>(t)), 1),
                       row.trials[t]);
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, FaultScenarioCampaignCsvMatchesAcrossShardCounts) {
+  // The registered fault scenarios through the full reporting path: the
+  // rendered CSV (fault columns included) must be byte-identical across
+  // sharded K, and every trial row must equal the K=1 engine reference.
+  // As in the test above, `shards = 1` itself selects the golden-pinned
+  // sequential engine -- a different random universe -- so the K=1 leg of
+  // the "K in {1,2,4}" contract is RunShardedTrial at 1.
+  for (const char* name : {"churn_reboot", "partition_heal"}) {
+    SCOPED_TRACE(name);
+    Result<scenario::Scenario> parsed = scenario::LoadRegisteredScenario(name);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    scenario::Scenario scn = std::move(parsed).value();
+    // Trim to unit-test size while keeping every fault window inside the
+    // run: one seed of the sweep is plenty for byte-identity.
+    ASSERT_EQ(scn.sweeps.size(), 1u);
+    scn.sweeps[0].values = {"1"};
+
+    auto run_at = [&](int shards) {
+      scenario::Scenario s = scn;
+      s.base.shards = shards;
+      scenario::CampaignOptions options;
+      options.threads = 2;
+      Result<scenario::CampaignResult> run = scenario::RunCampaign(s, options);
+      SCOOP_CHECK(run.ok());
+      return std::move(run).value();
+    };
+
+    scenario::CampaignResult ref = run_at(2);
+    std::string ref_csv = scenario::CampaignCsv(ref);
+    EXPECT_NE(ref_csv.find("readings_orphaned"), std::string::npos);
+    EXPECT_EQ(ref_csv, scenario::CampaignCsv(run_at(4)));
+    for (const scenario::CampaignRow& row : ref.rows) {
+      for (size_t t = 0; t < row.trials.size(); ++t) {
+        ExpectIdentical(
+            RunShardedTrial(row.config, MixSeed(row.config.seed, static_cast<uint64_t>(t)), 1),
+            row.trials[t]);
+      }
     }
   }
 }

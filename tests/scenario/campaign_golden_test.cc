@@ -19,23 +19,24 @@ namespace {
 constexpr char kGoldenSmokeTinyCsv[] =
     "scenario,policy,trial,data,summary,mapping,query,reply,total,total_excl_beacons,"
     "retransmissions,mac_drops,storage_success,owner_hit_rate,query_success,"
-    "summary_delivery,readings_produced,queries_issued,tuples_returned,"
-    "avg_pct_nodes_queried,indices_built,indices_disseminated,indices_suppressed,"
-    "base_owned_fraction,root_sent,root_received,avg_node_sent,max_node_sent,"
-    "avg_node_lifetime_days,root_lifetime_days\n"
-    "smoke_tiny,scoop,0,0,0,0,5,4,32,9,2,0,1,0,0.4,0,6,5,0,1,0,0,0,0,18,9,14,14,"
-    "32209.853638425066,20582.230125798593\n"
-    "smoke_tiny,scoop,1,0,1,5,5,8,42,19,4,0,1,1,0.8,1,6,5,0,1,1,1,0,"
+    "summary_delivery,readings_lost,readings_orphaned,readings_rehomed,"
+    "queries_reissued,parent_losses,send_retries,readings_produced,queries_issued,"
+    "tuples_returned,avg_pct_nodes_queried,indices_built,indices_disseminated,"
+    "indices_suppressed,base_owned_fraction,root_sent,root_received,avg_node_sent,"
+    "max_node_sent,avg_node_lifetime_days,root_lifetime_days\n"
+    "smoke_tiny,scoop,0,0,0,0,5,4,32,9,2,0,1,0,0.4,0,0,0,0,0,0,0,6,5,0,1,0,0,0,0,"
+    "18,9,14,14,32209.853638425066,20582.230125798593\n"
+    "smoke_tiny,scoop,1,0,1,5,5,8,42,19,4,0,1,1,0.8,1,0,0,0,0,0,0,6,5,0,1,1,1,0,"
     "0.3333333333333333,17,18,25,25,9018.759018759018,8937.508937508937\n"
-    "smoke_tiny,scoop,mean,0,0.5,2.5,5,6,37,14,3,0,1,0.5,0.6000000000000001,0.5,6,"
-    "5,0,1,0.5,0.5,0,0.16666666666666666,17.5,13.5,19.5,19.5,20614.306328592043,"
-    "14759.869531653765\n"
-    "smoke_tiny,local,0,0,0,0,5,4,30,9,2,0,1,1,0.4,0,6,5,0,1,0,0,0,0,16,9,14,14,"
-    "32209.853638425066,20582.230125798593\n"
-    "smoke_tiny,local,1,0,0,0,5,8,37,13,3,0,1,1,1,0,6,5,0,1,0,0,0,0,16,15,21,21,"
-    "14212.944012370946,15847.659617627669\n"
-    "smoke_tiny,local,mean,0,0,0,5,6,33.5,11,2.5,0,1,1,0.7,0,6,5,0,1,0,0,0,0,16,"
-    "12,17.5,17.5,23211.398825398006,18214.94487171313\n";
+    "smoke_tiny,scoop,mean,0,0.5,2.5,5,6,37,14,3,0,1,0.5,0.6000000000000001,0.5,0,"
+    "0,0,0,0,0,6,5,0,1,0.5,0.5,0,0.16666666666666666,17.5,13.5,19.5,19.5,"
+    "20614.306328592043,14759.869531653765\n"
+    "smoke_tiny,local,0,0,0,0,5,4,30,9,2,0,1,1,0.4,0,0,0,0,0,0,0,6,5,0,1,0,0,0,0,"
+    "16,9,14,14,32209.853638425066,20582.230125798593\n"
+    "smoke_tiny,local,1,0,0,0,5,8,37,13,3,0,1,1,1,0,0,0,0,0,0,0,6,5,0,1,0,0,0,0,"
+    "16,15,21,21,14212.944012370946,15847.659617627669\n"
+    "smoke_tiny,local,mean,0,0,0,5,6,33.5,11,2.5,0,1,1,0.7,0,0,0,0,0,0,0,6,5,0,1,"
+    "0,0,0,0,16,12,17.5,17.5,23211.398825398006,18214.94487171313\n";
 
 TEST(CampaignGoldenTest, SmokeTinyCsvIsByteIdentical) {
   Result<Scenario> scenario = LoadRegisteredScenario("smoke_tiny");

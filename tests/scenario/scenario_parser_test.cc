@@ -80,6 +80,37 @@ TEST(ScenarioParserTest, RoundTripEveryKey) {
       {"failure_minute", "12.5"},
       {"failure_wave_count", "3"},
       {"failure_wave_interval_minutes", "2.5"},
+      // The fault.crash_* aliases target the same fields as the legacy
+      // failure_* keys above, so they must carry the same values here.
+      {"fault.crash_fraction", "0.25"},
+      {"fault.crash_minute", "12.5"},
+      {"fault.crash_wave_count", "3"},
+      {"fault.crash_wave_interval_minutes", "2.5"},
+      {"fault.reboot_fraction", "0.15"},
+      {"fault.reboot_minute", "11"},
+      {"fault.reboot_wave_count", "2"},
+      {"fault.reboot_wave_interval_minutes", "3.5"},
+      {"fault.reboot_downtime_seconds", "45"},
+      {"fault.link_degrade_factor", "0.4"},
+      {"fault.link_degrade_start_minute", "8"},
+      {"fault.link_degrade_end_minute", "14"},
+      {"fault.link_degrade_x_lo", "0.1"},
+      {"fault.link_degrade_x_hi", "0.6"},
+      {"fault.link_degrade_y_lo", "0.2"},
+      {"fault.link_degrade_y_hi", "0.9"},
+      {"fault.partition_start_minute", "9"},
+      {"fault.partition_end_minute", "13"},
+      {"fault.partition_x_lo", "0.05"},
+      {"fault.partition_x_hi", "0.45"},
+      {"fault.partition_y_lo", "0.1"},
+      {"fault.partition_y_hi", "0.95"},
+      {"fault.base_outage_start_minute", "10"},
+      {"fault.base_outage_end_minute", "15"},
+      {"fault.base_backup", "3"},
+      {"fault.orphan_rehoming", "on"},
+      {"fault.send_retry_max", "2"},
+      {"fault.send_retry_backoff_ms", "125.5"},
+      {"fault.query_reissue_max", "1"},
       {"max_batch", "9"},
       {"neighbor_shortcut", "off"},
       {"descendant_routing", "off"},
@@ -141,6 +172,15 @@ TEST(ScenarioParserTest, RoundTripEveryKey) {
   EXPECT_EQ(c.seed, 123456789u);
   EXPECT_EQ(c.shards, 4);
   EXPECT_EQ(c.failure_wave_count, 3);
+  EXPECT_DOUBLE_EQ(c.fault.reboot_fraction, 0.15);
+  EXPECT_EQ(c.fault.reboot_downtime, Seconds(45));
+  EXPECT_DOUBLE_EQ(c.fault.link_degrade_factor, 0.4);
+  EXPECT_EQ(c.fault.partition_start, Seconds(9 * 60));
+  EXPECT_EQ(c.fault.base_backup, 3);
+  EXPECT_TRUE(c.fault.orphan_rehoming);
+  EXPECT_EQ(c.fault.send_retry_max, 2);
+  EXPECT_EQ(c.fault.send_retry_backoff, 125 * kMillisecond + kMillisecond / 2);
+  EXPECT_EQ(c.fault.query_reissue_max, 1);
   EXPECT_FALSE(c.enable_neighbor_shortcut);
   EXPECT_TRUE(c.builder.consider_store_local);
   EXPECT_EQ(c.builder.owner_set_size, 2);
@@ -244,6 +284,62 @@ TEST(ScenarioParserTest, CrossFieldChecks) {
   EXPECT_NE(err.find("query_width_lo must be <= query_width_hi"), std::string::npos) << err;
   err = ErrorOf("name = t\ndomain_lo = 10\ndomain_hi = 5\n");
   EXPECT_NE(err.find("domain_lo must be <= domain_hi"), std::string::npos) << err;
+}
+
+// The fault.crash_* keys are spellings of the legacy failure_* knobs:
+// either name reads and writes the same ExperimentConfig fields, so old
+// scenarios and new ones configure identical crash-stop waves.
+TEST(ScenarioParserTest, FaultCrashKeysAliasLegacyFailureKeys) {
+  Scenario legacy = MustParse(
+      "name = legacy\n"
+      "failure_fraction = 0.3\n"
+      "failure_minute = 18\n"
+      "failure_wave_count = 4\n"
+      "failure_wave_interval_minutes = 2\n");
+  Scenario aliased = MustParse(
+      "name = aliased\n"
+      "fault.crash_fraction = 0.3\n"
+      "fault.crash_minute = 18\n"
+      "fault.crash_wave_count = 4\n"
+      "fault.crash_wave_interval_minutes = 2\n");
+  EXPECT_DOUBLE_EQ(aliased.base.node_failure_fraction, legacy.base.node_failure_fraction);
+  EXPECT_EQ(aliased.base.failure_time, legacy.base.failure_time);
+  EXPECT_EQ(aliased.base.failure_wave_count, legacy.base.failure_wave_count);
+  EXPECT_EQ(aliased.base.failure_wave_interval, legacy.base.failure_wave_interval);
+  // The writer emits both spellings from the shared fields, so formatting
+  // either scenario shows the same values under both names.
+  std::string text = FormatScenario(aliased);
+  EXPECT_NE(text.find("failure_fraction = 0.3"), std::string::npos) << text;
+  EXPECT_NE(text.find("fault.crash_fraction = 0.3"), std::string::npos) << text;
+}
+
+TEST(ScenarioParserTest, FaultKeyDiagnosticsCarryPositions) {
+  std::string err = ErrorOf("name = t\nfault.frobnicate = 1\n");
+  EXPECT_NE(err.find("test.scn:2:1"), std::string::npos) << err;
+  EXPECT_NE(err.find("unknown key 'fault.frobnicate'"), std::string::npos) << err;
+
+  err = ErrorOf("name = t\nfault.reboot_fraction = 0.2\nfault.reboot_fraction = 0.4\n");
+  EXPECT_NE(err.find("test.scn:3:1"), std::string::npos) << err;
+  EXPECT_NE(err.find("duplicate key 'fault.reboot_fraction'"), std::string::npos) << err;
+
+  err = ErrorOf("name = t\nfault.reboot_fraction = 1.5\n");
+  EXPECT_NE(err.find("test.scn:2:25"), std::string::npos) << err;
+  EXPECT_NE(err.find("fault.reboot_fraction must be in [0, 1]"), std::string::npos) << err;
+
+  err = ErrorOf("name = t\nfault.send_retry_backoff_ms = 0\n");
+  EXPECT_NE(err.find("fault.send_retry_backoff_ms must be > 0"), std::string::npos) << err;
+}
+
+TEST(ScenarioParserTest, BaseBackupMustNameAnExistingNode) {
+  std::string err = ErrorOf(
+      "name = t\n"
+      "nodes = 8\n"
+      "fault.base_outage_start_minute = 10\n"
+      "fault.base_outage_end_minute = 15\n"
+      "fault.base_backup = 8\n");
+  EXPECT_NE(err.find("fault.base_backup"), std::string::npos) << err;
+  // Inactive window: the backup id is not validated (the plan ignores it).
+  MustParse("name = t\nnodes = 8\nfault.base_backup = 8\n");
 }
 
 TEST(ScenarioParserTest, BadEnumValuesListAlternatives) {

@@ -49,13 +49,18 @@ done
 # Campaign probes: smoke_tiny (2 nodes, seconds of sim time) keeps the old
 # trajectory comparable; grid_dense (121-node lattice, three policies) is
 # the mid-scale probe; grid_1024 (32x32 lattice, Scoop policy) is the
-# first agent-level point past the old 128-node query-bitmap cap.
+# first agent-level point past the old 128-node query-bitmap cap;
+# churn_reboot exercises the fault-injection path (reboot waves + orphan
+# re-homing + retries + query re-issue), so fault-plan overhead is tracked
+# on the same trajectory as the fault-free probes.
 "${tools_dir}/scoop_campaign" --scenario=smoke_tiny --threads=1 --quiet \
     --perf-json="${tmp}/campaign_smoke.json"
 "${tools_dir}/scoop_campaign" --scenario=grid_dense --threads=1 --quiet \
     --perf-json="${tmp}/campaign_grid_dense.json"
 "${tools_dir}/scoop_campaign" --scenario=grid_1024 --threads=1 --quiet \
     --perf-json="${tmp}/campaign_grid_1024.json"
+"${tools_dir}/scoop_campaign" --scenario=churn_reboot --threads=1 --quiet \
+    --perf-json="${tmp}/campaign_churn_reboot.json"
 # Sharded scaling probes: the same 1024-node lattice split across K
 # parallel shards (conservative PDES engine). Tracks single-trial
 # strong-scaling; shards=1 above stays the sequential-engine baseline.
@@ -92,6 +97,7 @@ doc = {
     "campaign_smoke": json.load(open(f"{tmp}/campaign_smoke.json")),
     "campaign_grid_dense": json.load(open(f"{tmp}/campaign_grid_dense.json")),
     "campaign_grid_1024": json.load(open(f"{tmp}/campaign_grid_1024.json")),
+    "campaign_churn_reboot": json.load(open(f"{tmp}/campaign_churn_reboot.json")),
     "campaign_grid_1024_profile": json.load(
         open(f"{tmp}/campaign_grid_1024_profile.json")),
 }

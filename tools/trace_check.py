@@ -8,7 +8,18 @@ Checks (stdlib only, no Perfetto needed in CI):
   - timestamps and durations are non-negative (sim time starts at 0)
   - "X" spans nest properly within each (pid, tid) track: two spans on
     one track either don't intersect or one contains the other, which is
-    what makes them render as a flame graph instead of garbage
+    what makes them render as a flame graph instead of garbage. Spans in
+    the "query" category are exempt: they are issue-to-close lifetimes of
+    concurrent async operations, emitted retroactively at close, and under
+    faults (timeouts, re-issues) a query legitimately outlives the issue
+    interval and overlaps its neighbours -- the Chrome format would model
+    them as async b/e events, which the simulator's minimal X/i vocabulary
+    does not emit
+  - "fault"-category events are well-shaped instants: phase "i" and a
+    name from the fault vocabulary -- either an injected fault.* instant
+    (fault.crash, fault.reboot, ..., which must carry an args.kind
+    discriminant) or a graceful-degradation marker (data.orphaned,
+    data.rehomed, query.reissue, route.parent_lost)
   - (--require-cat) each named category occurs at least once, e.g.
       tools/trace_check.py t.json --require-cat packet query shard-sync
 
@@ -27,6 +38,19 @@ def load_events(path):
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
         raise ValueError("top level must be an object with a traceEvents list")
     return doc
+
+
+# Injected-fault instant vocabulary (src/harness/experiment.cc,
+# FaultInstantName); each carries an args.kind discriminant.
+FAULT_INJECT_NAMES = frozenset({
+    "fault.crash", "fault.reboot", "fault.radio_up", "fault.promote",
+    "fault.demote", "fault.link_down", "fault.partition",
+})
+# Graceful-degradation markers emitted by the agents on the same category
+# (src/core/agent_base.cc); no kind discriminant.
+FAULT_DEGRADE_NAMES = frozenset({
+    "data.orphaned", "data.rehomed", "query.reissue", "route.parent_lost",
+})
 
 
 def check_events(events):
@@ -48,13 +72,23 @@ def check_events(events):
             yield f"{where}: instant without a scope"
         if e.get("ts", 0) < 0:
             yield f"{where}: negative ts {e.get('ts')}"
+        if e.get("cat") == "fault":
+            if ph != "i":
+                yield f"{where}: fault event with phase {ph!r} (must be an instant)"
+            name = e.get("name")
+            if name in FAULT_INJECT_NAMES:
+                kind = e.get("args", {}).get("kind")
+                if not isinstance(kind, int) or kind < 0:
+                    yield f"{where}: fault instant without an integer args.kind"
+            elif name not in FAULT_DEGRADE_NAMES:
+                yield f"{where}: unknown fault instant name {name!r}"
 
 
 def check_nesting(events):
     """Yields error strings for partially-overlapping spans on one track."""
     tracks = collections.defaultdict(list)
     for e in events:
-        if isinstance(e, dict) and e.get("ph") == "X":
+        if isinstance(e, dict) and e.get("ph") == "X" and e.get("cat") != "query":
             start = e.get("ts", 0)
             tracks[(e.get("pid"), e.get("tid"))].append(
                 (start, start + max(e.get("dur", 0), 0), e.get("name")))
