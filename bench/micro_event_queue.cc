@@ -93,6 +93,15 @@ struct DelayGen {
   }
 };
 
+// EventQueue pinned to one tier configuration, so the two-tier wheel+heap
+// default and the heap-only fallback run side by side in one binary.
+struct WheelEventQueue : sim::EventQueue {
+  WheelEventQueue() : sim::EventQueue(sim::QueueImpl::kWheel) {}
+};
+struct HeapOnlyEventQueue : sim::EventQueue {
+  HeapOnlyEventQueue() : sim::EventQueue(sim::QueueImpl::kHeap) {}
+};
+
 // ---------------------------------------------------------------------------
 // Steady-state churn: a window of pending events; each iteration runs the
 // earliest and schedules a replacement. Callbacks carry a radio.cc-sized
@@ -179,6 +188,63 @@ void BM_TrickleCancelReschedule(benchmark::State& state) {
 }
 BENCHMARK_TEMPLATE(BM_TrickleCancelReschedule, LegacyEventQueue)->Arg(64);
 BENCHMARK_TEMPLATE(BM_TrickleCancelReschedule, sim::EventQueue)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// MAC-backoff churn: N contending senders, each holding one pending CSMA
+// backoff timer drawn from the radio's binary-exponential distribution
+// (fresh window [8, 16) ms, doubling per busy attempt, capped at 64 ms --
+// radio_options.h defaults). Most timers are cancelled before they fire
+// (the channel went busy again) and re-armed with the next window; one in
+// eight rounds runs the due timer instead. Every delay lands inside the
+// wheel's ~1 s horizon, so this is the workload the wheel exists for.
+struct BackoffGen {
+  uint64_t state = 0x243f6a8885a308d3ull;
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  /// Uniform draw in [w/2, w) for the 1-based attempt's window.
+  SimTime Draw(int attempt) {
+    SimTime w = 16000 << (attempt - 1);  // us; fresh window tops at 16 ms.
+    if (w > 64000) w = 64000;            // BEB cap.
+    return w / 2 + static_cast<SimTime>(Next() % static_cast<uint64_t>(w / 2));
+  }
+};
+
+template <typename Queue>
+void BM_MacBackoffChurn(benchmark::State& state) {
+  Queue q;
+  BackoffGen rng;
+  uint64_t sink = 0;
+  const int n = static_cast<int>(state.range(0));
+  std::vector<sim::EventId> timer(static_cast<size_t>(n));
+  std::vector<uint8_t> attempt(static_cast<size_t>(n), 1);
+  for (int i = 0; i < n; ++i) {
+    timer[static_cast<size_t>(i)] = q.ScheduleAfter(rng.Draw(1), [&sink] { ++sink; });
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    if ((cursor & 7) == 7) {
+      // The channel cleared: run the due timer; its sender re-arms fresh.
+      if (q.RunOne()) q.ScheduleAfter(rng.Draw(1), [&sink] { ++sink; });
+    } else {
+      // Busy again: cancel the pending backoff before it fires and re-arm
+      // with the doubled window -- the dominant MAC churn pattern.
+      q.Cancel(timer[cursor]);
+      uint8_t& a = attempt[cursor];
+      a = a >= 4 ? 1 : static_cast<uint8_t>(a + 1);
+      timer[cursor] = q.ScheduleAfter(rng.Draw(a), [&sink] { ++sink; });
+    }
+    cursor = (cursor + 1) % static_cast<size_t>(n);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_MacBackoffChurn, LegacyEventQueue)->Arg(128)->Arg(1024)->Arg(8192);
+BENCHMARK_TEMPLATE(BM_MacBackoffChurn, HeapOnlyEventQueue)->Arg(128)->Arg(1024)->Arg(8192);
+BENCHMARK_TEMPLATE(BM_MacBackoffChurn, WheelEventQueue)->Arg(128)->Arg(1024)->Arg(8192);
 
 }  // namespace
 }  // namespace scoop

@@ -526,6 +526,7 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
   sim::Topology topology = MakeTopology(config, seed);
   sim::NetworkOptions net_opts;
   net_opts.seed = seed;
+  net_opts.queue_impl = config.queue;
   sim::Network network(topology, net_opts);
   ScopedLogClock log_clock(
       [](const void* ctx) { return static_cast<const sim::Network*>(ctx)->now(); },
@@ -624,6 +625,15 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
     sim::EventQueue* q = &network.queue();
     registry->Gauge("queue.depth", [q] { return static_cast<uint64_t>(q->size()); });
     registry->Gauge("queue.processed", [q] { return q->processed(); });
+    // Per-tier split of the two-tier queue (wheel L0/L1 + heap spill).
+    registry->Gauge("queue.wheel.absorbed", [q] { return q->wheel_absorbed(); });
+    registry->Gauge("queue.wheel.spilled", [q] { return q->wheel_spilled(); });
+    registry->Gauge("queue.wheel.l0_depth",
+                    [q] { return static_cast<uint64_t>(q->wheel_l0_size()); });
+    registry->Gauge("queue.wheel.l1_depth",
+                    [q] { return static_cast<uint64_t>(q->wheel_l1_size()); });
+    registry->Gauge("queue.heap_depth",
+                    [q] { return static_cast<uint64_t>(q->heap_tier_size()); });
     obs::Histogram* depth_hist = registry->Hist("queue.occupancy");
     // Slice the run on the sampling grid. EventQueue::RunUntil(t) advances
     // the clock to exactly t, so slicing is semantics-preserving and each
@@ -651,6 +661,8 @@ ExperimentResult RunTrial(const ExperimentConfig& config, uint64_t seed) {
                                      queries.AvgPctNodesQueried(), handle.agent,
                                      network.queue().processed());
   r.query_timeline = std::move(timeline);
+  r.queue_wheel_absorbed = static_cast<double>(network.queue().wheel_absorbed());
+  r.queue_wheel_spilled = static_cast<double>(network.queue().wheel_spilled());
   AddProfile(&r, profiler.get());
   return r;
 }
@@ -670,6 +682,7 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
   sim::ShardedEngineOptions opts;
   opts.seed = seed;
   opts.shards = shards;
+  opts.queue_impl = config.queue;
   sim::ShardedEngine engine(MakeTopology(config, seed), opts);
   const int k = engine.num_shards();
 
@@ -840,6 +853,8 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
                                      queries.AvgPctNodesQueried(), handle.agent,
                                      engine.processed());
   r.query_timeline = std::move(timeline);
+  r.queue_wheel_absorbed = static_cast<double>(engine.wheel_absorbed());
+  r.queue_wheel_spilled = static_cast<double>(engine.wheel_spilled());
   for (auto& p : profilers) AddProfile(&r, p.get());
   return r;
 }
@@ -899,6 +914,8 @@ ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
     sum.root_lifetime_days += r.root_lifetime_days;
     sum.wall_seconds += r.wall_seconds;
     sum.sim_events += r.sim_events;
+    sum.queue_wheel_absorbed += r.queue_wheel_absorbed;
+    sum.queue_wheel_spilled += r.queue_wheel_spilled;
     sum.profile_queue_seconds += r.profile_queue_seconds;
     sum.profile_radio_seconds += r.profile_radio_seconds;
     sum.profile_agent_seconds += r.profile_agent_seconds;
@@ -937,6 +954,8 @@ ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
   sum.root_lifetime_days /= k;
   sum.wall_seconds /= k;
   sum.sim_events /= k;
+  sum.queue_wheel_absorbed /= k;
+  sum.queue_wheel_spilled /= k;
   sum.profile_queue_seconds /= k;
   sum.profile_radio_seconds /= k;
   sum.profile_agent_seconds /= k;

@@ -17,6 +17,7 @@
 #include "metrics/energy_model.h"
 #include "metrics/telemetry.h"
 #include "net/wire.h"
+#include "sim/event_queue.h"
 #include "workload/data_source.h"
 
 namespace scoop::harness {
@@ -94,6 +95,13 @@ struct ExperimentConfig {
   /// engine's keyed-RNG MAC is a (deliberate) different random universe
   /// than the sequential engine, so 1 and 2 differ numerically.
   int shards = 1;
+
+  /// Event-queue implementation for both engines (sim/event_queue.h).
+  /// kWheel (default) fronts the heap with a hierarchical timer wheel;
+  /// kHeap is heap-only. Execution order -- and therefore every metric,
+  /// CSV, and golden -- is identical; the knob exists for differential
+  /// testing and benchmarking.
+  sim::QueueImpl queue = sim::QueueImpl::kWheel;
 
   /// Failure injection: this fraction of non-base nodes loses its radio at
   /// `failure_time` (0 = no failures). Models the §2.1 observation that
@@ -217,6 +225,11 @@ struct ExperimentResult {
   // seed. The campaign runner surfaces these via its perf report instead.
   double wall_seconds = 0;  ///< Host wall-clock the trial took.
   double sim_events = 0;    ///< Discrete events the trial executed.
+  /// Timer-wheel tier split: schedules absorbed by the wheel vs spilled
+  /// to the heap (heap-only runs count everything as spilled). Sharded
+  /// trials sum across shards. Perf-only, like wall_seconds.
+  double queue_wheel_absorbed = 0;
+  double queue_wheel_spilled = 0;
 
   // Profiler buckets (wall-clock attribution, config.profile only; same
   // perf-only status as wall_seconds). Sharded trials sum across shard

@@ -11,23 +11,45 @@ namespace scoop::net {
 NeighborTable::NeighborTable(const NeighborTableOptions& options) : options_(options) {
   SCOOP_CHECK_GT(options_.capacity, 0);
   SCOOP_CHECK_GT(options_.estimation_window, 0);
+  // Bounded table: one up-front allocation covers its whole lifetime.
+  entries_.reserve(static_cast<size_t>(options_.capacity));
+}
+
+std::vector<NeighborTable::Slot>::iterator NeighborTable::Find(NodeId id) {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), id,
+                             [](const Slot& slot, NodeId key) { return slot.id < key; });
+  if (it != entries_.end() && it->id == id) return it;
+  return entries_.end();
+}
+
+std::vector<NeighborTable::Slot>::const_iterator NeighborTable::Find(NodeId id) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), id,
+                             [](const Slot& slot, NodeId key) { return slot.id < key; });
+  if (it != entries_.end() && it->id == id) return it;
+  return entries_.end();
 }
 
 void NeighborTable::OnPacketSeen(NodeId src, uint16_t seq, SimTime now) {
-  auto it = entries_.find(src);
-  if (it == entries_.end()) {
-    if (static_cast<int>(entries_.size()) >= options_.capacity) EvictWorst();
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), src,
+                             [](const Slot& slot, NodeId key) { return slot.id < key; });
+  if (it == entries_.end() || it->id != src) {
+    if (static_cast<int>(entries_.size()) >= options_.capacity) {
+      EvictWorst();
+      // Eviction shifted slots; recompute the insertion point.
+      it = std::lower_bound(entries_.begin(), entries_.end(), src,
+                            [](const Slot& slot, NodeId key) { return slot.id < key; });
+    }
     Entry entry;
     entry.last_seq = seq;
     entry.window_received = 1;
     entry.quality = options_.initial_quality;
     entry.has_estimate = false;
     entry.last_heard = now;
-    entries_.emplace(src, entry);
+    entries_.insert(it, Slot{src, entry});
     return;
   }
 
-  Entry& entry = it->second;
+  Entry& entry = it->entry;
   entry.last_heard = now;
   uint16_t gap = static_cast<uint16_t>(seq - entry.last_seq);
   if (gap == 0) return;  // Link-layer retransmission; not a new packet.
@@ -54,9 +76,9 @@ void NeighborTable::OnPacketSeen(NodeId src, uint16_t seq, SimTime now) {
 }
 
 void NeighborTable::OnReverseReport(NodeId neighbor, double quality_they_hear_us) {
-  auto it = entries_.find(neighbor);
+  auto it = Find(neighbor);
   if (it == entries_.end()) return;  // Only track reports from known neighbors.
-  Entry& entry = it->second;
+  Entry& entry = it->entry;
   if (entry.has_reverse) {
     entry.reverse_quality = options_.ewma_alpha * quality_they_hear_us +
                             (1 - options_.ewma_alpha) * entry.reverse_quality;
@@ -67,20 +89,20 @@ void NeighborTable::OnReverseReport(NodeId neighbor, double quality_they_hear_us
 }
 
 double NeighborTable::Quality(NodeId src) const {
-  auto it = entries_.find(src);
-  return it == entries_.end() ? 0.0 : it->second.quality;
+  auto it = Find(src);
+  return it == entries_.end() ? 0.0 : it->entry.quality;
 }
 
 double NeighborTable::OutboundQuality(NodeId dst) const {
-  auto it = entries_.find(dst);
+  auto it = Find(dst);
   if (it == entries_.end()) return 0.0;
-  return it->second.has_reverse ? it->second.reverse_quality : it->second.quality;
+  return it->entry.has_reverse ? it->entry.reverse_quality : it->entry.quality;
 }
 
 double NeighborTable::UnicastQuality(NodeId dst) const {
-  auto it = entries_.find(dst);
+  auto it = Find(dst);
   if (it == entries_.end()) return 0.0;
-  const Entry& e = it->second;
+  const Entry& e = it->entry;
   double out = e.has_reverse ? e.reverse_quality : e.quality;
   // The ACK returns on the inbound link; ACK frames are short, so their
   // loss is sub-linear in the link's packet loss.
@@ -90,8 +112,8 @@ double NeighborTable::UnicastQuality(NodeId dst) const {
 std::vector<NeighborEntry> NeighborTable::BestNeighbors(int k) const {
   std::vector<std::pair<double, NodeId>> ranked;
   ranked.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) {
-    ranked.emplace_back(entry.quality, id);
+  for (const Slot& slot : entries_) {
+    ranked.emplace_back(slot.entry.quality, slot.id);
   }
   // Sort by quality descending; break ties by id for determinism.
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
@@ -113,26 +135,29 @@ std::vector<NeighborEntry> NeighborTable::BestNeighbors(int k) const {
 std::vector<NodeId> NeighborTable::Ids() const {
   std::vector<NodeId> out;
   out.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) out.push_back(id);
+  for (const Slot& slot : entries_) out.push_back(slot.id);
   return out;
 }
 
 void NeighborTable::EvictStale(SimTime now) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (now - it->second.last_heard > options_.eviction_timeout) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  auto keep = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (now - it->entry.last_heard <= options_.eviction_timeout) {
+      if (keep != it) *keep = *it;
+      ++keep;
     }
   }
+  entries_.erase(keep, entries_.end());
 }
 
 void NeighborTable::EvictWorst() {
   auto worst = entries_.end();
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (worst == entries_.end() || it->second.last_heard < worst->second.last_heard ||
-        (it->second.last_heard == worst->second.last_heard &&
-         it->second.quality < worst->second.quality)) {
+    // Ascending-id iteration plus strictly-less comparisons: ties on both
+    // staleness and quality evict the lowest id, deterministically.
+    if (worst == entries_.end() || it->entry.last_heard < worst->entry.last_heard ||
+        (it->entry.last_heard == worst->entry.last_heard &&
+         it->entry.quality < worst->entry.quality)) {
       worst = it;
     }
   }

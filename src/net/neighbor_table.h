@@ -8,7 +8,6 @@
 #ifndef SCOOP_NET_NEIGHBOR_TABLE_H_
 #define SCOOP_NET_NEIGHBOR_TABLE_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -58,7 +57,7 @@ class NeighborTable {
   double UnicastQuality(NodeId dst) const;
 
   /// True iff `src` is currently tracked.
-  bool Contains(NodeId src) const { return entries_.count(src) > 0; }
+  bool Contains(NodeId src) const { return Find(src) != entries_.end(); }
 
   /// The `k` best neighbors by quality, as summary-ready entries (§5.2).
   std::vector<NeighborEntry> BestNeighbors(int k) const;
@@ -84,11 +83,27 @@ class NeighborTable {
     SimTime last_heard = 0;
   };
 
+  /// One tracked neighbor, keyed by its node id.
+  struct Slot {
+    NodeId id;
+    Entry entry;
+  };
+
+  /// Iterator to the slot for `id`, or end() if absent.
+  std::vector<Slot>::iterator Find(NodeId id);
+  std::vector<Slot>::const_iterator Find(NodeId id) const;
+
   /// Evicts the worst entry to make room, preferring stale + low quality.
   void EvictWorst();
 
   NeighborTableOptions options_;
-  std::unordered_map<NodeId, Entry> entries_;
+  // The table is bounded at `capacity` (32 in the paper) and looked up on
+  // every packet a node hears, so a flat vector sorted by id beats a hash
+  // map: the find is a binary search over one or two cache lines, inserts
+  // never allocate past the reserved capacity, and iteration is a
+  // canonical ascending-id order, which makes eviction tie-breaks and
+  // Ids() deterministic by construction rather than by bucket layout.
+  std::vector<Slot> entries_;
 };
 
 }  // namespace scoop::net

@@ -18,13 +18,22 @@ RoutingTree::RoutingTree(NodeId self, bool is_base, const RoutingTreeOptions& op
   }
 }
 
+std::vector<RoutingTree::Slot>::iterator RoutingTree::Find(NodeId id) {
+  auto it = std::lower_bound(
+      candidates_.begin(), candidates_.end(), id,
+      [](const Slot& slot, NodeId key) { return slot.id < key; });
+  if (it != candidates_.end() && it->id == id) return it;
+  return candidates_.end();
+}
+
 void RoutingTree::OnBeacon(NodeId from, const BeaconPayload& beacon, double link_quality_in,
                            SimTime now) {
   if (is_base_) return;  // The root never selects a parent.
   if (from == self_) return;
   // Loop guard: never consider a node that routes through us.
   if (beacon.parent == self_) {
-    candidates_.erase(from);
+    auto it = Find(from);
+    if (it != candidates_.end()) candidates_.erase(it);
     if (parent_ == from) {
       parent_ = kInvalidNodeId;
       ReselectParent(now);
@@ -36,7 +45,8 @@ void RoutingTree::OnBeacon(NodeId from, const BeaconPayload& beacon, double link
   double quality = std::max(link_quality_in, 0.0);
   if (quality < options_.min_usable_quality) {
     // Link too weak to route over; forget the candidate.
-    candidates_.erase(from);
+    auto it = Find(from);
+    if (it != candidates_.end()) candidates_.erase(it);
     if (parent_ == from) {
       parent_ = kInvalidNodeId;
       ReselectParent(now);
@@ -49,20 +59,29 @@ void RoutingTree::OnBeacon(NodeId from, const BeaconPayload& beacon, double link
   c.link_etx = std::min(1.0 / quality, options_.max_link_etx);
   c.depth = beacon.depth;
   c.last_heard = now;
-  candidates_[from] = c;
+  auto it = std::lower_bound(
+      candidates_.begin(), candidates_.end(), from,
+      [](const Slot& slot, NodeId key) { return slot.id < key; });
+  if (it != candidates_.end() && it->id == from) {
+    it->candidate = c;
+  } else {
+    candidates_.insert(it, Slot{from, c});
+  }
   ReselectParent(now);
 }
 
 void RoutingTree::MaybeTimeoutParent(SimTime now) {
   if (is_base_) return;
-  for (auto it = candidates_.begin(); it != candidates_.end();) {
-    if (now - it->second.last_heard > options_.parent_timeout) {
-      if (it->first == parent_) parent_ = kInvalidNodeId;
-      it = candidates_.erase(it);
+  auto keep = candidates_.begin();
+  for (auto it = candidates_.begin(); it != candidates_.end(); ++it) {
+    if (now - it->candidate.last_heard > options_.parent_timeout) {
+      if (it->id == parent_) parent_ = kInvalidNodeId;
     } else {
-      ++it;
+      if (keep != it) *keep = *it;
+      ++keep;
     }
   }
+  candidates_.erase(keep, candidates_.end());
   ReselectParent(now);
 }
 
@@ -73,10 +92,10 @@ void RoutingTree::ReselectParent(SimTime now) {
   auto best = candidates_.end();
   double best_cost = std::numeric_limits<double>::infinity();
   for (auto it = candidates_.begin(); it != candidates_.end(); ++it) {
-    double cost = CostThrough(it->second);
-    // Deterministic tie-break on id.
-    if (cost < best_cost || (cost == best_cost && best != candidates_.end() &&
-                             it->first < best->first)) {
+    double cost = CostThrough(it->candidate);
+    // Ascending-id iteration: strict < keeps the lowest id on cost ties,
+    // the same deterministic tie-break the unordered scan spelled out.
+    if (cost < best_cost) {
       best_cost = cost;
       best = it;
     }
@@ -89,19 +108,19 @@ void RoutingTree::ReselectParent(SimTime now) {
     return;
   }
 
-  auto current = candidates_.find(parent_);
+  auto current = Find(parent_);
   if (current != candidates_.end()) {
-    double current_cost = CostThrough(current->second);
+    double current_cost = CostThrough(current->candidate);
     // Keep the incumbent unless the challenger is clearly better.
-    if (best->first != parent_ && best_cost >= options_.hysteresis * current_cost) {
+    if (best->id != parent_ && best_cost >= options_.hysteresis * current_cost) {
       best = current;
       best_cost = current_cost;
     }
   }
 
-  parent_ = best->first;
+  parent_ = best->id;
   path_etx_ = best_cost;
-  depth_ = static_cast<uint8_t>(std::min<int>(best->second.depth + 1, 255));
+  depth_ = static_cast<uint8_t>(std::min<int>(best->candidate.depth + 1, 255));
 }
 
 void RoutingTree::SetRoot(bool is_base) {

@@ -9,7 +9,7 @@
 #ifndef SCOOP_NET_ROUTING_TREE_H_
 #define SCOOP_NET_ROUTING_TREE_H_
 
-#include <unordered_map>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "common/types.h"
@@ -79,8 +79,17 @@ class RoutingTree {
     SimTime last_heard = 0;
   };
 
+  /// One remembered candidate, keyed by the advertising neighbor.
+  struct Slot {
+    NodeId id;
+    Candidate candidate;
+  };
+
   /// Total cost of routing through `c`.
   static double CostThrough(const Candidate& c) { return c.advertised_etx + c.link_etx; }
+
+  /// Iterator to the slot for `id`, or end() if absent.
+  std::vector<Slot>::iterator Find(NodeId id);
 
   /// Re-evaluates the best candidate and installs it as parent if warranted.
   void ReselectParent(SimTime now);
@@ -91,7 +100,12 @@ class RoutingTree {
   NodeId parent_ = kInvalidNodeId;
   double path_etx_ = 0;
   uint8_t depth_ = 0;
-  std::unordered_map<NodeId, Candidate> candidates_;
+  // Candidates are radio neighbors: a couple dozen entries at most, scanned
+  // in full on every beacon by ReselectParent. A flat vector sorted by id
+  // makes that scan contiguous (the map version spent more time walking
+  // hash buckets than comparing costs) and gives a canonical ascending-id
+  // iteration order, so cost ties resolve identically on every platform.
+  std::vector<Slot> candidates_;
 };
 
 }  // namespace scoop::net

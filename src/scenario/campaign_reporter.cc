@@ -238,12 +238,16 @@ std::string CampaignPerfJson(const CampaignResult& result) {
   };
   double total_events = 0;
   double total_wall = 0;
+  double total_absorbed = 0;
+  double total_spilled = 0;
   double bucket_totals[std::size(kBuckets)] = {};
   bool profiled = false;
   for (const CampaignRow& row : result.rows) {
     for (const harness::ExperimentResult& trial : row.trials) {
       total_events += trial.sim_events;
       total_wall += trial.wall_seconds;
+      total_absorbed += trial.queue_wheel_absorbed;
+      total_spilled += trial.queue_wheel_spilled;
       for (size_t b = 0; b < std::size(kBuckets); ++b) {
         double v = kBuckets[b].get(trial);
         bucket_totals[b] += v;
@@ -251,6 +255,7 @@ std::string CampaignPerfJson(const CampaignResult& result) {
       }
     }
   }
+  const double total_scheduled = total_absorbed + total_spilled;
   std::string out = "{\"scenario\":" + JsonString(result.scenario_name);
   out += ",\"threads\":" + std::to_string(result.threads_used);
   out += ",\"wall_seconds\":" + FormatJsonMetric(result.wall_seconds);
@@ -258,6 +263,13 @@ std::string CampaignPerfJson(const CampaignResult& result) {
   out += ",\"sim_events_total\":" + FormatJsonMetric(total_events);
   out += ",\"events_per_second\":" +
          FormatJsonMetric(total_wall > 0 ? total_events / total_wall : 0.0);
+  // Timer-wheel tier split (sim/event_queue.h): the fraction of schedules
+  // the wheel absorbed without touching the heap. Heap-only runs report 0.
+  out += ",\"queue\":{\"wheel_absorbed\":" + FormatJsonMetric(total_absorbed);
+  out += ",\"wheel_spilled\":" + FormatJsonMetric(total_spilled);
+  out += ",\"wheel_absorb_rate\":" +
+         FormatJsonMetric(total_scheduled > 0 ? total_absorbed / total_scheduled : 0.0);
+  out += "}";
   if (profiled) {
     out += ",\"profile\":{";
     for (size_t b = 0; b < std::size(kBuckets); ++b) {
@@ -283,6 +295,14 @@ std::string CampaignPerfJson(const CampaignResult& result) {
            FormatJsonMetric(row.mean.wall_seconds > 0
                                 ? row.mean.sim_events / row.mean.wall_seconds
                                 : 0.0);
+    const double row_sched = row.mean.queue_wheel_absorbed + row.mean.queue_wheel_spilled;
+    out += ",\"queue\":{\"wheel_absorbed\":" +
+           FormatJsonMetric(row.mean.queue_wheel_absorbed);
+    out += ",\"wheel_spilled\":" + FormatJsonMetric(row.mean.queue_wheel_spilled);
+    out += ",\"wheel_absorb_rate\":" +
+           FormatJsonMetric(row_sched > 0 ? row.mean.queue_wheel_absorbed / row_sched
+                                          : 0.0);
+    out += "}";
     if (profiled) {
       out += ",\"profile\":{";
       for (size_t b = 0; b < std::size(kBuckets); ++b) {

@@ -125,6 +125,15 @@ Status SetPolicy(ExperimentConfig* c, std::string_view v) {
   return Status::OK();
 }
 
+Status SetQueue(ExperimentConfig* c, std::string_view v) {
+  std::string_view s = TrimView(v);
+  if (s == "wheel") c->queue = sim::QueueImpl::kWheel;
+  else if (s == "heap") c->queue = sim::QueueImpl::kHeap;
+  else return Status::InvalidArgument("unknown queue " + Quoted(v) +
+                                      " (expected wheel|heap)");
+  return Status::OK();
+}
+
 Status SetSource(ExperimentConfig* c, std::string_view v) {
   std::string_view s = TrimView(v);
   if (s == "real") c->source = DataSourceKind::kReal;
@@ -366,6 +375,8 @@ const KeyInfo kKeys[] = {
        return StoreInt(v, &c->shards, 0, 64, "shards");
      },
      [](const ExperimentConfig& c) { return std::to_string(c.shards); }},
+    {"queue", SetQueue,
+     [](const ExperimentConfig& c) { return std::string(sim::QueueImplName(c.queue)); }},
     {"failure_fraction",
      [](ExperimentConfig* c, std::string_view v) {
        return StoreDouble(v, &c->node_failure_fraction, 0.0, 1.0, "failure_fraction");

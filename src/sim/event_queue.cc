@@ -7,6 +7,16 @@
 
 namespace scoop::sim {
 
+const char* QueueImplName(QueueImpl impl) {
+  switch (impl) {
+    case QueueImpl::kWheel:
+      return "wheel";
+    case QueueImpl::kHeap:
+      return "heap";
+  }
+  return "?";
+}
+
 uint32_t EventQueue::AcquireSlot() {
   if (free_head_ != kNilSlot) {
     uint32_t index = free_head_;
@@ -36,8 +46,14 @@ EventId EventQueue::ScheduleAt(SimTime at, Callback fn) {
   Slot& s = slots_[index];
   s.key = key;
   s.fn = std::move(fn);
-  heap_.push_back(HeapEntry{at, key});
-  SiftUp(heap_.size() - 1);
+  HeapEntry entry{at, key};
+  if (impl_ == QueueImpl::kWheel && wheel_.TryPush(at, entry)) {
+    ++absorbed_;
+  } else {
+    ++spilled_;
+    heap_.push_back(entry);
+    SiftUp(heap_.size() - 1);
+  }
   ++live_;
   return key;
 }
@@ -51,7 +67,7 @@ void EventQueue::Cancel(EventId id) {
   if (slots_[index].key != id) return;  // Already ran, cancelled, or reused.
   ReleaseSlot(index);
   --live_;
-  ++stale_;  // Its heap entry stays behind until skimmed or compacted.
+  ++stale_;  // Its tier entry stays behind until skimmed or compacted.
   MaybeCompact();
 }
 
@@ -110,11 +126,34 @@ void EventQueue::SkimStale() {
   }
 }
 
-bool EventQueue::RunOne() {
+const EventQueue::HeapEntry* EventQueue::PeekHead(bool* from_wheel) {
   SkimStale();
-  if (heap_.empty()) return false;
-  HeapEntry top = heap_.front();
-  PopTop();
+  const HeapEntry* w =
+      impl_ == QueueImpl::kWheel ? wheel_.PeekEarliest() : nullptr;
+  const HeapEntry* h = heap_.empty() ? nullptr : &heap_.front();
+  // Both tiers merge through the full comparator, so cross-tier ties in
+  // time resolve by schedule sequence exactly as the heap alone would.
+  if (w != nullptr && h != nullptr) {
+    if (Earlier(*h, *w)) {
+      w = nullptr;
+    } else {
+      h = nullptr;
+    }
+  }
+  *from_wheel = w != nullptr;
+  return w != nullptr ? w : h;
+}
+
+bool EventQueue::RunNext(SimTime limit) {
+  bool from_wheel = false;
+  const HeapEntry* head = PeekHead(&from_wheel);
+  if (head == nullptr || head->at > limit) return false;
+  HeapEntry top = *head;
+  if (from_wheel) {
+    wheel_.PopEarliest();
+  } else {
+    PopTop();
+  }
   SCOOP_CHECK_GE(top.at, now_);
   // Release the slot before invoking, so the callback can schedule into it;
   // the fresh key a reuse gets keeps the old id stale.
@@ -123,6 +162,7 @@ bool EventQueue::RunOne() {
   ReleaseSlot(index);
   --live_;
   now_ = top.at;
+  if (impl_ == QueueImpl::kWheel) wheel_.AdvanceTo(now_);
   ++processed_;
   if (profiler_ != nullptr) {
     obs::SimProfiler::Bucket prev =
@@ -135,15 +175,21 @@ bool EventQueue::RunOne() {
   return true;
 }
 
+bool EventQueue::RunOne() { return RunNext(kSimTimeHorizon); }
+
+SimTime EventQueue::NextEventTime() {
+  bool from_wheel = false;
+  const HeapEntry* head = PeekHead(&from_wheel);
+  return head == nullptr ? kSimTimeHorizon : head->at;
+}
+
 void EventQueue::RunUntil(SimTime end) {
   obs::ScopedBucket bucket(profiler_, obs::SimProfiler::kQueue);
-  for (;;) {
-    SkimStale();
-    if (heap_.empty() || heap_.front().at > end) break;
-    RunOne();
+  while (RunNext(end)) {
   }
   SCOOP_CHECK_GE(end, now_);
   now_ = end;
+  if (impl_ == QueueImpl::kWheel) wheel_.AdvanceTo(now_);
 }
 
 void EventQueue::Compact() {
@@ -154,6 +200,7 @@ void EventQueue::Compact() {
   if (heap_.size() > 1) {
     for (size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) SiftDown(i);
   }
+  wheel_.CompactStale();
   stale_ = 0;
 }
 

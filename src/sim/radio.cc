@@ -29,6 +29,23 @@ Radio::Radio(const Topology* topology, const RadioOptions& options, EventQueue* 
     own_interferers_ = topology->BuildInterfererSets(options_.interference_threshold);
     interferers_ = &own_interferers_;
   }
+  // Geometric collision prefilter: an interferer must be within audible
+  // range of a receiver, and every receiver is within audible range of
+  // the sender, so only transmitters within twice the longest audible
+  // link can corrupt any reception of this frame (interferer sets are
+  // subsets of the audible sets). Computed once over the CSR links;
+  // conservative, so verdicts are unchanged.
+  double max_d2 = 0;
+  for (NodeId i = 0; i < topology->num_nodes(); ++i) {
+    const Point& a = topology->position(i);
+    for (const Topology::Link& link : topology->audible_from(i)) {
+      const Point& b = topology->position(link.to);
+      double dx = a.x - b.x;
+      double dy = a.y - b.y;
+      max_d2 = std::max(max_d2, dx * dx + dy * dy);
+    }
+  }
+  collide_range2_ = 4.0 * max_d2;  // (2 * max audible distance)^2.
 }
 
 void Radio::EnableObservability(obs::TraceSink* trace,
@@ -128,19 +145,34 @@ bool Radio::ChannelBusy(NodeId node) const {
                            [&](NodeId a) { return node_tx_[a][0].end > now; });
 }
 
-bool Radio::Collided(NodeId receiver, NodeId sender, SimTime start, SimTime end) const {
-  if (!options_.model_collisions) return false;
-  double signal = topology_->delivery_prob(sender, receiver);
-  const InterfererSet& audible = (*interferers_)[receiver];
+void Radio::CollectInterferers(NodeId sender, SimTime start, SimTime end) {
+  collide_scratch_.clear();
+  if (!options_.model_collisions) return;
   // Ring entries are in start order; anything whose start is more than one
-  // max airtime before the window cannot reach into it.
+  // max airtime before the window cannot reach into it. The window scan
+  // runs once per completion -- per receiver only the (usually empty)
+  // overlap list is consulted.
+  const Point& s = topology_->position(sender);
   for (size_t i = ring_.size(); i-- > ring_head_;) {
     const Transmission& tx = ring_[i];
     if (tx.start + max_airtime_ <= start) break;
-    if (tx.src == sender || tx.src == receiver) continue;
+    if (tx.src == sender) continue;
     if (tx.end <= start || tx.start >= end) continue;  // No time overlap.
-    if (!audible.Test(tx.src)) continue;               // Too weak to interfere.
-    double interference = topology_->delivery_prob(tx.src, receiver);
+    const Point& p = topology_->position(tx.src);
+    double dx = s.x - p.x;
+    double dy = s.y - p.y;
+    if (dx * dx + dy * dy > collide_range2_) continue;  // Too far to matter.
+    collide_scratch_.push_back(tx.src);
+  }
+}
+
+bool Radio::Collided(NodeId receiver, NodeId sender) const {
+  double signal = topology_->delivery_prob(sender, receiver);
+  const InterfererSet& audible = (*interferers_)[receiver];
+  for (NodeId isrc : collide_scratch_) {
+    if (isrc == receiver) continue;
+    if (!audible.Test(isrc)) continue;  // Too weak to interfere.
+    double interference = topology_->delivery_prob(isrc, receiver);
     // Capture: a clearly stronger signal survives a weak interferer.
     if (interference >= options_.capture_ratio * signal) return true;
   }
@@ -272,6 +304,8 @@ void Radio::FinishTx(NodeId src, SimTime start, SimTime end, uint32_t gen) {
   // consumes the shared RNG stream exactly as a fault-free build does.
   // Windows are evaluated at the transmission end (= delivery instant).
   bool faulted = fault_ != nullptr && fault_->active();
+  CollectInterferers(src, start, end);
+  const bool maybe_collided = !collide_scratch_.empty();
   for (const Topology::Link& link : topology_->audible_from(src)) {
     NodeId r = link.to;
     if (!alive_[r]) continue;  // Dead radios hear nothing.
@@ -279,7 +313,7 @@ void Radio::FinishTx(NodeId src, SimTime start, SimTime end, uint32_t gen) {
     if (faulted) p *= fault_->Scale(src, r, end);
     if (!rng_.Bernoulli(p)) continue;                   // Link loss.
     if (WasTransmitting(r, start, end)) continue;       // Half duplex.
-    if (Collided(r, src, start, end)) continue;         // Corrupted.
+    if (maybe_collided && Collided(r, src)) continue;   // Corrupted.
     bool addressed = (dst == kBroadcastId) || (dst == r);
     if (dst == r) dst_received = true;
     if (ctr_deliveries_ != nullptr) ++*ctr_deliveries_;

@@ -154,9 +154,16 @@ class Radio {
   void FinishTx(NodeId src, SimTime start, SimTime end, uint32_t gen);
   /// True iff `node` senses an audible transmission in progress.
   bool ChannelBusy(NodeId node) const;
-  /// True iff reception at `receiver` during [start,end] was corrupted by a
-  /// concurrent audible transmission (other than `sender`'s own).
-  bool Collided(NodeId receiver, NodeId sender, SimTime start, SimTime end) const;
+  /// Collects into `collide_scratch_` the sources of ring transmissions
+  /// (other than `sender`'s own) overlapping [start,end): the only
+  /// candidates that can corrupt any reception of this frame. One ring
+  /// walk per completion, shared by every receiver.
+  void CollectInterferers(NodeId sender, SimTime start, SimTime end);
+  /// True iff reception at `receiver` was corrupted by one of the
+  /// collected candidates. Same verdict as scanning the ring per receiver
+  /// (a pure predicate -- no RNG), at O(candidates) per receiver instead
+  /// of O(ring window).
+  bool Collided(NodeId receiver, NodeId sender) const;
   /// True iff `node` was itself transmitting at any point in [start,end].
   bool WasTransmitting(NodeId node, SimTime start, SimTime end) const;
   /// Advances the ring head past transmissions that can no longer overlap
@@ -194,6 +201,11 @@ class Radio {
   /// Airtime of a maximum-size frame: the overlap/prune horizon, computed
   /// once instead of per FinishTx.
   SimTime max_airtime_ = 0;
+  /// Scratch for CollectInterferers (reused across completions).
+  std::vector<NodeId> collide_scratch_;
+  /// Squared distance beyond which a transmitter cannot corrupt any
+  /// reception of this sender's frame (twice the longest audible link).
+  double collide_range2_ = 0;
 
   TransmitHook transmit_hook_;
   DeliverHook deliver_hook_;

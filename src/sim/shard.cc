@@ -11,7 +11,8 @@ namespace scoop::sim {
 // ShardQueue
 // ---------------------------------------------------------------------------
 
-ShardQueue::ShardQueue(uint32_t num_origins) : counters_(num_origins, 0) {
+ShardQueue::ShardQueue(uint32_t num_origins, QueueImpl impl)
+    : impl_(impl), counters_(num_origins, 0) {
   SCOOP_CHECK(num_origins <= (1u << 18));  // Origin field is 18 bits wide.
 }
 
@@ -25,8 +26,14 @@ EventId ShardQueue::ScheduleInternal(SimTime at, uint64_t ord, NodeId sender,
   s.key = key;
   s.sender = sender;
   s.gen = gen;
-  heap_.push_back(HeapEntry{at, ord, key});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  HeapEntry entry{at, ord, key};
+  if (impl_ == QueueImpl::kWheel && wheel_.TryPush(at, entry)) {
+    ++absorbed_;
+  } else {
+    ++spilled_;
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
   ++live_;
   return key;
 }
@@ -69,42 +76,69 @@ void ShardQueue::SkimStale() {
 }
 
 void ShardQueue::MaybeCompact() {
-  // Amortized O(1) per cancel, same policy as EventQueue.
-  if (stale_ < 64 || stale_ * 2 <= heap_.size()) return;
+  // Amortized O(1) per cancel, same policy as EventQueue (both tiers).
+  if (stale_ < 64 || stale_ * 2 <= heap_size()) return;
   size_t out = 0;
   for (size_t i = 0; i < heap_.size(); ++i) {
     if (IsLive(heap_[i])) heap_[out++] = heap_[i];
   }
   heap_.resize(out);
   std::make_heap(heap_.begin(), heap_.end(), Later{});
+  wheel_.CompactStale();
   stale_ = 0;
 }
 
-SimTime ShardQueue::HeadTime() {
+const ShardQueue::HeapEntry* ShardQueue::PeekHead(bool* from_wheel) {
   SkimStale();
-  return heap_.empty() ? kSimTimeHorizon : heap_.front().at;
+  const HeapEntry* w =
+      impl_ == QueueImpl::kWheel ? wheel_.PeekEarliest() : nullptr;
+  const HeapEntry* h = heap_.empty() ? nullptr : &heap_.front();
+  // Cross-tier ties resolve through the full canonical comparator, so the
+  // two-tier order equals the heap-only order.
+  if (w != nullptr && h != nullptr) {
+    if (Earlier(*h, *w)) {
+      w = nullptr;
+    } else {
+      h = nullptr;
+    }
+  }
+  *from_wheel = w != nullptr;
+  return w != nullptr ? w : h;
+}
+
+SimTime ShardQueue::HeadTime() {
+  bool from_wheel = false;
+  const HeapEntry* head = PeekHead(&from_wheel);
+  return head == nullptr ? kSimTimeHorizon : head->at;
 }
 
 bool ShardQueue::HeadFinishInfo(NodeId* sender, uint32_t* gen) {
-  SkimStale();
-  if (heap_.empty() || (heap_.front().ord >> 62) != 1) return false;
-  const Slot& s = slots_[heap_.front().key & kSlotMask];
+  bool from_wheel = false;
+  const HeapEntry* head = PeekHead(&from_wheel);
+  if (head == nullptr || (head->ord >> 62) != 1) return false;
+  const Slot& s = slots_[head->key & kSlotMask];
   *sender = s.sender;
   *gen = s.gen;
   return true;
 }
 
 bool ShardQueue::RunOne() {
-  SkimStale();
-  if (heap_.empty()) return false;
-  HeapEntry top = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  heap_.pop_back();
+  bool from_wheel = false;
+  const HeapEntry* head = PeekHead(&from_wheel);
+  if (head == nullptr) return false;
+  HeapEntry top = *head;
+  if (from_wheel) {
+    wheel_.PopEarliest();
+  } else {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
   uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
   Callback fn = std::move(slots_[slot].fn);
   ReleaseSlot(slot);
   --live_;
   now_ = top.at;
+  if (impl_ == QueueImpl::kWheel) wheel_.AdvanceTo(now_);
   ++processed_;
   if (profiler_ != nullptr) {
     obs::SimProfiler::Bucket prev =
@@ -152,6 +186,18 @@ ShardRadio::ShardRadio(const Topology* topology, const RadioOptions& options,
   for (NodeId u = 0; u < topology->num_nodes(); ++u) {
     mac_rng_.emplace_back(MixSeed(backoff_key, u), /*stream=*/u);
   }
+  // Geometric collision prefilter (see Radio's collide_range2_).
+  double max_d2 = 0;
+  for (NodeId i = 0; i < topology->num_nodes(); ++i) {
+    const Point& a = topology->position(i);
+    for (const Topology::Link& link : topology->audible_from(i)) {
+      const Point& b = topology->position(link.to);
+      double dx = a.x - b.x;
+      double dy = a.y - b.y;
+      max_d2 = std::max(max_d2, dx * dx + dy * dy);
+    }
+  }
+  collide_range2_ = 4.0 * max_d2;
 }
 
 void ShardRadio::EnableObservability(obs::TraceSink* trace,
@@ -243,18 +289,33 @@ bool ShardRadio::ChannelBusy(NodeId node) const {
   });
 }
 
-bool ShardRadio::Collided(NodeId receiver, NodeId sender, SimTime start,
-                          SimTime end) const {
-  if (!options_.model_collisions) return false;
-  double signal = topology_->delivery_prob(sender, receiver);
-  const InterfererSet& audible = (*interferers_)[receiver];
+void ShardRadio::CollectInterferers(NodeId sender, SimTime start, SimTime end) {
+  collide_scratch_.clear();
+  if (!options_.model_collisions) return;
+  // One ring walk per evaluation, shared by every receiver (see
+  // Radio::CollectInterferers): only transmissions actually overlapping
+  // the window survive into the per-receiver check.
+  const Point& s = topology_->position(sender);
   for (size_t i = ring_.size(); i-- > ring_head_;) {
     const Transmission& tx = ring_[i];
     if (tx.start + max_airtime_ <= start) break;
-    if (tx.src == sender || tx.src == receiver) continue;
+    if (tx.src == sender) continue;
     if (tx.end <= start || tx.start >= end) continue;  // No time overlap.
-    if (!audible.Test(tx.src)) continue;               // Too weak to interfere.
-    double interference = topology_->delivery_prob(tx.src, receiver);
+    const Point& p = topology_->position(tx.src);
+    double dx = s.x - p.x;
+    double dy = s.y - p.y;
+    if (dx * dx + dy * dy > collide_range2_) continue;  // Too far to matter.
+    collide_scratch_.push_back(tx.src);
+  }
+}
+
+bool ShardRadio::Collided(NodeId receiver, NodeId sender) const {
+  double signal = topology_->delivery_prob(sender, receiver);
+  const InterfererSet& audible = (*interferers_)[receiver];
+  for (NodeId isrc : collide_scratch_) {
+    if (isrc == receiver) continue;
+    if (!audible.Test(isrc)) continue;  // Too weak to interfere.
+    double interference = topology_->delivery_prob(isrc, receiver);
     if (interference >= options_.capture_ratio * signal) return true;
   }
   return false;
@@ -425,6 +486,8 @@ void ShardRadio::EvalTx(NodeId src, uint32_t gen, SimTime start, SimTime end,
     // the verdicts stay identical under any K-way partition. Evaluated at
     // the transmission end (= delivery instant), matching Radio::FinishTx.
     bool faulted = fault_ != nullptr && fault_->active();
+    CollectInterferers(src, start, end);
+    const bool maybe_collided = !collide_scratch_.empty();
     // Walk the sender's audible out-neighbors in ascending id, but only
     // deliver to receivers this shard owns; the other shards run the same
     // walk over their own nodes with identical keyed draws.
@@ -436,7 +499,7 @@ void ShardRadio::EvalTx(NodeId src, uint32_t gen, SimTime start, SimTime end,
       if (faulted) p *= fault_->Scale(src, r, end);
       if (!LinkLossDraw(src, gen, r, p)) continue;         // Link loss.
       if (WasTransmitting(r, start, end)) continue;        // Half duplex.
-      if (Collided(r, src, start, end)) continue;          // Corrupted.
+      if (maybe_collided && Collided(r, src)) continue;    // Corrupted.
       bool addressed = (dst == kBroadcastId) || (dst == r);
       if (dst == r) dst_received = true;
       if (ctr_deliveries_ != nullptr) ++*ctr_deliveries_;

@@ -56,26 +56,30 @@
 #include "sim/event_queue.h"
 #include "sim/radio.h"
 #include "sim/radio_options.h"
+#include "sim/timer_wheel.h"
 #include "sim/topology.h"
 
 namespace scoop::sim {
 
-/// "No more events / no constraint" sentinel time.
-inline constexpr SimTime kSimTimeHorizon = std::numeric_limits<SimTime>::max();
+// kSimTimeHorizon lives in sim/event_queue.h (both queue types use it).
 
 /// Deterministically-ordered event queue for one shard. Orders events by
 /// the canonical (time, phase, origin, counter) key documented above, so
 /// any K-way partition of one simulation executes each shard's events in
 /// the same relative order. Cancellation reuses the EventQueue discipline:
 /// slab slots, EventId = (seq << 24) | slot doubling as staleness check,
-/// lazy skimming plus bulk compaction of cancelled heap entries.
+/// lazy skimming plus bulk compaction of cancelled entries. Like
+/// EventQueue, near-future events sit in a timer wheel in front of the
+/// spill heap (sim/timer_wheel.h); wheel buckets are sorted by the
+/// canonical key when they come due, so the two-tier order equals the
+/// heap-only order and any K stays bit-identical to K=1.
 class ShardQueue {
  public:
   using Callback = SmallCallback;
 
   /// `num_origins` bounds the phase-2 origin space: node ids plus any
   /// pseudo-origins (driver, failure injector) the caller packs above them.
-  explicit ShardQueue(uint32_t num_origins);
+  explicit ShardQueue(uint32_t num_origins, QueueImpl impl = QueueImpl::kWheel);
 
   ShardQueue(const ShardQueue&) = delete;
   ShardQueue& operator=(const ShardQueue&) = delete;
@@ -108,7 +112,9 @@ class ShardQueue {
   /// Current simulated time (time of the last executed event).
   SimTime now() const { return now_; }
 
-  /// Earliest pending event time, kSimTimeHorizon when empty.
+  /// Earliest pending event time across both tiers, kSimTimeHorizon when
+  /// empty. Exact (skims stale entries first), not merely a lower bound:
+  /// the engine's EPT promise and safe-time execution both read it.
   SimTime HeadTime();
 
   /// True iff the head event is a phase-1 completion; outputs its key.
@@ -120,7 +126,15 @@ class ShardQueue {
   bool empty() const { return live_ == 0; }
   size_t size() const { return live_; }
   uint64_t processed() const { return processed_; }
-  size_t heap_size() const { return heap_.size(); }
+  /// Entries held across both tiers, including not-yet-skimmed stale ones.
+  size_t heap_size() const { return heap_.size() + wheel_.entries(); }
+
+  /// Per-tier occupancy and absorb counters (same contract as EventQueue's).
+  size_t wheel_l0_size() const { return wheel_.l0_entries(); }
+  size_t wheel_l1_size() const { return wheel_.l1_entries(); }
+  size_t heap_tier_size() const { return heap_.size(); }
+  uint64_t wheel_absorbed() const { return absorbed_; }
+  uint64_t wheel_spilled() const { return spilled_; }
 
   /// Optional wall-clock profiler (same contract as EventQueue's):
   /// callback dispatch is attributed to kAgent, everything else to the
@@ -128,6 +142,8 @@ class ShardQueue {
   void set_profiler(obs::SimProfiler* profiler) { profiler_ = profiler; }
 
  private:
+  friend class TimerWheel<ShardQueue>;
+
   static constexpr int kSlotBits = 24;
   static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
   static constexpr uint32_t kNilSlot = kSlotMask;
@@ -170,14 +186,29 @@ class ShardQueue {
     return slots_[e.key & kSlotMask].key == e.key;
   }
 
+  // TimerWheel host hooks (see timer_wheel.h). Unlike EventQueue's, the
+  // in-bucket sort here is load-bearing: bucket append order is schedule
+  // order, which is NOT the canonical (time, ord, key) order.
+  using WheelEntry = HeapEntry;
+  static SimTime WheelTime(const HeapEntry& e) { return e.at; }
+  static bool WheelEarlier(const HeapEntry& a, const HeapEntry& b) {
+    return Earlier(a, b);
+  }
+  bool WheelLive(const HeapEntry& e) const { return IsLive(e); }
+  void WheelStaleDropped(size_t n) { stale_ -= n; }
+
   EventId ScheduleInternal(SimTime at, uint64_t ord, NodeId sender, uint32_t gen,
                            Callback fn);
   uint32_t AcquireSlot();
   void ReleaseSlot(uint32_t index);
   void SkimStale();
+  /// Earliest pending entry across both tiers (after skimming), or null.
+  const HeapEntry* PeekHead(bool* from_wheel);
   void MaybeCompact();
 
+  QueueImpl impl_;
   std::vector<HeapEntry> heap_;
+  TimerWheel<ShardQueue> wheel_{this};
   std::vector<Slot> slots_;
   std::vector<uint64_t> counters_;  ///< Per-origin phase-2 schedule counters.
   uint32_t free_head_ = kNilSlot;
@@ -186,6 +217,8 @@ class ShardQueue {
   uint64_t next_seq_ = 0;
   SimTime now_ = 0;
   uint64_t processed_ = 0;
+  uint64_t absorbed_ = 0;
+  uint64_t spilled_ = 0;
   obs::SimProfiler* profiler_ = nullptr;
 };
 
@@ -334,7 +367,12 @@ class ShardRadio {
   /// invisible, so same-instant acquisitions never depend on cross-shard
   /// message timing (see file comment).
   bool ChannelBusy(NodeId node) const;
-  bool Collided(NodeId receiver, NodeId sender, SimTime start, SimTime end) const;
+  /// One ring walk per evaluation collecting the window's overlapping
+  /// transmitters; Collided then checks a receiver against that (usually
+  /// empty) list. Pure predicate split -- verdicts match the per-receiver
+  /// ring scan exactly (see Radio::CollectInterferers).
+  void CollectInterferers(NodeId sender, SimTime start, SimTime end);
+  bool Collided(NodeId receiver, NodeId sender) const;
   bool WasTransmitting(NodeId node, SimTime start, SimTime end) const;
   void InsertRing(Transmission tx);
   void PruneRing();
@@ -362,6 +400,11 @@ class ShardRadio {
   std::vector<Transmission> ring_;
   size_t ring_head_ = 0;
   SimTime max_airtime_ = 0;
+  /// Scratch for CollectInterferers (reused across evaluations).
+  std::vector<NodeId> collide_scratch_;
+  /// Squared distance beyond which a transmitter cannot corrupt any
+  /// reception of a sender's frame (see Radio's collide_range2_).
+  double collide_range2_ = 0;
 
   /// Pending MAC event times (min-heap) and cancelled entries awaiting
   /// lazy annihilation (power-downs cancel scheduled carrier senses).

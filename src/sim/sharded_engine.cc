@@ -102,7 +102,7 @@ class ShardedEngine::Host : public Context {
 /// hosts it owns. Everything in here is touched only by the shard's own
 /// thread while a run is in flight.
 struct ShardedEngine::Shard {
-  explicit Shard(uint32_t num_origins) : queue(num_origins) {}
+  Shard(uint32_t num_origins, QueueImpl impl) : queue(num_origins, impl) {}
 
   int index = 0;
   ShardQueue queue;
@@ -228,7 +228,7 @@ ShardedEngine::ShardedEngine(Topology topology, ShardedEngineOptions options)
   uint32_t num_origins = static_cast<uint32_t>(n) + 2;
   shards_.reserve(static_cast<size_t>(num_shards_));
   for (int s = 0; s < num_shards_; ++s) {
-    auto shard = std::make_unique<Shard>(num_origins);
+    auto shard = std::make_unique<Shard>(num_origins, options_.queue_impl);
     Shard* sh = shard.get();
     sh->index = s;
     sh->in_mask = in_mask[s];
@@ -407,6 +407,15 @@ void ShardedEngine::EnableObservability(int shard, obs::TraceSink* trace,
     ShardQueue* q = &sh->queue;
     metrics->Gauge("queue.depth", [q] { return static_cast<uint64_t>(q->size()); });
     metrics->Gauge("queue.processed", [q] { return q->processed(); });
+    // Per-tier split of the two-tier queue (wheel L0/L1 + heap spill).
+    metrics->Gauge("queue.wheel.absorbed", [q] { return q->wheel_absorbed(); });
+    metrics->Gauge("queue.wheel.spilled", [q] { return q->wheel_spilled(); });
+    metrics->Gauge("queue.wheel.l0_depth",
+                   [q] { return static_cast<uint64_t>(q->wheel_l0_size()); });
+    metrics->Gauge("queue.wheel.l1_depth",
+                   [q] { return static_cast<uint64_t>(q->wheel_l1_size()); });
+    metrics->Gauge("queue.heap_depth",
+                   [q] { return static_cast<uint64_t>(q->heap_tier_size()); });
     if (metrics_interval > 0) {
       sh->sample_reg = metrics;
       sh->metrics_interval = metrics_interval;
@@ -419,6 +428,18 @@ void ShardedEngine::EnableObservability(int shard, obs::TraceSink* trace,
 uint64_t ShardedEngine::processed() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->queue.processed();
+  return total;
+}
+
+uint64_t ShardedEngine::wheel_absorbed() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue.wheel_absorbed();
+  return total;
+}
+
+uint64_t ShardedEngine::wheel_spilled() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue.wheel_spilled();
   return total;
 }
 

@@ -64,6 +64,9 @@ struct ShardedEngineOptions {
   /// Number of shards (threads) to split the trial across. Results are
   /// identical for every value; 1 runs inline without threads.
   int shards = 1;
+  /// Per-shard queue implementation; results are identical for both (see
+  /// NetworkOptions::queue_impl).
+  QueueImpl queue_impl = QueueImpl::kWheel;
 };
 
 /// Owns the sharded simulation state for one run. The public surface
@@ -159,6 +162,11 @@ class ShardedEngine {
   /// evaluation events once per mirroring shard, so it grows slightly
   /// with K (it is a work counter, not part of the deterministic results).
   uint64_t processed() const;
+
+  /// Timer-wheel tier split summed across shards (perf telemetry, like
+  /// processed()): schedules the wheel absorbed vs spilled to the heap.
+  uint64_t wheel_absorbed() const;
+  uint64_t wheel_spilled() const;
 
  private:
   class Host;

@@ -76,6 +76,7 @@ TEST(ScenarioParserTest, RoundTripEveryKey) {
       {"trials", "5"},
       {"seed", "123456789"},
       {"shards", "4"},
+      {"queue", "heap"},
       {"failure_fraction", "0.25"},
       {"failure_minute", "12.5"},
       {"failure_wave_count", "3"},

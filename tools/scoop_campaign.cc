@@ -38,6 +38,8 @@ using scoop::tools::MatchFlag;
                "          [--threads=N]      worker threads (0 = all hardware threads)\n"
                "          [--shards=K]       override the scenario's engine sharding\n"
                "                             (1 = sequential, >=2 = K-way parallel, 0 = auto)\n"
+               "          [--queue=wheel|heap] override the scenario's event-queue impl\n"
+               "                             (results identical; wheel is the fast default)\n"
                "          [--csv=PATH]       write per-trial + mean rows as CSV\n"
                "          [--json=PATH]      write per-combo JSON-lines\n"
                "          [--perf-json=PATH] write wall-clock/events-per-second perf report\n"
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
   std::string perf_json_path;
   int threads = 0;
   std::string shards_override;
+  std::string queue_override;
   bool quiet = false;
   int verbosity = 0;
   // (key, value) pairs applied to the scenario's base config after parsing,
@@ -118,6 +121,8 @@ int main(int argc, char** argv) {
       threads = static_cast<int>(parsed);
     } else if (MatchFlag(arg, "--shards", &value) && value != nullptr) {
       shards_override = value;
+    } else if (MatchFlag(arg, "--queue", &value) && value != nullptr) {
+      queue_override = value;
     } else if (MatchFlag(arg, "--csv", &value) && value != nullptr) {
       csv_path = value;
     } else if (MatchFlag(arg, "--json", &value) && value != nullptr) {
@@ -162,6 +167,13 @@ int main(int argc, char** argv) {
     Status s = scenario::ApplyScenarioKey(&scn.base, "shards", shards_override);
     if (!s.ok()) {
       std::fprintf(stderr, "bad --shards value: %s\n", s.message().c_str());
+      Usage(argv[0]);
+    }
+  }
+  if (!queue_override.empty()) {
+    Status s = scenario::ApplyScenarioKey(&scn.base, "queue", queue_override);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bad --queue value: %s\n", s.message().c_str());
       Usage(argv[0]);
     }
   }

@@ -43,6 +43,8 @@ using namespace scoop;
                "          [--topology=testbed|random|grid] [--trials=K] [--seed=S]\n"
                "          [--shards=K]  1 = sequential engine, >=2 = K-way sharded\n"
                "                        parallel engine, 0 = one shard per core\n"
+               "          [--queue=wheel|heap]  event queue impl (default wheel;\n"
+               "                        results are identical, wheel is faster)\n"
                "          [--batch=N] [--no-shortcut] [--no-descendants]\n"
                "          [--owner-set=K] [--range-granularity=G]\n"
                "          [--failure-fraction=F] [--failure-minute=M]\n"
@@ -85,6 +87,8 @@ int main(int argc, char** argv) {
       ApplyKeyOrUsage(&config, "nodes", value, argv[0]);
     } else if (MatchFlag(arg, "--shards", &value) && value != nullptr) {
       ApplyKeyOrUsage(&config, "shards", value, argv[0]);
+    } else if (MatchFlag(arg, "--queue", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "queue", value, argv[0]);
     } else if (MatchFlag(arg, "--minutes", &value) && value != nullptr) {
       ApplyKeyOrUsage(&config, "duration_minutes", value, argv[0]);
     } else if (MatchFlag(arg, "--stabilization-minutes", &value) && value != nullptr) {
