@@ -683,6 +683,7 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
   opts.seed = seed;
   opts.shards = shards;
   opts.queue_impl = config.queue;
+  opts.partition = config.partition;
   sim::ShardedEngine engine(MakeTopology(config, seed), opts);
   const int k = engine.num_shards();
 
@@ -855,6 +856,12 @@ ExperimentResult RunShardedTrial(const ExperimentConfig& config, uint64_t seed, 
   r.query_timeline = std::move(timeline);
   r.queue_wheel_absorbed = static_cast<double>(engine.wheel_absorbed());
   r.queue_wheel_spilled = static_cast<double>(engine.wheel_spilled());
+  r.resolved_shards = static_cast<double>(k);
+  r.shard_stall_us = static_cast<double>(engine.stall_us());
+  r.shard_stall_episodes = static_cast<double>(engine.stall_episodes());
+  r.shard_mirrored_frames = static_cast<double>(engine.mirrored_frames());
+  r.partition_cut_edges = static_cast<double>(engine.cut_edges());
+  r.partition_imbalance = engine.partition_imbalance();
   for (auto& p : profilers) AddProfile(&r, p.get());
   return r;
 }
@@ -880,6 +887,7 @@ ExperimentResult RunAnyTrial(const ExperimentConfig& config, uint64_t seed) {
 ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
   SCOOP_CHECK_GE(trials.size(), 1u);
   ExperimentResult sum;
+  sum.resolved_shards = 0;  // Defaults to 1 (the sequential engine).
   for (const ExperimentResult& r : trials) {
     for (int t = 0; t < kNumPacketTypes; ++t) {
       sum.sent_by_type[static_cast<size_t>(t)] += r.sent_by_type[static_cast<size_t>(t)];
@@ -921,6 +929,12 @@ ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
     sum.profile_agent_seconds += r.profile_agent_seconds;
     sum.profile_shard_sync_seconds += r.profile_shard_sync_seconds;
     sum.profile_other_seconds += r.profile_other_seconds;
+    sum.resolved_shards += r.resolved_shards;
+    sum.shard_stall_us += r.shard_stall_us;
+    sum.shard_stall_episodes += r.shard_stall_episodes;
+    sum.shard_mirrored_frames += r.shard_mirrored_frames;
+    sum.partition_cut_edges += r.partition_cut_edges;
+    sum.partition_imbalance += r.partition_imbalance;
   }
   double k = static_cast<double>(trials.size());
   for (int t = 0; t < kNumPacketTypes; ++t) sum.sent_by_type[static_cast<size_t>(t)] /= k;
@@ -961,6 +975,12 @@ ExperimentResult AggregateTrials(const std::vector<ExperimentResult>& trials) {
   sum.profile_agent_seconds /= k;
   sum.profile_shard_sync_seconds /= k;
   sum.profile_other_seconds /= k;
+  sum.resolved_shards /= k;
+  sum.shard_stall_us /= k;
+  sum.shard_stall_episodes /= k;
+  sum.shard_mirrored_frames /= k;
+  sum.partition_cut_edges /= k;
+  sum.partition_imbalance /= k;
   return sum;
 }
 

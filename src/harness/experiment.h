@@ -18,6 +18,7 @@
 #include "metrics/telemetry.h"
 #include "net/wire.h"
 #include "sim/event_queue.h"
+#include "sim/partition.h"
 #include "workload/data_source.h"
 
 namespace scoop::harness {
@@ -102,6 +103,12 @@ struct ExperimentConfig {
   /// CSV, and golden -- is identical; the knob exists for differential
   /// testing and benchmarking.
   sim::QueueImpl queue = sim::QueueImpl::kWheel;
+
+  /// How sharded trials split the topology (sim/partition.h): contiguous
+  /// coordinate strips or min-cut regions on the audible graph. Results
+  /// are identical for both kinds (and ignored by the sequential engine);
+  /// only boundary traffic and wall-clock speed change.
+  sim::PartitionKind partition = sim::PartitionKind::kStrip;
 
   /// Failure injection: this fraction of non-base nodes loses its radio at
   /// `failure_time` (0 = no failures). Models the §2.1 observation that
@@ -239,6 +246,19 @@ struct ExperimentResult {
   double profile_agent_seconds = 0;
   double profile_shard_sync_seconds = 0;
   double profile_other_seconds = 0;
+
+  // Sharded-engine telemetry (perf-only, like wall_seconds; all zero for
+  // sequential trials). `resolved_shards` is the K the trial actually ran
+  // at (1 for the sequential engine) -- recorded so `--shards=0` (auto)
+  // perf probes are unambiguous across machines. stall_* are wall-clock
+  // derived and nondeterministic; mirrored_frames / partition_* are
+  // deterministic for a fixed (config, K, partition).
+  double resolved_shards = 1;
+  double shard_stall_us = 0;
+  double shard_stall_episodes = 0;
+  double shard_mirrored_frames = 0;
+  double partition_cut_edges = 0;
+  double partition_imbalance = 0;
 };
 
 /// Runs `config.trials` trials (seeds derived from config.seed) and averages.

@@ -8,6 +8,7 @@
 #include "harness/report.h"
 #include "net/wire.h"
 #include "scenario/scenario_parser.h"
+#include "sim/partition.h"
 
 namespace scoop::scenario {
 
@@ -240,14 +241,34 @@ std::string CampaignPerfJson(const CampaignResult& result) {
   double total_wall = 0;
   double total_absorbed = 0;
   double total_spilled = 0;
+  double total_stall_us = 0;
+  double total_stall_episodes = 0;
+  double total_mirrored = 0;
   double bucket_totals[std::size(kBuckets)] = {};
   bool profiled = false;
+  // The resolved shard count / partitioner, when they agree across every row
+  // (the common case: one campaign = one sharding configuration). Mixed
+  // campaigns keep the per-row values only.
+  bool shards_uniform = !result.rows.empty();
+  bool partition_uniform = !result.rows.empty();
+  int uniform_shards = 0;
+  sim::PartitionKind uniform_partition = sim::PartitionKind::kStrip;
   for (const CampaignRow& row : result.rows) {
+    const int row_shards = static_cast<int>(row.mean.resolved_shards);
+    if (uniform_shards == 0) {
+      uniform_shards = row_shards;
+      uniform_partition = row.config.partition;
+    }
+    if (row_shards != uniform_shards) shards_uniform = false;
+    if (row.config.partition != uniform_partition) partition_uniform = false;
     for (const harness::ExperimentResult& trial : row.trials) {
       total_events += trial.sim_events;
       total_wall += trial.wall_seconds;
       total_absorbed += trial.queue_wheel_absorbed;
       total_spilled += trial.queue_wheel_spilled;
+      total_stall_us += trial.shard_stall_us;
+      total_stall_episodes += trial.shard_stall_episodes;
+      total_mirrored += trial.shard_mirrored_frames;
       for (size_t b = 0; b < std::size(kBuckets); ++b) {
         double v = kBuckets[b].get(trial);
         bucket_totals[b] += v;
@@ -269,6 +290,17 @@ std::string CampaignPerfJson(const CampaignResult& result) {
   out += ",\"wheel_spilled\":" + FormatJsonMetric(total_spilled);
   out += ",\"wheel_absorb_rate\":" +
          FormatJsonMetric(total_scheduled > 0 ? total_absorbed / total_scheduled : 0.0);
+  out += "}";
+  // Sharded-engine sync costs, summed across trials. stall_us/stall_episodes
+  // are wall-clock (nondeterministic); mirrored_frames is deterministic for a
+  // fixed (config, shards, partition). All zero for sequential campaigns.
+  if (shards_uniform) out += ",\"shards\":" + std::to_string(uniform_shards);
+  if (partition_uniform) {
+    out += ",\"partition\":" + JsonString(sim::PartitionKindName(uniform_partition));
+  }
+  out += ",\"shard\":{\"stall_us\":" + FormatJsonMetric(total_stall_us);
+  out += ",\"stall_episodes\":" + FormatJsonMetric(total_stall_episodes);
+  out += ",\"mirrored_frames\":" + FormatJsonMetric(total_mirrored);
   out += "}";
   if (profiled) {
     out += ",\"profile\":{";
@@ -302,6 +334,17 @@ std::string CampaignPerfJson(const CampaignResult& result) {
     out += ",\"wheel_absorb_rate\":" +
            FormatJsonMetric(row_sched > 0 ? row.mean.queue_wheel_absorbed / row_sched
                                           : 0.0);
+    out += "}";
+    out += ",\"shards\":" +
+           std::to_string(static_cast<int>(row.mean.resolved_shards));
+    out += ",\"partition\":" +
+           JsonString(sim::PartitionKindName(row.config.partition));
+    out += ",\"shard\":{\"stall_us\":" + FormatJsonMetric(row.mean.shard_stall_us);
+    out += ",\"stall_episodes\":" + FormatJsonMetric(row.mean.shard_stall_episodes);
+    out += ",\"mirrored_frames\":" +
+           FormatJsonMetric(row.mean.shard_mirrored_frames);
+    out += ",\"cut_edges\":" + FormatJsonMetric(row.mean.partition_cut_edges);
+    out += ",\"imbalance\":" + FormatJsonMetric(row.mean.partition_imbalance);
     out += "}";
     if (profiled) {
       out += ",\"profile\":{";

@@ -134,6 +134,15 @@ Status SetQueue(ExperimentConfig* c, std::string_view v) {
   return Status::OK();
 }
 
+Status SetPartition(ExperimentConfig* c, std::string_view v) {
+  std::string_view s = TrimView(v);
+  if (s == "strip") c->partition = sim::PartitionKind::kStrip;
+  else if (s == "mincut") c->partition = sim::PartitionKind::kMincut;
+  else return Status::InvalidArgument("unknown partition " + Quoted(v) +
+                                      " (expected strip|mincut)");
+  return Status::OK();
+}
+
 Status SetSource(ExperimentConfig* c, std::string_view v) {
   std::string_view s = TrimView(v);
   if (s == "real") c->source = DataSourceKind::kReal;
@@ -377,6 +386,10 @@ const KeyInfo kKeys[] = {
      [](const ExperimentConfig& c) { return std::to_string(c.shards); }},
     {"queue", SetQueue,
      [](const ExperimentConfig& c) { return std::string(sim::QueueImplName(c.queue)); }},
+    {"partition", SetPartition,
+     [](const ExperimentConfig& c) {
+       return std::string(sim::PartitionKindName(c.partition));
+     }},
     {"failure_fraction",
      [](ExperimentConfig* c, std::string_view v) {
        return StoreDouble(v, &c->node_failure_fraction, 0.0, 1.0, "failure_fraction");

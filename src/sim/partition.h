@@ -1,0 +1,61 @@
+// Topology partitioners for the sharded conservative-PDES engine
+// (sim/sharded_engine.h): split the node set into K balanced parts so
+// that as few audible links as possible cross shard boundaries.
+//
+// Correctness never depends on the cut -- announce routes come from the
+// CSR audible lists, so ANY owner assignment produces bit-identical
+// simulation results. The cut only decides how much boundary traffic
+// (mirrored frames, null-message promises) the run pays, i.e. how fast a
+// fixed K runs. Two kinds are offered:
+//
+//   kStrip   contiguous coordinate strips along the longer bounding-box
+//            axis (the original partitioner; equal node counts, cheap,
+//            and a good match for elongated deployments),
+//   kMincut  greedy seeded region growth over the audible-neighbor graph
+//            followed by Kernighan-Lin-style boundary refinement: moves a
+//            boundary node to an adjacent part when that strictly reduces
+//            the number of cut edges, under a balance cap and without
+//            disconnecting the part it leaves.
+//
+// Both are deterministic functions of (topology, K) alone -- no RNG --
+// so a partition kind is a valid campaign/scenario knob: rerunning a
+// config always reproduces the same owner vector.
+#ifndef SCOOP_SIM_PARTITION_H_
+#define SCOOP_SIM_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace scoop::sim {
+
+enum class PartitionKind : uint8_t {
+  kStrip,
+  kMincut,
+};
+
+/// Short lowercase name, matching the scenario-key / --partition values.
+const char* PartitionKindName(PartitionKind kind);
+
+/// Maps every node to a part in [0, shards). `shards <= 1` puts everything
+/// in part 0; `shards >= num_nodes` degenerates to the strip assignment
+/// (some parts may own zero or one node -- the engine handles empty
+/// shards). kMincut guarantees every part non-empty and, on a connected
+/// audible graph, internally connected, with
+///   max part size <= ceil(n / K) + max(1, n / (8 K))
+/// (the bound PartitionImbalance is tested against).
+std::vector<int> PartitionNodes(const Topology& topology, int shards,
+                                PartitionKind kind);
+
+/// Number of directed audible links whose endpoints live in different
+/// parts -- exactly the links that force cross-shard announce mirroring.
+uint64_t CutEdges(const Topology& topology, const std::vector<int>& owner);
+
+/// max part size * K / n: 1.0 = perfectly balanced, 2.0 = the largest
+/// part is twice its fair share. Returns 1.0 for empty inputs.
+double PartitionImbalance(const std::vector<int>& owner, int shards);
+
+}  // namespace scoop::sim
+
+#endif  // SCOOP_SIM_PARTITION_H_

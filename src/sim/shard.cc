@@ -1,6 +1,7 @@
 #include "sim/shard.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
@@ -254,10 +255,18 @@ void ShardRadio::SetNodeAlive(NodeId id, bool alive) {
   mac.queue.clear();
   if (mac.cca_scheduled) {
     // The armed carrier sense dies with the node; record its time so
-    // MacFloor can annihilate the now-dangling heap entry.
+    // MacFloorFor can annihilate the now-dangling entries (one per target
+    // shard the sense was fanned to).
     queue_->Cancel(mac.cca_event);
     mac.cca_scheduled = false;
-    mac_cancelled_.push(mac.cca_at);
+    if (announce_mask_ != nullptr) {
+      uint64_t mask = (*announce_mask_)[id];
+      while (mask != 0) {
+        int t = std::countr_zero(mask);
+        mask &= mask - 1;
+        mac_cancelled_[t].push(mac.cca_at);
+      }
+    }
   }
   if (mac.transmitting) {
     // Abort the in-flight frame. Remote shards mirroring it must learn the
@@ -361,7 +370,17 @@ void ShardRadio::ScheduleCca(NodeId src, SimTime delay) {
     mac_[src].cca_scheduled = false;
     CcaFire(src);
   });
-  mac_times_.push(at);
+  // Fan the armed sense time to exactly the shards that would have to
+  // mirror the resulting transmission. Interior nodes (empty mask) push
+  // nothing: their channel activity never caps a cross-shard promise.
+  if (announce_mask_ != nullptr) {
+    uint64_t mask = (*announce_mask_)[src];
+    while (mask != 0) {
+      int t = std::countr_zero(mask);
+      mask &= mask - 1;
+      mac_times_[t].push(at);
+    }
+  }
 }
 
 void ShardRadio::TryStart(NodeId src) {
@@ -449,7 +468,11 @@ void ShardRadio::StartTx(NodeId src) {
   queue_->ScheduleEval(end, src, gen,
                        [this, src, gen, start, end] { EvalLocal(src, gen, start, end); });
   queue_->ScheduleFinish(end, src, gen, [this, src, gen] { FinishCont(src, gen); });
-  mac_times_.push(end);
+  // No floor entry for the completion: while the finish event is pending
+  // the queue head stays <= end, so the engine's head floor already bounds
+  // every message this transmission can lead to (the next acquisition
+  // starts >= end + backoff_min; the ACK verdict at `end` needs no
+  // coverage -- the remote completion stalls on the message itself).
 }
 
 void ShardRadio::EvalLocal(NodeId src, uint32_t gen, SimTime start, SimTime end) {
@@ -589,6 +612,7 @@ void ShardRadio::FinishCont(NodeId src, uint32_t gen) {
 void ShardRadio::HandleAnnounce(NodeId src, uint32_t gen, SimTime start, SimTime end,
                                 Packet pkt) {
   SCOOP_DCHECK(!Owned(src));
+  ++mirrored_frames_;
   if (ctr_announce_rx_ != nullptr) ++*ctr_announce_rx_;
   // The mirrored boundary frame, on the receiving shard's timeline.
   if (trace_ != nullptr) {
@@ -625,24 +649,33 @@ void ShardRadio::HandleAckResult(NodeId src, uint32_t gen, bool received) {
   acks_[TxKey(src, gen)] = received;
 }
 
-SimTime ShardRadio::MacFloor(SimTime clock, bool head_past_clock) {
+void ShardRadio::SetAnnounceTargets(const std::vector<uint64_t>* announce_mask,
+                                    int num_shards) {
+  SCOOP_CHECK(announce_mask != nullptr);
+  announce_mask_ = announce_mask;
+  mac_times_.resize(static_cast<size_t>(num_shards));
+  mac_cancelled_.resize(static_cast<size_t>(num_shards));
+}
+
+SimTime ShardRadio::MacFloorFor(int target, SimTime clock, bool head_past_clock) {
+  MacHeap& times = mac_times_[target];
+  MacHeap& cancelled = mac_cancelled_[target];
   for (;;) {
     // Annihilate cancelled entries as they surface (multiset semantics:
     // one cancellation removes one instance of its time).
-    if (!mac_times_.empty() && !mac_cancelled_.empty() &&
-        mac_times_.top() == mac_cancelled_.top()) {
-      mac_times_.pop();
-      mac_cancelled_.pop();
+    if (!times.empty() && !cancelled.empty() && times.top() == cancelled.top()) {
+      times.pop();
+      cancelled.pop();
       continue;
     }
-    if (!mac_times_.empty() &&
-        (mac_times_.top() < clock || (head_past_clock && mac_times_.top() <= clock))) {
-      mac_times_.pop();
+    if (!times.empty() &&
+        (times.top() < clock || (head_past_clock && times.top() <= clock))) {
+      times.pop();
       continue;
     }
     break;
   }
-  return mac_times_.empty() ? kSimTimeHorizon : mac_times_.top();
+  return times.empty() ? kSimTimeHorizon : times.top();
 }
 
 }  // namespace scoop::sim

@@ -270,12 +270,29 @@ class ShardRadio {
   /// keeps publishing its promise) instead of executing it.
   bool AckBlocked(NodeId src, uint32_t gen) const;
 
-  /// Earliest pending MAC event time (scheduled carrier sense or transmit
-  /// completion) -- a floor on when this shard can next put RF energy on
-  /// the air. Lazily discards entries that already executed: strictly
-  /// before `clock` always, and at == `clock` when `head_past_clock` says
-  /// every event at the current instant has run. kSimTimeHorizon if none.
-  SimTime MacFloor(SimTime clock, bool head_past_clock);
+  /// Wires the per-boundary lookahead: `announce_mask` maps every node to
+  /// the set of OTHER shards mirroring its transmissions (the engine's
+  /// announce routes), `num_shards` sizes the per-target floor slots.
+  /// Must be called once before any Send; the mask must outlive the radio.
+  void SetAnnounceTargets(const std::vector<uint64_t>* announce_mask, int num_shards);
+
+  /// Earliest armed carrier-sense time among nodes whose announces reach
+  /// shard `target` -- a floor on when this shard can next put a frame on
+  /// the air that `target` has to mirror. Per-boundary by construction:
+  /// CCAs of interior nodes (and of boundary nodes facing other shards)
+  /// never throttle `target`. Not-yet-armed acquisitions are the engine's
+  /// global head-floor business: any future event at time t arms its CCA
+  /// at >= t + backoff_min. Lazily discards entries that already fired:
+  /// strictly before `clock` always, and at == `clock` when
+  /// `head_past_clock` says every event at the current instant has run.
+  /// kSimTimeHorizon if none.
+  SimTime MacFloorFor(int target, SimTime clock, bool head_past_clock);
+
+  /// Boundary transmissions mirrored INTO this shard (announce handled),
+  /// over the whole run. Always-on perf telemetry, like
+  /// ShardQueue::processed(); the cut quality metric the min-cut
+  /// partitioner is judged by.
+  uint64_t mirrored_frames() const { return mirrored_frames_; }
 
   void set_transmit_hook(TransmitHook hook) { transmit_hook_ = std::move(hook); }
   void set_deliver_hook(DeliverHook hook) { deliver_hook_ = std::move(hook); }
@@ -406,11 +423,17 @@ class ShardRadio {
   /// reception of a sender's frame (see Radio's collide_range2_).
   double collide_range2_ = 0;
 
-  /// Pending MAC event times (min-heap) and cancelled entries awaiting
-  /// lazy annihilation (power-downs cancel scheduled carrier senses).
-  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<SimTime>> mac_times_;
-  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<SimTime>>
-      mac_cancelled_;
+  /// Per-target-shard armed carrier-sense times (min-heaps, indexed by
+  /// target shard) and cancelled entries awaiting lazy annihilation
+  /// (power-downs cancel scheduled carrier senses). A CCA for node u is
+  /// fanned to exactly the shards in (*announce_mask_)[u]: interior nodes
+  /// push nothing, so their pending acquisitions never cap any promise.
+  using MacHeap =
+      std::priority_queue<SimTime, std::vector<SimTime>, std::greater<SimTime>>;
+  std::vector<MacHeap> mac_times_;
+  std::vector<MacHeap> mac_cancelled_;
+  const std::vector<uint64_t>* announce_mask_ = nullptr;
+  uint64_t mirrored_frames_ = 0;
 
   /// Mirrored remote transmissions keyed (src << 32 | gen), consumed by
   /// their evaluation event; aborts and ACK verdicts keyed the same way.

@@ -115,7 +115,13 @@ struct ShardedEngine::Shard {
   std::vector<SimTime> alive_times;
   size_t alive_cursor = 0;
   uint64_t in_mask = 0;     ///< Shards whose EPT bounds our safe time.
+  uint64_t out_mask = 0;    ///< Shards our promises must cover.
   uint64_t drain_mask = 0;  ///< Shards that may push into our mailboxes.
+  /// Always-on perf telemetry (like ShardQueue::processed()): wall time
+  /// spent spinning with no executable event, and how many distinct
+  /// no-progress episodes occurred. Wall-clock-derived, NOT deterministic.
+  uint64_t stall_us_total = 0;
+  uint64_t stall_episodes = 0;
   Radio::TransmitHook transmit_observer;
   Radio::DeliverHook deliver_observer;
   Radio::DropHook drop_observer;
@@ -127,11 +133,14 @@ struct ShardedEngine::Shard {
   obs::MetricsRegistry* sample_reg = nullptr;  ///< Non-null iff sampling on.
   obs::Histogram* depth_hist = nullptr;
   uint64_t* ctr_stall_us = nullptr;
+  uint64_t* ctr_stall_episodes = nullptr;
+  /// Per-out-neighbor "shard.ept_slack_us.to<k>" counters (accumulated
+  /// extra headroom the per-boundary promise gives that neighbor over the
+  /// most conservative one); null slots = off.
+  std::vector<uint64_t*> ctr_ept_slack;
+  bool slack_obs = false;  ///< Any ctr_ept_slack slot non-null.
   SimTime metrics_interval = 0;
   SimTime next_sample = 0;
-  /// True iff EPT-stall episodes should be wall-clocked (trace or counter
-  /// attached); keeps the obs-off spin loop free of clock syscalls.
-  bool stall_obs = false;
 
   SimTime AliveFloor() const {
     return alive_cursor < alive_times.size() ? alive_times[alive_cursor]
@@ -158,42 +167,15 @@ EventId ShardedEngine::Host::Schedule(SimTime delay, SmallCallback fn) {
 
 void ShardedEngine::Host::Cancel(EventId id) { shard_->queue.Cancel(id); }
 
-std::vector<int> ShardedEngine::Partition(const Topology& topology, int shards) {
-  int n = topology.num_nodes();
-  std::vector<int> owner(static_cast<size_t>(n), 0);
-  if (shards <= 1 || n == 0) return owner;
-  // Contiguous strips along the longer bounding-box axis: equal node
-  // counts, spatially compact, so only strip-boundary links cross shards.
-  const std::vector<Point>& pos = topology.positions();
-  double min_x = pos[0].x, max_x = pos[0].x, min_y = pos[0].y, max_y = pos[0].y;
-  for (const Point& p : pos) {
-    min_x = std::min(min_x, p.x);
-    max_x = std::max(max_x, p.x);
-    min_y = std::min(min_y, p.y);
-    max_y = std::max(max_y, p.y);
-  }
-  bool by_x = (max_x - min_x) >= (max_y - min_y);
-  std::vector<NodeId> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), NodeId{0});
-  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    double ca = by_x ? pos[a].x : pos[a].y;
-    double cb = by_x ? pos[b].x : pos[b].y;
-    if (ca != cb) return ca < cb;
-    return a < b;
-  });
-  for (int j = 0; j < n; ++j) {
-    owner[order[j]] = static_cast<int>(static_cast<int64_t>(j) * shards / n);
-  }
-  return owner;
-}
-
 ShardedEngine::ShardedEngine(Topology topology, ShardedEngineOptions options)
     : topology_(std::move(topology)), options_(options) {
   SCOOP_CHECK_GE(options_.shards, 1);
   SCOOP_CHECK_LE(options_.shards, 64);  // Shard sets travel as uint64_t masks.
   num_shards_ = options_.shards;
   int n = topology_.num_nodes();
-  owner_ = Partition(topology_, num_shards_);
+  owner_ = PartitionNodes(topology_, num_shards_, options_.partition);
+  cut_edges_ = CutEdges(topology_, owner_);
+  imbalance_ = PartitionImbalance(owner_, num_shards_);
 
   // Announce routes from the CSR audible lists: every shard owning a node
   // that can hear (or be interfered by) `u` mirrors u's transmissions.
@@ -220,8 +202,9 @@ ShardedEngine::ShardedEngine(Topology topology, ShardedEngineOptions options)
 
   mail_ = std::make_unique<Mailbox[]>(static_cast<size_t>(num_shards_) *
                                       static_cast<size_t>(num_shards_));
-  ept_ = std::make_unique<std::atomic<SimTime>[]>(static_cast<size_t>(num_shards_));
-  for (int s = 0; s < num_shards_; ++s) ept_[s].store(0, std::memory_order_relaxed);
+  size_t cells = static_cast<size_t>(num_shards_) * static_cast<size_t>(num_shards_);
+  ept_ = std::make_unique<std::atomic<SimTime>[]>(cells);
+  for (size_t c = 0; c < cells; ++c) ept_[c].store(0, std::memory_order_relaxed);
 
   // Two pseudo-origins above the node id space order same-time driver and
   // failure-injection events deterministically after node events.
@@ -232,10 +215,12 @@ ShardedEngine::ShardedEngine(Topology topology, ShardedEngineOptions options)
     Shard* sh = shard.get();
     sh->index = s;
     sh->in_mask = in_mask[s];
+    sh->out_mask = out_mask[s];
     // ACK verdicts flow opposite to announces, so drain both directions.
     sh->drain_mask = in_mask[s] | out_mask[s];
     sh->radio = std::make_unique<ShardRadio>(&topology_, options_.radio, &sh->queue,
                                              options_.seed, &owner_, s);
+    sh->radio->SetAnnounceTargets(&announce_mask_, num_shards_);
     sh->hosts.resize(static_cast<size_t>(n));
     for (NodeId id = 0; id < n; ++id) {
       if (owner_[id] == s) {
@@ -403,6 +388,31 @@ void ShardedEngine::EnableObservability(int shard, obs::TraceSink* trace,
   sh->radio->EnableObservability(trace, metrics, profiler);
   if (metrics != nullptr) {
     sh->ctr_stall_us = metrics->Counter("shard.stall_us");
+    sh->ctr_stall_episodes = metrics->Counter("shard.stall_episodes");
+    ShardRadio* radio = sh->radio.get();
+    metrics->Gauge("shard.mirrored_frames",
+                   [radio] { return radio->mirrored_frames(); });
+    if (shard == 0) {
+      // Partition quality is engine-global; register it on shard 0 only so
+      // the merged JSONL carries one copy per sample instant. The
+      // imbalance gauge is in per-mille (gauges are integral).
+      metrics->Gauge("partition.cut_edges", [this] { return cut_edges_; });
+      metrics->Gauge("partition.imbalance", [this] {
+        return static_cast<uint64_t>(imbalance_ * 1000.0);
+      });
+    }
+    // One slack counter per out-neighbor: how much extra promise headroom
+    // the per-boundary floors gave that neighbor over the most
+    // conservative (global-minimum) promise, accumulated per publish.
+    sh->ctr_ept_slack.assign(static_cast<size_t>(num_shards_), nullptr);
+    uint64_t m = sh->out_mask;
+    while (m != 0) {
+      int t = std::countr_zero(m);
+      m &= m - 1;
+      sh->ctr_ept_slack[t] =
+          metrics->Counter("shard.ept_slack_us.to" + std::to_string(t));
+      sh->slack_obs = true;
+    }
     sh->depth_hist = metrics->Hist("queue.occupancy");
     ShardQueue* q = &sh->queue;
     metrics->Gauge("queue.depth", [q] { return static_cast<uint64_t>(q->size()); });
@@ -422,7 +432,6 @@ void ShardedEngine::EnableObservability(int shard, obs::TraceSink* trace,
       sh->next_sample = metrics_interval;
     }
   }
-  sh->stall_obs = (trace != nullptr || sh->ctr_stall_us != nullptr);
 }
 
 uint64_t ShardedEngine::processed() const {
@@ -443,6 +452,24 @@ uint64_t ShardedEngine::wheel_spilled() const {
   return total;
 }
 
+uint64_t ShardedEngine::stall_us() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->stall_us_total;
+  return total;
+}
+
+uint64_t ShardedEngine::stall_episodes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->stall_episodes;
+  return total;
+}
+
+uint64_t ShardedEngine::mirrored_frames() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->radio->mirrored_frames();
+  return total;
+}
+
 void ShardedEngine::Push(int from, int to, ShardMsg msg) {
   Mailbox& box = mail_[static_cast<size_t>(to) * num_shards_ + from];
   std::lock_guard<std::mutex> lock(box.mu);
@@ -453,9 +480,11 @@ SimTime ShardedEngine::SafeTime(const Shard& shard) const {
   SimTime safe = kSimTimeHorizon;
   uint64_t mask = shard.in_mask;
   while (mask != 0) {
-    int t = std::countr_zero(mask);
+    int f = std::countr_zero(mask);
     mask &= mask - 1;
-    safe = std::min(safe, ept_[t].load(std::memory_order_acquire));
+    // `f`'s promise TO US specifically -- not its global minimum.
+    safe = std::min(safe, ept_[static_cast<size_t>(f) * num_shards_ + shard.index]
+                              .load(std::memory_order_acquire));
   }
   return safe;
 }
@@ -520,24 +549,55 @@ bool ShardedEngine::ExecuteUpTo(Shard* shard, SimTime limit) {
 }
 
 void ShardedEngine::PublishEpt(Shard* shard, SimTime safe) {
+  if (shard->out_mask == 0) return;  // Nobody reads our promises.
   SimTime clock = shard->queue.now();
   SimTime head = shard->queue.HeadTime();
-  SimTime mac = shard->radio->MacFloor(clock, /*head_past_clock=*/head > clock);
+  const bool head_past_clock = head > clock;
   SimTime alive = shard->AliveFloor();
   // Any transmission this shard has not yet committed to must still clear
   // a scheduled carrier sense: at least backoff_min past the earliest
   // thing that could trigger one (queue head, or an inbound message at
-  // our current safe time).
+  // our current safe time). This shard-global floor also covers every
+  // post-completion acquisition: a frame finishing at `end` holds head <=
+  // end until its completion runs, and its successor starts >= end +
+  // backoff_min, so in-flight transmit ends need no floor entry at all.
   SimTime base = std::min(head, safe);
   SimTime lookahead = base >= kSimTimeHorizon - options_.radio.backoff_min
                           ? kSimTimeHorizon
                           : base + options_.radio.backoff_min;
-  SimTime ept = std::min(std::min(mac, alive), lookahead);
-  std::atomic<SimTime>& cell = ept_[shard->index];
-  // Monotone publish: a promise never retreats. Only this shard's thread
-  // writes the cell, so load-then-store is race-free.
-  if (ept > cell.load(std::memory_order_relaxed)) {
-    cell.store(ept, std::memory_order_release);
+  const SimTime shared = std::min(alive, lookahead);
+  // Per-boundary promises: each out-neighbor is capped only by the armed
+  // carrier senses of nodes whose announces actually reach it.
+  SimTime epts[64];
+  SimTime min_ept = kSimTimeHorizon;
+  uint64_t mask = shard->out_mask;
+  while (mask != 0) {
+    int t = std::countr_zero(mask);
+    mask &= mask - 1;
+    SimTime mac = shard->radio->MacFloorFor(t, clock, head_past_clock);
+    SimTime ept = std::min(shared, mac);
+    std::atomic<SimTime>& cell =
+        ept_[static_cast<size_t>(shard->index) * num_shards_ + t];
+    // Monotone publish: a promise never retreats. Only this shard's thread
+    // writes the cell, so load-then-store is race-free.
+    if (ept > cell.load(std::memory_order_relaxed)) {
+      cell.store(ept, std::memory_order_release);
+    }
+    epts[t] = ept;
+    if (ept < min_ept) min_ept = ept;
+  }
+  if (shard->slack_obs) {
+    // Accumulated per-neighbor headroom over the most conservative
+    // promise (what a single global floor would have published); clamped
+    // per publish so an idle tail cannot swamp the series.
+    uint64_t m = shard->out_mask;
+    while (m != 0) {
+      int t = std::countr_zero(m);
+      m &= m - 1;
+      if (shard->ctr_ept_slack[t] == nullptr) continue;
+      SimTime slack = std::min(epts[t] - min_ept, kSecond);
+      *shard->ctr_ept_slack[t] += static_cast<uint64_t>(slack);
+    }
   }
 }
 
@@ -563,7 +623,10 @@ void ShardedEngine::RunShard(Shard* shard, SimTime end) {
     if (stall_ns > 0 && progress) {
       uint64_t us = static_cast<uint64_t>(stall_ns / 1000);
       stall_ns = 0;
+      shard->stall_us_total += us;
+      ++shard->stall_episodes;
       if (shard->ctr_stall_us != nullptr) *shard->ctr_stall_us += us;
+      if (shard->ctr_stall_episodes != nullptr) ++*shard->ctr_stall_episodes;
       if (shard->trace != nullptr) {
         shard->trace->Instant(shard->queue.now(), "ept.stall",
                               obs::TraceCat::kShardSync, obs::kEngineTid,
@@ -575,19 +638,22 @@ void ShardedEngine::RunShard(Shard* shard, SimTime end) {
     // iterations so neighbor promises (and then everyone's exit) converge.
     if (safe > end && head > end) break;
     if (!progress) {
-      if (shard->stall_obs) {
-        auto mark = std::chrono::steady_clock::now();
-        std::this_thread::yield();
-        stall_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - mark)
-                        .count();
-      } else {
-        std::this_thread::yield();
-      }
+      // Always wall-clocked (the spin is wasted time anyway); the totals
+      // feed the engine's stall_us()/stall_episodes() perf telemetry even
+      // with observability off.
+      auto mark = std::chrono::steady_clock::now();
+      std::this_thread::yield();
+      stall_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - mark)
+                      .count();
     }
   }
-  if (stall_ns > 0 && shard->ctr_stall_us != nullptr) {
-    *shard->ctr_stall_us += static_cast<uint64_t>(stall_ns / 1000);
+  if (stall_ns > 0) {
+    uint64_t us = static_cast<uint64_t>(stall_ns / 1000);
+    shard->stall_us_total += us;
+    ++shard->stall_episodes;
+    if (shard->ctr_stall_us != nullptr) *shard->ctr_stall_us += us;
+    if (shard->ctr_stall_episodes != nullptr) ++*shard->ctr_stall_episodes;
   }
   if (shard->sample_reg != nullptr) {
     // Flush grid points the event stream never stepped past: everything at

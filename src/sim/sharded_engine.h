@@ -3,31 +3,43 @@
 // queue (sim/shard.h) on its own thread.
 //
 // Synchronization is null-message/LBTS style. Every shard continuously
-// publishes an "earliest possible transmission" promise (EPT): a lower
-// bound on the timestamp of any cross-shard message it will EVER send.
-// Three floors combine into it --
+// publishes, PER OUT-NEIGHBOR SHARD, an "earliest possible transmission"
+// promise (EPT): a lower bound on the timestamp of any cross-shard
+// message it will EVER send to that specific neighbor. Three floors
+// combine into each promise --
 //
-//   MacFloor    earliest pending carrier-sense or transmit-completion
-//               (when the shard can next put RF energy on the air),
+//   MacFloorFor earliest ARMED carrier sense among the nodes whose
+//               announces reach that neighbor (per-boundary lookahead: an
+//               interior node's pending acquisition, or a boundary node
+//               facing a different cut, never throttles this neighbor),
 //   AliveFloor  earliest pending power-toggle (a power-down can emit an
-//               abort for a mirrored frame at exactly its event time),
+//               abort for a mirrored frame at exactly its event time;
+//               shard-global, since one fault callback may touch any of
+//               the shard's nodes),
 //   head floor  min(queue head, current safe time) + backoff_min: even a
 //               frame the shard has not heard about yet must clear a full
-//               scheduled carrier sense, so backoff_min is the lookahead.
+//               scheduled carrier sense, so backoff_min is the lookahead
+//               (shard-global; also covers the post-completion case -- a
+//               transmission finishing at `end` keeps head <= end until
+//               its completion runs, and its successor acquisition starts
+//               >= end + backoff_min).
 //
 // A shard may execute every event with time <= min over its in-neighbor
-// shards' EPTs (its safe time). Publishing is monotone (a promise never
-// retreats), producers push a mailbox message BEFORE bumping their EPT
-// (release), and consumers load EPTs (acquire) BEFORE draining, so every
-// message that can affect an executable event is visible before the event
-// runs. Unicast ACK verdicts cross shards too: a completion whose remote
-// verdict is missing simply stalls at the queue head (its own EPT keeps
-// covering it) until the destination shard's evaluation reports back.
+// shards' promises to it (its safe time). Publishing is monotone (a
+// promise never retreats), producers push a mailbox message BEFORE
+// bumping their EPT (release), and consumers load EPTs (acquire) BEFORE
+// draining, so every message that can affect an executable event is
+// visible before the event runs. Unicast ACK verdicts cross shards too: a
+// completion whose remote verdict is missing simply stalls at the queue
+// head (its own EPT keeps covering it) until the destination shard's
+// evaluation reports back -- which is also why a verdict's emission time
+// needs no promise coverage of its own.
 //
-// Partitioning slices the topology into K contiguous strips along its
-// longer axis. Correctness never depends on the cut: announce routes come
-// from the CSR audible lists, so any partition yields the same result --
-// only the boundary traffic (and thus speed) changes.
+// Partitioning (sim/partition.h) slices the topology into K parts:
+// contiguous coordinate strips, or min-cut regions grown on the audible
+// graph. Correctness never depends on the cut: announce routes come from
+// the CSR audible lists, so any partition yields the same result -- only
+// the boundary traffic (and thus speed) changes.
 #ifndef SCOOP_SIM_SHARDED_ENGINE_H_
 #define SCOOP_SIM_SHARDED_ENGINE_H_
 
@@ -37,6 +49,7 @@
 #include <vector>
 
 #include "sim/app.h"
+#include "sim/partition.h"
 #include "sim/shard.h"
 #include "sim/topology.h"
 
@@ -67,6 +80,9 @@ struct ShardedEngineOptions {
   /// Per-shard queue implementation; results are identical for both (see
   /// NetworkOptions::queue_impl).
   QueueImpl queue_impl = QueueImpl::kWheel;
+  /// How the topology is split into shards (sim/partition.h). Results are
+  /// identical for both kinds; only boundary traffic and speed change.
+  PartitionKind partition = PartitionKind::kStrip;
 };
 
 /// Owns the sharded simulation state for one run. The public surface
@@ -168,6 +184,23 @@ class ShardedEngine {
   uint64_t wheel_absorbed() const;
   uint64_t wheel_spilled() const;
 
+  /// Wall-clock microseconds shards spent spinning with no executable
+  /// event (waiting on a neighbor promise), and how many distinct such
+  /// episodes occurred; summed across shards. Perf telemetry like
+  /// processed(): wall-clock-derived, NOT deterministic.
+  uint64_t stall_us() const;
+  uint64_t stall_episodes() const;
+
+  /// Boundary transmissions mirrored across shards over the run (each
+  /// announce counted once per receiving shard); summed across shards.
+  /// Deterministic for a fixed (topology, K, partition).
+  uint64_t mirrored_frames() const;
+
+  /// Partition quality: directed audible links crossing shards, and
+  /// max-part-size * K / n (see sim/partition.h). Fixed at construction.
+  uint64_t cut_edges() const { return cut_edges_; }
+  double partition_imbalance() const { return imbalance_; }
+
  private:
   class Host;
   struct Shard;
@@ -177,8 +210,6 @@ class ShardedEngine {
     std::mutex mu;
     std::vector<ShardMsg> msgs;
   };
-
-  static std::vector<int> Partition(const Topology& topology, int shards);
 
   SimTime SafeTime(const Shard& shard) const;
   void Drain(Shard* shard);
@@ -196,8 +227,12 @@ class ShardedEngine {
   std::vector<uint64_t> announce_mask_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<Mailbox[]> mail_;  ///< K*K boxes; std::mutex is immovable.
-  /// Published promises, one per shard (padded indirectly by Shard size).
+  /// Published promises, one per directed shard pair: cell [from*K + to]
+  /// is `from`'s lower bound on anything it will ever send to `to`
+  /// (per-boundary lookahead; only out-neighbor cells are ever written).
   std::unique_ptr<std::atomic<SimTime>[]> ept_;
+  uint64_t cut_edges_ = 0;
+  double imbalance_ = 1.0;
   bool started_ = false;
 };
 

@@ -10,6 +10,7 @@
 #include "scenario/campaign.h"
 #include "scenario/campaign_reporter.h"
 #include "scenario/scenario_registry.h"
+#include "sim/partition.h"
 
 namespace scoop::harness {
 namespace {
@@ -114,6 +115,52 @@ TEST(ShardedEquivalenceTest, ChurnRebootMatchesAcrossShardCounts) {
   config.fault.query_reissue_max = 1;
   ExperimentResult ref = RunShardedTrial(config, /*seed=*/7, /*shards=*/1);
   EXPECT_GT(ref.total, 0);
+  for (int k : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/7, k));
+  }
+}
+
+TEST(ShardedEquivalenceTest, MincutPartitionMatchesStripAcrossShardCounts) {
+  // The partitioner only decides WHERE the shard cuts fall, never what the
+  // simulation computes: on the dense grid (where mincut picks genuinely
+  // different cuts than strips) every K and both partition kinds must be
+  // bit-identical to the K=1 reference.
+  ExperimentConfig config = TinyConfig();
+  config.preset = TopologyPreset::kGrid;
+  config.num_nodes = 25;
+  ExperimentResult ref = RunShardedTrial(config, /*seed=*/3, /*shards=*/1);
+  EXPECT_GT(ref.total, 0);
+  for (int k : {2, 4, 8}) {
+    for (sim::PartitionKind kind :
+         {sim::PartitionKind::kStrip, sim::PartitionKind::kMincut}) {
+      SCOPED_TRACE("shards=" + std::to_string(k) + " partition=" +
+                   sim::PartitionKindName(kind));
+      config.partition = kind;
+      ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/3, k));
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, MincutChurnRebootMatchesAcrossShardCounts) {
+  // Fault waves with the min-cut layout: reboot victims now land on the
+  // refined cuts instead of strip boundaries, and in-flight boundary
+  // frames must still abort identically at every K.
+  ExperimentConfig config = TinyConfig();
+  config.preset = TopologyPreset::kGrid;
+  config.num_nodes = 25;
+  config.duration = Minutes(10);
+  config.fault.reboot_fraction = 0.3;
+  config.fault.reboot_time = Minutes(4);
+  config.fault.reboot_wave_count = 2;
+  config.fault.reboot_wave_interval = Minutes(2);
+  config.fault.reboot_downtime = Seconds(40);
+  config.fault.orphan_rehoming = true;
+  config.fault.send_retry_max = 2;
+  config.fault.query_reissue_max = 1;
+  ExperimentResult ref = RunShardedTrial(config, /*seed=*/7, /*shards=*/1);
+  EXPECT_GT(ref.total, 0);
+  config.partition = sim::PartitionKind::kMincut;
   for (int k : {2, 4, 8}) {
     SCOPED_TRACE("shards=" + std::to_string(k));
     ExpectIdentical(ref, RunShardedTrial(config, /*seed=*/7, k));
@@ -308,6 +355,35 @@ TEST(ShardedEquivalenceTest, FaultScenarioCampaignCsvMatchesAcrossShardCounts) {
             row.trials[t]);
       }
     }
+  }
+}
+
+TEST(ShardedEquivalenceTest, CampaignCsvIsByteIdenticalAcrossPartitioners) {
+  // Same contract one axis further: the rendered campaign CSV must not
+  // depend on the partition kind either, at any K, including under
+  // crash-reboot churn whose victims sit on the min-cut boundaries.
+  Result<scenario::Scenario> parsed = scenario::LoadRegisteredScenario("churn_reboot");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  scenario::Scenario scn = std::move(parsed).value();
+  ASSERT_EQ(scn.sweeps.size(), 1u);
+  scn.sweeps[0].values = {"1"};
+
+  auto run_csv = [&](int shards, sim::PartitionKind kind) {
+    scenario::Scenario s = scn;
+    s.base.shards = shards;
+    s.base.partition = kind;
+    scenario::CampaignOptions options;
+    options.threads = 2;
+    Result<scenario::CampaignResult> run = scenario::RunCampaign(s, options);
+    SCOOP_CHECK(run.ok());
+    return scenario::CampaignCsv(run.value());
+  };
+
+  std::string ref_csv = run_csv(2, sim::PartitionKind::kStrip);
+  EXPECT_NE(ref_csv.find("readings_orphaned"), std::string::npos);
+  for (int k : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    EXPECT_EQ(ref_csv, run_csv(k, sim::PartitionKind::kMincut));
   }
 }
 

@@ -77,6 +77,7 @@ TEST(ScenarioParserTest, RoundTripEveryKey) {
       {"seed", "123456789"},
       {"shards", "4"},
       {"queue", "heap"},
+      {"partition", "mincut"},
       {"failure_fraction", "0.25"},
       {"failure_minute", "12.5"},
       {"failure_wave_count", "3"},
@@ -172,6 +173,8 @@ TEST(ScenarioParserTest, RoundTripEveryKey) {
   EXPECT_EQ(c.trials, 5);
   EXPECT_EQ(c.seed, 123456789u);
   EXPECT_EQ(c.shards, 4);
+  EXPECT_EQ(c.queue, sim::QueueImpl::kHeap);
+  EXPECT_EQ(c.partition, sim::PartitionKind::kMincut);
   EXPECT_EQ(c.failure_wave_count, 3);
   EXPECT_DOUBLE_EQ(c.fault.reboot_fraction, 0.15);
   EXPECT_EQ(c.fault.reboot_downtime, Seconds(45));

@@ -4,8 +4,9 @@
 For every google-benchmark entry present in both files, prints the
 old/new items-per-second (falling back to inverse wall time when a bench
 reports no item counter) and the speedup ratio new/old; for the campaign
-probes, compares events-per-second. Probes run with --profile additionally
-get an informational sim-profiler bucket diff (queue/radio/agent/
+probes, compares events-per-second. Sharded probes additionally get an
+informational shard.stall_us / shard.mirrored_frames sync-cost diff, and
+probes run with --profile a sim-profiler bucket diff (queue/radio/agent/
 shard-sync/other wall seconds) -- never part of the gate.
 
 Usage: tools/bench_compare.py OLD.json NEW.json [--min-ratio R] [--fail-below R]
@@ -104,6 +105,53 @@ def print_queue_diff(old_doc, new_doc):
             print(f"  new absorbed={absorbed:.0f} spilled={spilled:.0f}")
 
 
+def shard_splits(doc):
+    """Flattens campaign probes into {section: shard-sync dict}.
+
+    Sharded campaign perf probes carry a top-level "shard" object with the
+    null-message sync costs (see CampaignPerfJson): stall_us/stall_episodes
+    are wall-clock time shards spent parked on their neighbors' EPT
+    promises, mirrored_frames counts cross-shard announce copies. Older
+    baselines and sequential probes simply have no entry here (or an
+    all-zero one, which reads the same).
+    """
+    splits = {}
+    for section, payload in doc.items():
+        if not isinstance(payload, dict):
+            continue
+        s = payload.get("shard")
+        if isinstance(s, dict) and "stall_us" in s:
+            splits[section] = s
+    return splits
+
+
+def print_shard_diff(old_doc, new_doc):
+    """Informational (never gating) diff of the shard.* sync costs."""
+    old_s = shard_splits(old_doc)
+    new_s = shard_splits(new_doc)
+    # Probes where both sides never sharded (all-zero rows) are noise.
+    def active(entry):
+        return entry is not None and any(entry.get(k, 0) for k in
+                                         ("stall_us", "stall_episodes",
+                                          "mirrored_frames"))
+    names = sorted(n for n in set(old_s) | set(new_s)
+                   if active(old_s.get(n)) or active(new_s.get(n)))
+    if not names:
+        return
+    print(f"\nshard sync costs (informational; stall is wall-clock, noisy):")
+    print(f"{'probe':<56} {'old stall ms':>13} {'new stall ms':>13} "
+          f"{'old mirr':>10} {'new mirr':>10}")
+    for name in names:
+        def fmt(entry, key, scale=1.0):
+            if entry is None or key not in entry:
+                return "-"
+            return f"{entry[key] * scale:.1f}"
+        print(f"{name:<56} {fmt(old_s.get(name), 'stall_us', 1e-3):>13} "
+              f"{fmt(new_s.get(name), 'stall_us', 1e-3):>13} "
+              f"{fmt(old_s.get(name), 'mirrored_frames'):>10} "
+              f"{fmt(new_s.get(name), 'mirrored_frames'):>10}")
+
+
 def print_profile_diff(old_doc, new_doc):
     """Informational (never gating) diff of the sim-profiler buckets."""
     old_prof = profile_buckets(old_doc)
@@ -163,6 +211,7 @@ def main():
             gate_failures.append((name, ratio))
 
     print_queue_diff(old_doc, new_doc)
+    print_shard_diff(old_doc, new_doc)
     print_profile_diff(old_doc, new_doc)
 
     only_old = sorted(set(old_rates) - set(new_rates))

@@ -70,6 +70,15 @@ for k in ${shard_counts}; do
       --shards="${k}" --quiet \
       --perf-json="${tmp}/campaign_grid_1024_shards${k}.json"
 done
+# The same scaling points under the min-cut partitioner: identical results
+# by contract (equivalence suite), but fewer boundary links means fewer
+# mirrored frames and shorter EPT stalls -- the delta vs the strip probes
+# above is the partitioner's whole value, so both stay on the trajectory.
+for k in ${shard_counts}; do
+  "${tools_dir}/scoop_campaign" --scenario=grid_1024 --threads=1 \
+      --shards="${k}" --partition=mincut --quiet \
+      --perf-json="${tmp}/campaign_grid_1024_mincut_shards${k}.json"
+done
 # Profiled grid_1024: same probe with the sim profiler attached, so the
 # perf point records where the wall time actually goes (queue vs radio vs
 # agent buckets; see the "MAC timer churn" ROADMAP hypothesis). A separate
@@ -104,6 +113,8 @@ doc = {
 for k in shard_counts.split():
     doc[f"campaign_grid_1024_shards{k}"] = json.load(
         open(f"{tmp}/campaign_grid_1024_shards{k}.json"))
+    doc[f"campaign_grid_1024_mincut_shards{k}"] = json.load(
+        open(f"{tmp}/campaign_grid_1024_mincut_shards{k}.json"))
 with open(out, "w") as f:
     json.dump(doc, f, indent=1)
     f.write("\n")

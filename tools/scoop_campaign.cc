@@ -40,6 +40,8 @@ using scoop::tools::MatchFlag;
                "                             (1 = sequential, >=2 = K-way parallel, 0 = auto)\n"
                "          [--queue=wheel|heap] override the scenario's event-queue impl\n"
                "                             (results identical; wheel is the fast default)\n"
+               "          [--partition=strip|mincut] override the shard partitioner\n"
+               "                             (results identical; mincut cuts sync stalls)\n"
                "          [--csv=PATH]       write per-trial + mean rows as CSV\n"
                "          [--json=PATH]      write per-combo JSON-lines\n"
                "          [--perf-json=PATH] write wall-clock/events-per-second perf report\n"
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
   int threads = 0;
   std::string shards_override;
   std::string queue_override;
+  std::string partition_override;
   bool quiet = false;
   int verbosity = 0;
   // (key, value) pairs applied to the scenario's base config after parsing,
@@ -123,6 +126,8 @@ int main(int argc, char** argv) {
       shards_override = value;
     } else if (MatchFlag(arg, "--queue", &value) && value != nullptr) {
       queue_override = value;
+    } else if (MatchFlag(arg, "--partition", &value) && value != nullptr) {
+      partition_override = value;
     } else if (MatchFlag(arg, "--csv", &value) && value != nullptr) {
       csv_path = value;
     } else if (MatchFlag(arg, "--json", &value) && value != nullptr) {
@@ -174,6 +179,13 @@ int main(int argc, char** argv) {
     Status s = scenario::ApplyScenarioKey(&scn.base, "queue", queue_override);
     if (!s.ok()) {
       std::fprintf(stderr, "bad --queue value: %s\n", s.message().c_str());
+      Usage(argv[0]);
+    }
+  }
+  if (!partition_override.empty()) {
+    Status s = scenario::ApplyScenarioKey(&scn.base, "partition", partition_override);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bad --partition value: %s\n", s.message().c_str());
       Usage(argv[0]);
     }
   }

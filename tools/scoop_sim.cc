@@ -45,6 +45,8 @@ using namespace scoop;
                "                        parallel engine, 0 = one shard per core\n"
                "          [--queue=wheel|heap]  event queue impl (default wheel;\n"
                "                        results are identical, wheel is faster)\n"
+               "          [--partition=strip|mincut]  shard partitioner (default strip;\n"
+               "                        results are identical, mincut stalls less)\n"
                "          [--batch=N] [--no-shortcut] [--no-descendants]\n"
                "          [--owner-set=K] [--range-granularity=G]\n"
                "          [--failure-fraction=F] [--failure-minute=M]\n"
@@ -89,6 +91,8 @@ int main(int argc, char** argv) {
       ApplyKeyOrUsage(&config, "shards", value, argv[0]);
     } else if (MatchFlag(arg, "--queue", &value) && value != nullptr) {
       ApplyKeyOrUsage(&config, "queue", value, argv[0]);
+    } else if (MatchFlag(arg, "--partition", &value) && value != nullptr) {
+      ApplyKeyOrUsage(&config, "partition", value, argv[0]);
     } else if (MatchFlag(arg, "--minutes", &value) && value != nullptr) {
       ApplyKeyOrUsage(&config, "duration_minutes", value, argv[0]);
     } else if (MatchFlag(arg, "--stabilization-minutes", &value) && value != nullptr) {
